@@ -1,0 +1,125 @@
+"""Ablations of WOLF's design choices (DESIGN.md §6).
+
+* **Replay guidance**: the same target deadlock replayed with (a) the
+  synchronization dependency graph (WOLF), (b) pure random scheduling,
+  (c) DeadlockFuzzer's abstraction pausing — isolating how much of the
+  hit rate each mechanism buys.
+* **Pruner ablation**: pipeline cost and downstream cycle counts with the
+  Pruner disabled (every cycle goes to the Generator/Replayer).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import pedantic
+from repro.baselines.deadlockfuzzer import DeadlockFuzzer, DfConfig, df_is_hit
+from repro.core.detector import ExtendedDetector
+from repro.core.generator import Generator, GeneratorVerdict
+from repro.core.pipeline import run_detection
+from repro.core.pruner import Pruner
+from repro.core.replayer import Replayer, is_hit
+from repro.runtime.sim.runtime import run_program
+from repro.runtime.sim.strategy import RandomStrategy
+from repro.util.rng import DeterministicRNG
+from repro.workloads.figures import fig9_program
+from repro.workloads.jigsaw import jigsaw_program
+
+RUNS = 10
+CROSS = frozenset({"Collections.java:1570", "Collections.java:1567"})
+
+
+@pytest.fixture(scope="module")
+def fig9_target():
+    run = run_detection(fig9_program, 0, name="fig9")
+    detection = ExtendedDetector().analyze(run.trace)
+    survivors = Pruner(detection.vclocks).prune(detection.cycles).survivors
+    gen = Generator(detection.relation).run(survivors)
+    return next(
+        d
+        for d in gen.decisions
+        if d.cycle.sites == CROSS and d.verdict is GeneratorVerdict.UNKNOWN
+    )
+
+
+def test_replay_gs_guided(benchmark, fig9_target):
+    replayer = Replayer(fig9_program, name="fig9", seed=0)
+
+    def run():
+        return replayer.replay(fig9_target, attempts=RUNS, stop_on_hit=False).hits
+
+    hits = pedantic(benchmark, run)
+    benchmark.extra_info.update(hits=hits, runs=RUNS, mode="Gs-guided (WOLF)")
+    assert hits == RUNS  # the paper's "reliably reproduces"
+
+
+def test_replay_random_only(benchmark, fig9_target):
+    """No guidance at all: hit only if random scheduling happens to
+    deadlock at exactly the target sites."""
+
+    def run():
+        hits = 0
+        for k in range(RUNS):
+            seed = DeterministicRNG(0).fork(f"rand:{k}").seed
+            result = run_program(fig9_program, RandomStrategy(seed), name="fig9")
+            hits += is_hit(result, fig9_target.gs)
+        return hits
+
+    hits = pedantic(benchmark, run)
+    benchmark.extra_info.update(hits=hits, runs=RUNS, mode="random")
+    assert hits < RUNS  # random cannot match guided replay here
+
+
+def test_replay_df_abstractions(benchmark, fig9_target):
+    fuzzer = DeadlockFuzzer(config=DfConfig(seed=0))
+
+    def run():
+        hits = 0
+        for k in range(RUNS):
+            seed = DeterministicRNG(0).fork(f"df:{k}").seed
+            result = fuzzer.replay_once(
+                fig9_program, fig9_target.cycle, seed, name="fig9"
+            )
+            hits += df_is_hit(result, fig9_target.cycle)
+        return hits
+
+    hits = pedantic(benchmark, run)
+    benchmark.extra_info.update(hits=hits, runs=RUNS, mode="DF abstractions")
+    assert hits == 0  # the Figure 9 confusion
+
+
+@pytest.fixture(scope="module")
+def jigsaw_detection():
+    run = run_detection(jigsaw_program, 0, name="Jigsaw")
+    return ExtendedDetector().analyze(run.trace)
+
+
+def test_pipeline_with_pruner(benchmark, jigsaw_detection):
+    detection = jigsaw_detection
+
+    def run():
+        survivors = Pruner(detection.vclocks).prune(detection.cycles).survivors
+        gen = Generator(detection.relation).run(survivors)
+        return len(gen.decisions)
+
+    downstream = pedantic(benchmark, run)
+    benchmark.extra_info["cycles_to_replay"] = downstream
+
+
+def test_pipeline_without_pruner(benchmark, jigsaw_detection):
+    """Ablated: every cycle hits the Generator; the Pruner's FPs become
+    replay work (each a wasted multi-attempt reproduction)."""
+    detection = jigsaw_detection
+
+    def run():
+        gen = Generator(detection.relation).run(detection.cycles)
+        return len(gen.decisions)
+
+    downstream = pedantic(benchmark, run)
+    with_pruner = len(
+        Pruner(detection.vclocks).prune(detection.cycles).survivors
+    )
+    benchmark.extra_info.update(
+        cycles_to_replay=downstream, with_pruner=with_pruner
+    )
+    assert downstream > with_pruner  # the Pruner really removes work

@@ -1,0 +1,101 @@
+"""Microbenchmarks of the analysis stages on a synthetic heavy trace.
+
+These measure the costs behind Table 1's slowdown column: runtime event
+throughput, ``D_sigma`` construction, vector clocks, cycle detection and
+``Gs`` construction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.detector import ExtendedDetector, find_cycles
+from repro.core.lockdep import build_lockdep
+from repro.core.syncgraph import build_sync_graph
+from repro.core.vclock import compute_vector_clocks
+from repro.runtime.sim.runtime import run_program
+from repro.runtime.sim.strategy import RandomStrategy
+
+
+def heavy_program(n_threads: int = 4, n_locks: int = 6, iters: int = 25):
+    """Threads repeatedly take ordered lock pairs (no deadlocks), plus one
+    inverted pair to seed cycles."""
+
+    def program(rt):
+        locks = [rt.new_lock(name=f"L{i}", site="heavy:locks") for i in range(n_locks)]
+
+        def worker(k: int) -> None:
+            for i in range(iters):
+                a = locks[(k + i) % n_locks]
+                b = locks[(k + i + 1) % n_locks]
+                first, second = (a, b) if id(a) < id(b) else (b, a)
+                with first.at(f"w{k}:outer"):
+                    with second.at(f"w{k}:inner"):
+                        pass
+
+        handles = [
+            rt.spawn(lambda k=i: worker(k), name=f"w{i}", site="heavy:spawn")
+            for i in range(n_threads)
+        ]
+        for h in handles:
+            h.join()
+
+    return program
+
+
+@pytest.fixture(scope="module")
+def heavy_trace():
+    result = run_program(heavy_program(), RandomStrategy(0, stickiness=0.9))
+    result.raise_errors()
+    return result.trace
+
+
+def test_runtime_event_throughput(benchmark):
+    program = heavy_program()
+
+    def run():
+        return run_program(program, RandomStrategy(0, stickiness=0.9)).steps
+
+    steps = benchmark(run)
+    assert steps > 200
+    benchmark.extra_info["events"] = steps
+
+
+def test_build_lockdep(benchmark, heavy_trace):
+    rel = benchmark(build_lockdep, heavy_trace)
+    assert len(rel) > 100
+    benchmark.extra_info["entries"] = len(rel)
+
+
+def test_vector_clocks(benchmark, heavy_trace):
+    st = benchmark(compute_vector_clocks, heavy_trace)
+    assert st.acquire_tau
+
+
+def test_cycle_detection(benchmark, heavy_trace):
+    rel = build_lockdep(heavy_trace)
+
+    def run():
+        return find_cycles(rel, max_length=3)
+
+    cycles, truncated = benchmark(run)
+    benchmark.extra_info["cycles"] = len(cycles)
+
+
+def test_full_detector(benchmark, heavy_trace):
+    detector = ExtendedDetector(max_length=3)
+    detection = benchmark(detector.analyze, heavy_trace)
+    benchmark.extra_info["cycles"] = len(detection.cycles)
+
+
+def test_sync_graph_construction(benchmark):
+    from repro.workloads.figures import fig9_program
+    from repro.core.pipeline import run_detection
+
+    run = run_detection(fig9_program, 0)
+    detection = ExtendedDetector().analyze(run.trace)
+    cycle = detection.cycles[0]
+
+    gs = benchmark(build_sync_graph, cycle, detection.relation)
+    assert gs.num_vertices() > 0
+    benchmark.extra_info["vertices"] = gs.num_vertices()

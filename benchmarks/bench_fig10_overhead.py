@@ -1,0 +1,44 @@
+"""Regenerate paper Figure 10 (WOLF's detection/reproduction overheads
+normalized to DeadlockFuzzer)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks.conftest import BENCH_SETTINGS, pedantic, record_rows
+from repro.experiments.fig10 import render_fig10, run_fig10
+from repro.workloads.registry import BENCHMARKS
+
+_rows = {}
+
+
+@pytest.mark.parametrize("name", [b.name for b in BENCHMARKS])
+def test_fig10_overheads(benchmark, name):
+    def run():
+        (row,) = run_fig10([name], BENCH_SETTINGS, replays_per_cycle=2)
+        return row
+
+    row = pedantic(benchmark, run)
+    _rows[name] = row
+    benchmark.extra_info.update(
+        detection_ratio=round(row.detection_ratio, 2),
+        reproduction_ratio=(
+            round(row.reproduction_ratio, 2)
+            if not math.isnan(row.reproduction_ratio)
+            else None
+        ),
+    )
+    # Paper shape: WOLF's detection adds modest *absolute* overhead over
+    # DF (the pruner+generator work).  On this substrate the executions
+    # are milliseconds long, so the per-cycle Gs cost inflates the ratio
+    # on the cycle-heavy list benchmarks (see EXPERIMENTS.md's Figure 10
+    # caveat) — bound the ratio loosely rather than at the paper's ~1.1x.
+    assert row.detection_ratio < 25
+
+
+def test_render_fig10():
+    ordered = [b.name for b in BENCHMARKS if b.name in _rows]
+    if len(ordered) == len(BENCHMARKS):
+        record_rows("fig10", render_fig10([_rows[n] for n in ordered]))

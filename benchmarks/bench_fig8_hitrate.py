@@ -1,0 +1,43 @@
+"""Regenerate paper Figure 8 (hit rates of reproducing each deadlock).
+
+The paper uses 100 replays per potential deadlock; the bench uses
+``FIG8_RUNS`` to stay in budget — the CLI (``wolf fig8``) runs the
+paper-scale version.  Deadlock-bearing benchmarks only (cache4j has no
+bars in the paper's figure either).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_SETTINGS, FIG8_RUNS, pedantic, record_rows
+from repro.experiments.fig8 import render_fig8, run_fig8
+from repro.workloads.registry import BENCHMARKS
+
+NAMES = [b.name for b in BENCHMARKS if b.name != "cache4j"]
+_rows = {}
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_fig8_hit_rate(benchmark, name):
+    def run():
+        (row,) = run_fig8([name], BENCH_SETTINGS, n_runs=FIG8_RUNS)
+        return row
+
+    row = pedantic(benchmark, run)
+    _rows[name] = row
+    benchmark.extra_info.update(
+        wolf_hit_rate=round(row.wolf, 3), df_hit_rate=round(row.df, 3), runs=FIG8_RUNS
+    )
+    # The paper's headline: WOLF's hit rate dominates DF's on every
+    # benchmark.  At FIG8_RUNS replays the estimator has ~1/FIG8_RUNS
+    # granularity, so allow one-miss sampling noise; the paper-scale
+    # driver (`wolf fig8 --runs 100`) shows strict dominance.
+    assert row.wolf >= row.df - 1.5 / FIG8_RUNS
+    assert row.wolf > 0
+
+
+def test_render_fig8():
+    ordered = [n for n in NAMES if n in _rows]
+    if len(ordered) == len(NAMES):
+        record_rows("fig8", render_fig8([_rows[n] for n in ordered]))

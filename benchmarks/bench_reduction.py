@@ -1,0 +1,78 @@
+"""Benchmark of the MagicFuzzer-style relation reduction (DESIGN.md §6):
+cycle enumeration cost with and without pre-reduction on a skewed trace
+where most acquisitions cannot participate in cycles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.detector import find_cycles
+from repro.core.lockdep import build_lockdep
+from repro.core.reduction import reduce_relation
+from repro.runtime.sim.runtime import run_program
+from repro.runtime.sim.strategy import RandomStrategy
+
+
+def skewed_program(n_noise_threads: int = 6, iters: int = 40):
+    """Two threads with a real AB/BA inversion plus many threads doing
+    single-lock (cycle-incapable) work — the shape MagicFuzzer targets."""
+
+    def program(rt):
+        a = rt.new_lock(name="A")
+        b = rt.new_lock(name="B")
+        noise = [rt.new_lock(name=f"N{i}", site="skew:locks") for i in range(n_noise_threads)]
+
+        def t1():
+            with a.at("sk:a1"):
+                with b.at("sk:b1"):
+                    pass
+
+        def t2():
+            with b.at("sk:b2"):
+                with a.at("sk:a2"):
+                    pass
+
+        def noisy(k):
+            for i in range(iters):
+                with noise[k].at(f"sk:n{k}"):
+                    pass
+
+        handles = [rt.spawn(t1, site="sk:s1"), rt.spawn(t2, site="sk:s2")]
+        handles += [
+            rt.spawn(lambda k=i: noisy(k), site="sk:sn") for i in range(n_noise_threads)
+        ]
+        for h in handles:
+            h.join()
+
+    return program
+
+
+@pytest.fixture(scope="module")
+def skewed_relation():
+    result = run_program(
+        skewed_program(), RandomStrategy(1, stickiness=0.9), max_steps=100_000
+    )
+    result.raise_errors()
+    return build_lockdep(result.trace)
+
+
+def test_reduction_pass(benchmark, skewed_relation):
+    reduced, removed = benchmark(reduce_relation, skewed_relation)
+    benchmark.extra_info.update(entries=len(skewed_relation), removed=removed)
+    assert removed > 0.8 * len(skewed_relation)
+
+
+def test_cycles_without_reduction(benchmark, skewed_relation):
+    cycles, _ = benchmark(find_cycles, skewed_relation, max_length=3)
+    benchmark.extra_info["cycles"] = len(cycles)
+    assert len(cycles) == 1
+
+
+def test_cycles_with_reduction(benchmark, skewed_relation):
+    def run():
+        reduced, _ = reduce_relation(skewed_relation)
+        return find_cycles(reduced, max_length=3)
+
+    cycles, _ = benchmark(run)
+    benchmark.extra_info["cycles"] = len(cycles)
+    assert len(cycles) == 1

@@ -1,0 +1,51 @@
+"""Scalability benchmarks: analysis stages on graded synthetic workloads
+(DESIGN.md §6; backs the paper's "scalable algorithm" claim)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.detector import ExtendedDetector
+from repro.core.generator import Generator
+from repro.core.pipeline import run_detection
+from repro.core.pruner import Pruner
+from repro.experiments.scaling import make_scaled_workload
+
+POINTS = [(2, 40), (4, 80), (8, 160)]
+
+
+@pytest.fixture(scope="module")
+def detections():
+    out = {}
+    for n_threads, iters in POINTS:
+        program = make_scaled_workload(n_threads, 6, iters)
+        run = run_detection(program, 0, tries=20, max_steps=500_000)
+        out[(n_threads, iters)] = (program, run.trace)
+    return out
+
+
+@pytest.mark.parametrize("point", POINTS, ids=[f"{t}t-{i}i" for t, i in POINTS])
+def test_detector_scaling(benchmark, detections, point):
+    _, trace = detections[point]
+    detector = ExtendedDetector(max_length=3)
+    detection = benchmark(detector.analyze, trace)
+    benchmark.extra_info.update(
+        events=len(trace), entries=len(detection.relation), cycles=len(detection.cycles)
+    )
+
+
+@pytest.mark.parametrize("point", POINTS, ids=[f"{t}t-{i}i" for t, i in POINTS])
+def test_gs_scaling(benchmark, detections, point):
+    _, trace = detections[point]
+    detection = ExtendedDetector(max_length=3).analyze(trace)
+    survivors = Pruner(detection.vclocks).prune(detection.cycles).survivors
+
+    def run():
+        return Generator(detection.relation).run(survivors)
+
+    gen = benchmark(run)
+    sizes = [d.gs.num_vertices() for d in gen.decisions]
+    benchmark.extra_info.update(
+        graphs=len(gen.decisions),
+        avg_vertices=round(sum(sizes) / len(sizes), 1) if sizes else 0,
+    )

@@ -1,0 +1,47 @@
+"""Regenerate paper Table 1 (defects by unique source locations).
+
+One benchmark per paper row; the timed unit is the full WOLF+DF pipeline
+for that benchmark.  Row contents land in ``extra_info`` and the complete
+table prints at session end (run with ``-s`` to see it inline).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_SETTINGS, pedantic, record_rows
+from repro.experiments.table1 import render_table1, run_table1
+from repro.workloads.registry import BENCHMARKS
+
+_rows = {}
+
+
+@pytest.mark.parametrize("name", [b.name for b in BENCHMARKS])
+def test_table1_row(benchmark, name):
+    def run():
+        (row,) = run_table1([name], BENCH_SETTINGS, measure_slowdown=True)
+        return row
+
+    row = pedantic(benchmark, run)
+    _rows[name] = row
+    benchmark.extra_info.update(
+        detected=row.detected,
+        fp_pruner=row.fp_pruner,
+        fp_generator=row.fp_generator,
+        tp_wolf=row.tp_wolf,
+        tp_df=row.tp_df,
+        unknown_wolf=row.unknown_wolf,
+        unknown_df=row.unknown_df,
+        slowdown=round(row.slowdown, 2),
+    )
+    # Paper-shape checks: WOLF never confirms fewer defects than DF, and
+    # cache4j stays clean.
+    assert row.tp_wolf >= row.tp_df
+    if name == "cache4j":
+        assert row.detected == 0
+
+
+def test_render_full_table1():
+    ordered = [n.name for n in BENCHMARKS if n.name in _rows]
+    if len(ordered) == len(BENCHMARKS):
+        record_rows("table1", render_table1([_rows[n] for n in ordered]))

@@ -1,0 +1,39 @@
+"""Regenerate paper Table 2 (the per-cycle comparison)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_SETTINGS, pedantic, record_rows
+from repro.experiments.table2 import render_table2, run_table2
+from repro.workloads.registry import BENCHMARKS
+
+_rows = {}
+
+
+@pytest.mark.parametrize("name", [b.name for b in BENCHMARKS])
+def test_table2_row(benchmark, name):
+    def run():
+        (row,) = run_table2([name], BENCH_SETTINGS)
+        return row
+
+    row = pedantic(benchmark, run)
+    _rows[name] = row
+    benchmark.extra_info.update(
+        cycles=row.cycles,
+        fp_wolf=row.fp_wolf,
+        tp_wolf=row.tp_wolf,
+        tp_df=row.tp_df,
+        unknown_wolf=row.unknown_wolf,
+        unknown_df=row.unknown_df,
+    )
+    assert row.tp_wolf >= row.tp_df
+    if name in ("HashMap", "TreeMap", "WeakHashMap", "LinkedHashMap", "IdentityHashMap"):
+        # Paper Table 2 map rows: 4 cycles, 1 FP, 3 TP for WOLF.
+        assert (row.cycles, row.fp_wolf, row.tp_wolf) == (4, 1, 3)
+
+
+def test_render_full_table2():
+    ordered = [n.name for n in BENCHMARKS if n.name in _rows]
+    if len(ordered) == len(BENCHMARKS):
+        record_rows("table2", render_table2([_rows[n] for n in ordered]))

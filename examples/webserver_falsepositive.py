@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Pruning false positives in a web server (paper Figures 1 and 2).
+
+The Jigsaw model contains every defect class from the paper's largest
+benchmark: start-order false positives (ThreadCache starts its runners
+while holding both monitors), a Generator-eliminated probe pattern, real
+store/resource and config/properties deadlocks, and a data-dependency
+pair that stays *unknown*.
+
+Run:  python examples/webserver_falsepositive.py
+"""
+
+from collections import defaultdict
+
+from repro.core.pipeline import Wolf, WolfConfig
+from repro.core.report import Classification
+from repro.workloads.jigsaw import jigsaw_program
+
+
+def main() -> None:
+    config = WolfConfig(seed=0, replay_attempts=5)
+    report = Wolf(config=config).analyze(jigsaw_program, name="Jigsaw")
+
+    print(report.summary())
+
+    groups = defaultdict(list)
+    for defect in report.defects:
+        groups[defect.classification].append(defect)
+
+    print("\n--- why each verdict was reached ---")
+    for cls in (
+        Classification.FALSE_PRUNER,
+        Classification.FALSE_GENERATOR,
+        Classification.CONFIRMED,
+        Classification.UNKNOWN,
+    ):
+        for defect in groups.get(cls, []):
+            print(f"\n{defect.pretty()}")
+            cr = defect.cycles[0]
+            if cls is Classification.FALSE_PRUNER and cr.prune:
+                print(f"  pruner: {cr.prune.reason}")
+            elif cls is Classification.FALSE_GENERATOR and cr.generator:
+                cyc = cr.generator.gs_cycle
+                path = " -> ".join(v.pretty() for v in cyc)
+                print(f"  Gs ordering cycle: {path}")
+            elif cls is Classification.CONFIRMED and cr.replay:
+                print(
+                    f"  reproduced in {cr.replay.attempts} attempt(s); "
+                    f"Gs size {cr.gs_vertices}"
+                )
+            elif cls is Classification.UNKNOWN:
+                print(
+                    "  replay never manifested it — here because a data "
+                    "dependency (invisible to lock-order analysis) keeps "
+                    "the regions apart (paper §4.4)"
+                )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+This environment ships setuptools 65 without the ``wheel`` package, so
+PEP-660 editable installs (``pip install -e .``) cannot build the editable
+wheel.  ``python setup.py develop`` (or ``make develop``) installs the
+package in editable mode without needing ``bdist_wheel``.  All metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

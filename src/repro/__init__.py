@@ -1,0 +1,33 @@
+"""WOLF — trace driven dynamic deadlock detection and reproduction.
+
+A full reproduction of Samak & Ramanathan, PPoPP 2014.  The public API:
+
+* :func:`repro.runtime.run_program` + :class:`repro.runtime.SimRuntime` —
+  the instrumented execution substrate;
+* :class:`repro.core.Wolf` — the end-to-end pipeline (extended detector →
+  Pruner → Generator → Replayer);
+* :mod:`repro.baselines` — the DeadlockFuzzer comparator;
+* :mod:`repro.workloads` — the paper's benchmarks, modelled in Python;
+* :mod:`repro.experiments` — drivers regenerating Tables 1-2, Figures 8/10.
+
+Quickstart::
+
+    from repro import Wolf
+    from repro.workloads.philosophers import philosophers_program
+
+    report = Wolf(seed=1).analyze(philosophers_program, name="philosophers")
+    print(report.summary())
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__", "Wolf"]
+
+
+def __getattr__(name):
+    # Lazy import keeps `import repro` cheap and avoids import cycles.
+    if name == "Wolf":
+        from repro.core.pipeline import Wolf
+
+        return Wolf
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,31 @@
+"""Baselines the paper compares against.
+
+:mod:`repro.baselines.deadlockfuzzer` models DeadlockFuzzer (Joshi,
+Park, Sen, Naik — PLDI 2009): iGoodLock detection plus a randomized,
+abstraction-guided reproduction phase.  iGoodLock itself is
+:class:`repro.core.detector.BaseDetector`.
+"""
+
+from repro.baselines.deadlockfuzzer import (
+    DeadlockFuzzer,
+    DfReplayStrategy,
+    DfTarget,
+)
+from repro.baselines.naive import (
+    LockGraph,
+    LockGraphCycle,
+    LockGraphEdge,
+    NaiveLockGraphDetector,
+    build_lock_graph,
+)
+
+__all__ = [
+    "DeadlockFuzzer",
+    "DfReplayStrategy",
+    "DfTarget",
+    "LockGraph",
+    "LockGraphCycle",
+    "LockGraphEdge",
+    "NaiveLockGraphDetector",
+    "build_lock_graph",
+]

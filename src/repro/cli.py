@@ -1,0 +1,472 @@
+"""Command-line interface: ``wolf <command>`` (or ``python -m repro``).
+
+Commands:
+
+* ``wolf detect <benchmark>`` — run the full WOLF pipeline on a benchmark
+  and print the classification report;
+* ``wolf df <benchmark>`` — run the DeadlockFuzzer baseline;
+* ``wolf table1`` / ``wolf table2`` — regenerate the paper's tables;
+* ``wolf fig8`` / ``wolf fig10`` — regenerate the paper's figures;
+* ``wolf list`` — list available benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.baselines.deadlockfuzzer import DeadlockFuzzer, DfConfig
+from repro.core.pipeline import Wolf, WolfConfig
+from repro.experiments.fig8 import render_fig8, run_fig8
+from repro.experiments.fig10 import render_fig10, run_fig10
+from repro.experiments.runner import ExperimentSettings
+from repro.experiments.table1 import render_table1, run_table1
+from repro.experiments.table2 import render_table2, run_table2
+from repro.workloads.registry import BENCHMARKS, get_benchmark
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--seed", type=int, default=None, help="detection seed")
+    p.add_argument(
+        "--attempts", type=int, default=None, help="replay attempts per cycle"
+    )
+    p.add_argument(
+        "--benchmarks",
+        nargs="*",
+        default=None,
+        metavar="NAME",
+        help="subset of benchmarks (default: all)",
+    )
+
+
+def _settings(args: argparse.Namespace) -> ExperimentSettings:
+    return ExperimentSettings(
+        seed=getattr(args, "seed", None),
+        replay_attempts=getattr(args, "attempts", None),
+    )
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    for b in BENCHMARKS:
+        note = f"  ({b.loc_note})" if b.loc_note else ""
+        print(f"{b.name}{note}")
+    return 0
+
+
+def cmd_detect(args: argparse.Namespace) -> int:
+    b = get_benchmark(args.benchmark)
+    cfg = WolfConfig(
+        seed=args.seed if args.seed is not None else b.detect_seed,
+        replay_attempts=args.attempts or b.replay_attempts,
+        max_cycle_length=b.max_cycle_length,
+    )
+    report = Wolf(config=cfg).analyze(b.program, name=b.name)
+    print(report.summary())
+    if args.verbose:
+        print()
+        for cr in report.cycle_reports:
+            print(cr.pretty())
+    if args.rank:
+        from repro.core.ranking import rank_defects, render_ranking
+
+        print()
+        print(render_ranking(rank_defects(report)))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core.pipeline import run_detection
+    from repro.runtime.serialize import dump_trace
+
+    b = get_benchmark(args.benchmark)
+    seed = args.seed if args.seed is not None else b.detect_seed
+    run = run_detection(b.program, seed, name=b.name)
+    text = dump_trace(run.trace)
+    with open(args.out, "w") as fh:
+        fh.write(text)
+    print(f"wrote {len(run.trace)} events ({run.status.value}) to {args.out}")
+    return 0
+
+
+def cmd_analyze_trace(args: argparse.Namespace) -> int:
+    """Offline analysis of a saved trace: detection + Pruner + Generator
+    (replay needs the live program and is not available offline)."""
+    from repro.core.detector import ExtendedDetector
+    from repro.core.generator import Generator, GeneratorVerdict
+    from repro.core.pruner import Pruner
+    from repro.runtime.serialize import load_trace
+
+    with open(args.trace_file) as fh:
+        trace = load_trace(fh.read())
+    detection = ExtendedDetector().analyze(trace)
+    prune = Pruner(detection.vclocks).prune(detection.cycles)
+    gen = Generator(detection.relation).run(prune.survivors)
+    print(f"trace: {trace.program!r}, {len(trace)} events, seed {trace.seed}")
+    print(f"cycles detected      : {len(detection.cycles)}")
+    print(f"false (pruner)       : {len(prune.false_positives)}")
+    print(f"false (generator)    : {len(gen.false_positives)}")
+    print(f"replay candidates    : {len(gen.survivors)}")
+    for dec in gen.decisions:
+        tag = "FALSE" if dec.verdict is GeneratorVerdict.FALSE else "REPLAYABLE"
+        print(f"  [{tag}] {dec.cycle.pretty()}")
+    return 0
+
+
+def cmd_df(args: argparse.Namespace) -> int:
+    b = get_benchmark(args.benchmark)
+    cfg = DfConfig(
+        seed=args.seed if args.seed is not None else b.detect_seed,
+        replay_attempts=args.attempts or b.replay_attempts,
+        max_cycle_length=b.max_cycle_length,
+    )
+    report = DeadlockFuzzer(config=cfg).analyze(b.program, name=b.name)
+    print(report.summary())
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    rows = run_table1(args.benchmarks, _settings(args), measure_slowdown=not args.fast)
+    print(render_table1(rows))
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    rows = run_table2(args.benchmarks, _settings(args))
+    print(render_table2(rows))
+    return 0
+
+
+def cmd_fig8(args: argparse.Namespace) -> int:
+    rows = run_fig8(args.benchmarks, _settings(args), n_runs=args.runs)
+    print(render_fig8(rows))
+    return 0
+
+
+def cmd_immunize(args: argparse.Namespace) -> int:
+    """Confirm deadlocks with WOLF, then re-run under deadlock immunity."""
+    from repro.core.avoidance import AvoidanceStrategy, patterns_from_report
+    from repro.runtime.sim.result import RunStatus
+    from repro.runtime.sim.runtime import run_program
+
+    b = get_benchmark(args.benchmark)
+    seed = args.seed if args.seed is not None else b.detect_seed
+    cfg = WolfConfig(
+        seed=seed,
+        replay_attempts=args.attempts or b.replay_attempts,
+        max_cycle_length=b.max_cycle_length,
+    )
+    report = Wolf(config=cfg).analyze(b.program, name=b.name)
+    patterns = patterns_from_report(report)
+    print(f"confirmed {len(patterns)} deadlock pattern(s); immunizing...")
+    confirmed_sites = {frozenset(p.wanted_sites) for p in patterns}
+    outcomes = {"completed": 0, "avoided_hits": 0, "residual": 0}
+    interventions = 0
+    for k in range(args.runs):
+        strategy = AvoidanceStrategy(patterns, seed=seed + k)
+        result = run_program(b.program, strategy, name=b.name)
+        interventions += strategy.avoided
+        if result.status is RunStatus.DEADLOCK:
+            if result.deadlock.sites in confirmed_sites:
+                outcomes["avoided_hits"] += 1  # immunity failed
+            else:
+                outcomes["residual"] += 1  # unconfirmed pattern
+        else:
+            outcomes["completed"] += 1
+    print(
+        f"{args.runs} immunized runs: {outcomes['completed']} completed, "
+        f"{outcomes['avoided_hits']} confirmed-pattern deadlocks (want 0), "
+        f"{outcomes['residual']} at unconfirmed patterns; "
+        f"{interventions} acquisitions deferred"
+    )
+    return 1 if outcomes["avoided_hits"] else 0
+
+
+def cmd_scaling(args: argparse.Namespace) -> int:
+    from repro.experiments.scaling import render_scaling, run_scaling
+
+    points = None
+    if args.points:
+        points = [tuple(int(x) for x in p.split("x")) for p in args.points]
+    print(render_scaling(run_scaling(points, seed=args.seed or 0)))
+    return 0
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.core.pipeline import run_detection
+    from repro.util.timeline import render_timeline
+
+    b = get_benchmark(args.benchmark)
+    seed = args.seed if args.seed is not None else b.detect_seed
+    run = run_detection(b.program, seed, name=b.name)
+    print(render_timeline(run.trace, max_steps=args.max_steps))
+    print(f"\nstatus: {run.status.value}")
+    if run.deadlock:
+        print(run.deadlock.pretty())
+    return 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.experiments.fuzz import run_fuzz
+
+    stats = run_fuzz(
+        n_programs=args.programs,
+        base_seed=args.seed or 0,
+        replay_attempts=args.attempts or 3,
+    )
+    print(stats.summary())
+    for v in stats.violations:
+        print(f"VIOLATION: {v}")
+    return 1 if stats.violations else 0
+
+
+def _normalize_pb(args: argparse.Namespace) -> argparse.Namespace:
+    if args.preemption_bound is not None and args.preemption_bound < 0:
+        args.preemption_bound = None
+    return args
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    from repro.runtime.sim.explore import explore_deadlocks
+
+    b = get_benchmark(args.benchmark)
+    witnesses, stats = explore_deadlocks(
+        b.program,
+        max_runs=args.max_runs,
+        preemption_bound=args.preemption_bound,
+        name=b.name,
+    )
+    bound = (
+        "unbounded"
+        if args.preemption_bound is None
+        else f"preemption bound {args.preemption_bound}"
+    )
+    print(
+        f"explored {stats.runs} schedules ({bound}); "
+        f"{stats.deadlocks} deadlocking runs"
+        f"{' [budget exhausted]' if stats.truncated else ' [exhaustive]'}"
+    )
+    for sites, result in witnesses.items():
+        print(f"\ndistinct deadlock at {sorted(sites)}:")
+        print("  " + result.deadlock.pretty().replace("\n", "\n  "))
+    return 0
+
+
+def cmd_coverage(args: argparse.Namespace) -> int:
+    from repro.experiments.multirun import render_coverage, run_coverage
+
+    rows = run_coverage(args.benchmarks, _settings(args), runs=args.runs)
+    print(render_coverage(rows))
+    return 0
+
+
+def cmd_dot(args: argparse.Namespace) -> int:
+    from repro.core.detector import ExtendedDetector
+    from repro.core.generator import Generator
+    from repro.core.pipeline import run_detection
+    from repro.core.pruner import Pruner
+    from repro.util.dot import lock_graph_dot, sync_graph_dot
+
+    b = get_benchmark(args.benchmark)
+    seed = args.seed if args.seed is not None else b.detect_seed
+    run = run_detection(b.program, seed, name=b.name)
+    detection = ExtendedDetector(max_length=b.max_cycle_length).analyze(run.trace)
+    if args.cycle is None:
+        text = lock_graph_dot(detection.relation, detection.cycles)
+    else:
+        survivors = Pruner(detection.vclocks).prune(detection.cycles).survivors
+        gen = Generator(detection.relation).run(survivors)
+        try:
+            dec = gen.decisions[args.cycle]
+        except IndexError:
+            print(
+                f"cycle index {args.cycle} out of range "
+                f"(0..{len(gen.decisions) - 1})"
+            )
+            return 1
+        text = sync_graph_dot(dec.gs)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.experiments.report_md import generate_markdown
+
+    text = generate_markdown(
+        args.benchmarks, _settings(args), fig8_runs=args.runs
+    )
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_fig10(args: argparse.Namespace) -> int:
+    rows = run_fig10(args.benchmarks, _settings(args), replays_per_cycle=args.runs)
+    print(render_fig10(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="wolf",
+        description="Trace driven dynamic deadlock detection and reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks").set_defaults(func=cmd_list)
+
+    p = sub.add_parser("detect", help="run the WOLF pipeline on a benchmark")
+    p.add_argument("benchmark")
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--attempts", type=int, default=None)
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.add_argument(
+        "--rank",
+        action="store_true",
+        help="rank defects most-actionable-first instead of hard filtering (§4.4)",
+    )
+    p.set_defaults(func=cmd_detect)
+
+    p = sub.add_parser("trace", help="record a detection trace to a JSON file")
+    p.add_argument("benchmark")
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "analyze-trace", help="offline analysis of a saved trace file"
+    )
+    p.add_argument("trace_file")
+    p.set_defaults(func=cmd_analyze_trace)
+
+    p = sub.add_parser("df", help="run the DeadlockFuzzer baseline")
+    p.add_argument("benchmark")
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--attempts", type=int, default=None)
+    p.set_defaults(func=cmd_df)
+
+    p = sub.add_parser("table1", help="regenerate paper Table 1")
+    _add_common(p)
+    p.add_argument("--fast", action="store_true", help="skip slowdown timing")
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("table2", help="regenerate paper Table 2")
+    _add_common(p)
+    p.set_defaults(func=cmd_table2)
+
+    p = sub.add_parser("fig8", help="regenerate paper Figure 8 (hit rates)")
+    _add_common(p)
+    p.add_argument("--runs", type=int, default=100, help="replays per deadlock")
+    p.set_defaults(func=cmd_fig8)
+
+    p = sub.add_parser("fig10", help="regenerate paper Figure 10 (overheads)")
+    _add_common(p)
+    p.add_argument("--runs", type=int, default=3, help="replays per cycle")
+    p.set_defaults(func=cmd_fig10)
+
+    p = sub.add_parser(
+        "immunize",
+        help="confirm deadlocks, then re-run with deadlock immunity",
+    )
+    p.add_argument("benchmark")
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--attempts", type=int, default=None)
+    p.add_argument("--runs", type=int, default=20, help="immunized re-runs")
+    p.set_defaults(func=cmd_immunize)
+
+    p = sub.add_parser(
+        "scaling", help="analysis cost vs workload size on graded programs"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--points",
+        nargs="*",
+        default=None,
+        metavar="TxI",
+        help="points as THREADSxITERS, e.g. 4x80 8x160",
+    )
+    p.set_defaults(func=cmd_scaling)
+
+    p = sub.add_parser(
+        "timeline", help="render a detection trace as per-thread lanes"
+    )
+    p.add_argument("benchmark")
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--max-steps", type=int, default=80)
+    p.set_defaults(func=cmd_timeline)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="fuzz random programs; cross-check verdicts against search",
+    )
+    p.add_argument("--programs", type=int, default=50)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--attempts", type=int, default=3)
+    p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser(
+        "explore",
+        help="CHESS-style systematic schedule search for deadlocks",
+    )
+    p.add_argument("benchmark")
+    p.add_argument("--max-runs", type=int, default=2000)
+    p.add_argument(
+        "--preemption-bound",
+        type=int,
+        default=2,
+        help="max preemptive switches per schedule (-1 = unbounded)",
+    )
+    p.set_defaults(
+        func=lambda a: cmd_explore(_normalize_pb(a))
+    )
+
+    p = sub.add_parser(
+        "coverage",
+        help="cumulative defect discovery over multiple detection runs",
+    )
+    _add_common(p)
+    p.add_argument("--runs", type=int, default=8, help="detection runs per benchmark")
+    p.set_defaults(func=cmd_coverage)
+
+    p = sub.add_parser(
+        "dot", help="export the lock graph (or one cycle's Gs) as DOT"
+    )
+    p.add_argument("benchmark")
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument(
+        "--cycle",
+        type=int,
+        default=None,
+        help="index of the Generator decision to render as Gs (default: lock graph)",
+    )
+    p.add_argument("--out", default=None)
+    p.set_defaults(func=cmd_dot)
+
+    p = sub.add_parser(
+        "reproduce",
+        help="run every table/figure and write the paper-vs-ours report",
+    )
+    _add_common(p)
+    p.add_argument("--runs", type=int, default=30, help="Figure 8 replays per deadlock")
+    p.add_argument("--out", default=None, help="output markdown file")
+    p.set_defaults(func=cmd_reproduce)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

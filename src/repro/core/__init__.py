@@ -1,0 +1,68 @@
+"""The paper's contribution: detector, Pruner, Generator, Replayer, and
+the :class:`Wolf` pipeline tying them together.
+
+Data flow (paper Figure 3)::
+
+    Trace ──> ExtendedDetector ──> potential deadlocks (cycles in D_sigma)
+                    │                        │
+                    └── vector clocks ──> Pruner ──> false positives
+                                             │
+                                     Generator (Gs) ──> false positives
+                                             │
+                                         Replayer ──> confirmed / unknown
+"""
+
+from repro.core.lockdep import LockDepEntry, LockDependencyRelation
+from repro.core.vclock import SJ, VectorClockState, compute_vector_clocks
+from repro.core.detector import (
+    BaseDetector,
+    DetectionResult,
+    ExtendedDetector,
+    PotentialDeadlock,
+)
+from repro.core.pruner import Pruner
+from repro.core.syncgraph import GsVertex, SyncGraph, build_sync_graph
+from repro.core.generator import Generator, GeneratorVerdict
+from repro.core.replayer import Replayer, ReplayOutcome, WolfReplayStrategy
+from repro.core.avoidance import (
+    AvoidancePattern,
+    AvoidanceStrategy,
+    patterns_from_report,
+)
+from repro.core.pipeline import Wolf, WolfConfig
+from repro.core.ranking import RankedDefect, rank_defects, render_ranking
+from repro.core.reduction import reduce_relation
+from repro.core.report import Classification, CycleReport, DefectReport, WolfReport
+
+__all__ = [
+    "AvoidancePattern",
+    "AvoidanceStrategy",
+    "BaseDetector",
+    "Classification",
+    "CycleReport",
+    "DefectReport",
+    "DetectionResult",
+    "ExtendedDetector",
+    "Generator",
+    "GeneratorVerdict",
+    "GsVertex",
+    "LockDepEntry",
+    "LockDependencyRelation",
+    "PotentialDeadlock",
+    "Pruner",
+    "RankedDefect",
+    "patterns_from_report",
+    "rank_defects",
+    "reduce_relation",
+    "render_ranking",
+    "ReplayOutcome",
+    "Replayer",
+    "SJ",
+    "SyncGraph",
+    "VectorClockState",
+    "Wolf",
+    "WolfConfig",
+    "WolfReport",
+    "build_sync_graph",
+    "compute_vector_clocks",
+]

@@ -1,0 +1,138 @@
+"""The lock dependency relation ``D_sigma`` (paper §3.1).
+
+During execution ``sigma``, when thread ``t`` acquires lock ``l`` while
+holding the locks ``L_t`` (acquired at execution indices ``C_t``), the
+tuple ``eta = (t, L_t, l, C_t, tau_t)`` joins ``D_sigma``.  Following the
+paper's Figure 5, the recorded context contains the indices of the held
+acquisitions *plus* the index of this acquisition itself (e.g.
+``eta'_8 = (1, {l1}, l2, {18, 19}, 2)``), so :meth:`LockDepEntry.mu` is
+defined on ``lockset(eta) ∪ {lock(eta)}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.runtime.events import AcquireEvent, Trace
+from repro.util.ids import ExecIndex, LockId, ThreadId
+
+
+@dataclass(frozen=True)
+class LockDepEntry:
+    """One ``eta`` tuple of ``D_sigma``.
+
+    ``lockset``/``context`` are parallel, in acquisition order; ``index``
+    is the execution index of this acquisition (the last element of the
+    paper's ``C_t``); ``tau`` is the acquiring thread's timestamp
+    (Algorithm 1); ``step`` is the global trace position, and ``pos`` the
+    0-based position among this thread's entries (used to slice
+    ``D'_sigma`` in the Generator).
+    """
+
+    thread: ThreadId
+    lockset: Tuple[LockId, ...]
+    lock: LockId
+    context: Tuple[ExecIndex, ...]
+    index: ExecIndex
+    tau: int
+    step: int
+    pos: int
+
+    def mu(self, lock: LockId) -> ExecIndex:
+        """Map ``lock`` to the execution index where this entry's thread
+        acquired it (paper's per-tuple function ``mu_i``)."""
+        if lock == self.lock:
+            return self.index
+        for held, idx in zip(self.lockset, self.context):
+            if held == lock:
+                return idx
+        raise KeyError(f"{lock!r} not in lockset/lock of {self!r}")
+
+    def holds(self, lock: LockId) -> bool:
+        return lock in self.lockset
+
+    def pretty(self) -> str:
+        held = "{" + ",".join(l.pretty() for l in self.lockset) + "}"
+        return (
+            f"eta({self.thread.pretty()}, {held}, {self.lock.pretty()}, "
+            f"tau={self.tau})@{self.index.pretty()}"
+        )
+
+
+class LockDependencyRelation:
+    """``D_sigma`` with the indexes cycle detection needs.
+
+    Entries are stored in trace order; per-thread sequences and per-lock
+    holder lists are precomputed because the detector's cycle search and
+    the Generator's type-C pass both iterate them heavily.
+    """
+
+    def __init__(self, entries: Optional[List[LockDepEntry]] = None) -> None:
+        self.entries: List[LockDepEntry] = []
+        self.by_thread: Dict[ThreadId, List[LockDepEntry]] = {}
+        #: entries whose *lockset* contains the key lock (potential holders)
+        self.holding: Dict[LockId, List[LockDepEntry]] = {}
+        #: entries whose *acquired lock* is the key lock
+        self.acquiring: Dict[LockId, List[LockDepEntry]] = {}
+        for e in entries or []:
+            self.add(e)
+
+    def add(self, entry: LockDepEntry) -> None:
+        self.entries.append(entry)
+        self.by_thread.setdefault(entry.thread, []).append(entry)
+        self.acquiring.setdefault(entry.lock, []).append(entry)
+        for lock in entry.lockset:
+            self.holding.setdefault(lock, []).append(entry)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[LockDepEntry]:
+        return iter(self.entries)
+
+    def threads(self) -> List[ThreadId]:
+        return list(self.by_thread)
+
+    def entries_of(self, thread: ThreadId) -> List[LockDepEntry]:
+        return self.by_thread.get(thread, [])
+
+    def before(self, entry: LockDepEntry) -> List[LockDepEntry]:
+        """This thread's entries strictly before ``entry`` (``D'_sigma``
+        restricted to one thread, paper §3.4)."""
+        return self.by_thread[entry.thread][: entry.pos]
+
+
+def build_lockdep(
+    trace: Trace, taus: Optional[Dict[int, int]] = None
+) -> LockDependencyRelation:
+    """Construct ``D_sigma`` from a trace.
+
+    ``taus`` optionally maps a trace step number to the acquiring thread's
+    timestamp at that step (supplied by the extended detector); without it
+    all ``tau`` fields are 1, which reproduces the base iGoodLock relation.
+
+    Reentrant (recursive) acquisitions are skipped: re-acquiring a monitor
+    already in ``L_t`` adds no dependency edge and would only manufacture
+    self-guarded tuples.
+    """
+    rel = LockDependencyRelation()
+    positions: Dict[ThreadId, int] = {}
+    for ev in trace:
+        if not isinstance(ev, AcquireEvent) or ev.reentrant:
+            continue
+        pos = positions.get(ev.thread, 0)
+        positions[ev.thread] = pos + 1
+        rel.add(
+            LockDepEntry(
+                thread=ev.thread,
+                lockset=ev.held,
+                lock=ev.lock,
+                context=ev.held_indices,
+                index=ev.index,
+                tau=(taus or {}).get(ev.step, 1),
+                step=ev.step,
+                pos=pos,
+            )
+        )
+    return rel

@@ -1,0 +1,199 @@
+"""The end-to-end WOLF pipeline (paper Figure 3).
+
+``Wolf.analyze(program)``:
+
+1. run the instrumented program under a seeded random scheduler and record
+   the trace (one run per detection seed);
+2. **Extended Dynamic Cycle Detector** — ``D_sigma`` + vector clocks +
+   cycles;
+3. **Pruner** — discard never-overlapping cycles;
+4. **Generator** — build ``Gs`` per survivor; cyclic ``Gs`` ⇒ false;
+5. **Replayer** — re-execute per survivor following ``Gs``; a hit confirms
+   the defect, exhaustion of attempts leaves it unknown.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.detector import ExtendedDetector
+from repro.core.generator import Generator, GeneratorVerdict
+from repro.core.pruner import Pruner
+from repro.core.replayer import Replayer
+from repro.core.report import Classification, CycleReport, WolfReport
+from repro.runtime.sim.result import RunResult, RunStatus
+from repro.runtime.sim.runtime import Program, run_program
+from repro.runtime.sim.strategy import RandomStrategy
+from repro.util.rng import DeterministicRNG
+
+
+def run_detection(
+    program: Program,
+    seed: int,
+    *,
+    name: str = "",
+    stickiness: float = 0.9,
+    tries: int = 10,
+    max_steps: int = 200_000,
+    step_timeout: float = 30.0,
+) -> RunResult:
+    """Execute the instrumented program to record a detection trace.
+
+    A detection run that itself deadlocks yields a truncated trace, so up
+    to ``tries`` seeds (derived deterministically from ``seed``) are
+    attempted until one completes; failing that, the last run is analyzed
+    as-is — a manifested deadlock is still evidence, just with less
+    lookahead.
+    """
+    last: RunResult = None  # type: ignore[assignment]
+    for attempt in range(max(1, tries)):
+        run_seed = (
+            seed if attempt == 0 else DeterministicRNG(seed).fork(f"detect:{attempt}").seed
+        )
+        last = run_program(
+            program,
+            RandomStrategy(run_seed, stickiness=stickiness),
+            seed=run_seed,
+            name=name,
+            max_steps=max_steps,
+            step_timeout=step_timeout,
+        )
+        last.raise_errors()
+        if last.status is RunStatus.COMPLETED:
+            return last
+    return last
+
+
+@dataclass
+class WolfConfig:
+    """Pipeline knobs (defaults match the evaluation driver)."""
+
+    seed: int = 0
+    #: One detection run per seed; cycles from every run are analyzed.
+    detect_seeds: Optional[Sequence[int]] = None
+    replay_attempts: int = 5
+    #: Maximum threads per cycle the detector searches for.
+    max_cycle_length: int = 4
+    max_cycles: int = 10_000
+    max_steps: int = 200_000
+    step_timeout: float = 30.0
+    #: Burst bias of the detection scheduler (see
+    #: :func:`repro.runtime.sim.strategy.sticky_pick`).
+    detect_stickiness: float = 0.9
+    #: Detection re-runs (derived seeds) allowed when a run deadlocks
+    #: before completing.
+    detect_tries: int = 10
+    #: When True, skip replaying cycles whose source-location defect is
+    #: already confirmed (§4.3: one reproduction per location suffices).
+    skip_confirmed_defects: bool = False
+
+    def seeds(self) -> List[int]:
+        return list(self.detect_seeds) if self.detect_seeds else [self.seed]
+
+
+class Wolf:
+    """Facade: ``Wolf(seed=7).analyze(program, name="...")``."""
+
+    def __init__(self, seed: int = 0, config: Optional[WolfConfig] = None, **kw):
+        if config is None:
+            config = WolfConfig(seed=seed, **kw)
+        self.config = config
+
+    def analyze(self, program: Program, *, name: str = "") -> WolfReport:
+        cfg = self.config
+        report = WolfReport(
+            program=name or getattr(program, "__name__", "program"),
+            seeds=cfg.seeds(),
+        )
+        timings = {"detect": 0.0, "prune": 0.0, "generate": 0.0, "replay": 0.0}
+        confirmed_keys = set()
+
+        for seed in cfg.seeds():
+            t0 = time.perf_counter()
+            run = run_detection(
+                program,
+                seed,
+                name=report.program,
+                stickiness=cfg.detect_stickiness,
+                tries=cfg.detect_tries,
+                max_steps=cfg.max_steps,
+                step_timeout=cfg.step_timeout,
+            )
+            detector = ExtendedDetector(
+                max_length=cfg.max_cycle_length, max_cycles=cfg.max_cycles
+            )
+            detection = detector.analyze(run.trace)
+            report.detections.append(detection)
+            timings["detect"] += time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            pruner = Pruner(detection.vclocks)
+            prune = pruner.prune(detection.cycles)
+            timings["prune"] += time.perf_counter() - t0
+
+            for dec in prune.decisions:
+                if dec.pruned:
+                    report.cycle_reports.append(
+                        CycleReport(
+                            cycle=dec.cycle,
+                            classification=Classification.FALSE_PRUNER,
+                            prune=dec,
+                        )
+                    )
+
+            t0 = time.perf_counter()
+            generator = Generator(detection.relation)
+            gen = generator.run(prune.survivors)
+            timings["generate"] += time.perf_counter() - t0
+
+            replayer = Replayer(
+                program,
+                name=report.program,
+                attempts=cfg.replay_attempts,
+                seed=seed,
+                max_steps=cfg.max_steps,
+                step_timeout=cfg.step_timeout,
+            )
+            for dec in gen.decisions:
+                if dec.verdict is GeneratorVerdict.FALSE:
+                    report.cycle_reports.append(
+                        CycleReport(
+                            cycle=dec.cycle,
+                            classification=Classification.FALSE_GENERATOR,
+                            generator=dec,
+                        )
+                    )
+                    continue
+                if (
+                    cfg.skip_confirmed_defects
+                    and dec.cycle.defect_key in confirmed_keys
+                ):
+                    report.cycle_reports.append(
+                        CycleReport(
+                            cycle=dec.cycle,
+                            classification=Classification.CONFIRMED,
+                            generator=dec,
+                        )
+                    )
+                    continue
+                t0 = time.perf_counter()
+                outcome = replayer.replay(dec)
+                timings["replay"] += time.perf_counter() - t0
+                if outcome.reproduced:
+                    confirmed_keys.add(dec.cycle.defect_key)
+                    classification = Classification.CONFIRMED
+                else:
+                    classification = Classification.UNKNOWN
+                report.cycle_reports.append(
+                    CycleReport(
+                        cycle=dec.cycle,
+                        classification=classification,
+                        generator=dec,
+                        replay=outcome,
+                    )
+                )
+
+        report.timings = timings
+        return report

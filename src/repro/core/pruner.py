@@ -1,0 +1,88 @@
+"""The Pruner (paper §3.3, Algorithm 2).
+
+A cycle is infeasible — and pruned as a false positive — when, for some
+ordered pair of its tuples ``(eta_i, eta_j)`` with threads ``t_i, t_j``:
+
+* **start-ordering**: ``V_i(j).S > eta_j.tau`` — thread ``t_j`` always
+  made its deadlocking acquisition before ``t_i`` even started (so the
+  two acquisitions can never overlap); or
+* **join-ordering**: ``V_i(j).J != ⊥ and V_i(j).J <= eta_i.tau`` — thread
+  ``t_j`` had always been joined by the time ``t_i`` made its deadlocking
+  acquisition.
+
+Either way the cyclic wait cannot be set up in *any* interleaving of the
+observed trace, e.g. the Jigsaw pattern of paper Figure 1 where the parent
+starts the child while already holding both locks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.detector import PotentialDeadlock
+from repro.core.lockdep import LockDepEntry
+from repro.core.vclock import BOT, VectorClockState
+
+
+@dataclass
+class PruneDecision:
+    """Why one cycle was (or was not) pruned."""
+
+    cycle: PotentialDeadlock
+    pruned: bool
+    reason: str = ""
+    witness: Optional[Tuple[LockDepEntry, LockDepEntry]] = None
+
+
+@dataclass
+class PruneResult:
+    decisions: List[PruneDecision] = field(default_factory=list)
+
+    @property
+    def false_positives(self) -> List[PotentialDeadlock]:
+        return [d.cycle for d in self.decisions if d.pruned]
+
+    @property
+    def survivors(self) -> List[PotentialDeadlock]:
+        return [d.cycle for d in self.decisions if not d.pruned]
+
+
+class Pruner:
+    """Algorithm 2 over a list of potential deadlocks."""
+
+    def __init__(self, vclocks: VectorClockState) -> None:
+        self.vclocks = vclocks
+
+    def check_cycle(self, cycle: PotentialDeadlock) -> PruneDecision:
+        for ei in cycle.entries:
+            for ej in cycle.entries:
+                if ei is ej:
+                    continue
+                v = self.vclocks.V(ei.thread, ej.thread)
+                if v.S is not BOT and v.S > ej.tau:
+                    return PruneDecision(
+                        cycle,
+                        True,
+                        reason=(
+                            f"{ei.thread.pretty()} starts only after "
+                            f"{ej.thread.pretty()}'s acquisition at "
+                            f"{ej.index.site} (S={v.S} > tau={ej.tau})"
+                        ),
+                        witness=(ei, ej),
+                    )
+                if v.J is not BOT and v.J <= ei.tau:
+                    return PruneDecision(
+                        cycle,
+                        True,
+                        reason=(
+                            f"{ej.thread.pretty()} always joined before "
+                            f"{ei.thread.pretty()}'s acquisition at "
+                            f"{ei.index.site} (J={v.J} <= tau={ei.tau})"
+                        ),
+                        witness=(ei, ej),
+                    )
+        return PruneDecision(cycle, False)
+
+    def prune(self, cycles: List[PotentialDeadlock]) -> PruneResult:
+        return PruneResult([self.check_cycle(c) for c in cycles])

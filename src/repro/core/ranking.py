@@ -1,0 +1,100 @@
+"""Defect ranking (paper §4.4).
+
+The paper suggests that, instead of hard-eliminating Pruner/Generator
+false positives, reported deadlocks "can also be ranked based on the
+output of WOLF, so that the detected false positives are ranked the
+lowest".  This module implements that report mode:
+
+1. **confirmed** defects first, ordered by replay hit rate (most reliably
+   reproducible first — the strongest evidence, quickest to debug);
+2. **unknown** defects next, ordered by *reproduction plausibility*:
+   smaller ``Gs`` (fewer orderings must align) and fewer involved threads
+   rank higher;
+3. **false positives** last — Generator-eliminated above Pruner-eliminated
+   (a cyclic ``Gs`` is evidence about one observed path; a start/join
+   ordering holds for *every* path of the trace, so it is the strongest
+   "false" verdict).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.report import Classification, DefectReport, WolfReport
+
+
+@dataclass(frozen=True)
+class RankedDefect:
+    rank: int
+    defect: DefectReport
+    score: float
+    rationale: str
+
+
+def _tier(classification: Classification) -> int:
+    return {
+        Classification.CONFIRMED: 0,
+        Classification.UNKNOWN: 1,
+        Classification.FALSE_GENERATOR: 2,
+        Classification.FALSE_PRUNER: 3,
+    }[classification]
+
+
+def _hit_rate(defect: DefectReport) -> float:
+    rates = [
+        cr.replay.hit_rate
+        for cr in defect.cycles
+        if cr.replay is not None and cr.replay.attempts
+    ]
+    return max(rates) if rates else 0.0
+
+
+def _gs_size(defect: DefectReport) -> float:
+    sizes = [cr.gs_vertices for cr in defect.cycles if cr.gs_vertices]
+    return min(sizes) if sizes else float("inf")
+
+
+def _n_threads(defect: DefectReport) -> int:
+    return min(len(cr.cycle.threads) for cr in defect.cycles)
+
+
+def rank_defects(report: WolfReport) -> List[RankedDefect]:
+    """Order the report's defects most-actionable-first."""
+    keyed: List[Tuple[tuple, DefectReport, str]] = []
+    for defect in report.defects:
+        cls = defect.classification
+        tier = _tier(cls)
+        if cls is Classification.CONFIRMED:
+            rate = _hit_rate(defect)
+            key = (tier, -rate, _gs_size(defect))
+            why = f"reproduced (hit rate {rate:.2f})"
+        elif cls is Classification.UNKNOWN:
+            key = (tier, _gs_size(defect), _n_threads(defect))
+            why = (
+                f"not reproduced; Gs size {_gs_size(defect):.0f}, "
+                f"{_n_threads(defect)} threads"
+            )
+        elif cls is Classification.FALSE_GENERATOR:
+            key = (tier, 0.0)
+            why = "infeasible on the observed path (cyclic Gs)"
+        else:
+            key = (tier, 0.0)
+            why = "threads can never overlap (start/join ordering)"
+        keyed.append((key, defect, why))
+
+    keyed.sort(key=lambda item: item[0])
+    ranked = []
+    for i, (key, defect, why) in enumerate(keyed, start=1):
+        score = 1.0 / (1.0 + key[0]) - 0.001 * i
+        ranked.append(RankedDefect(rank=i, defect=defect, score=score, rationale=why))
+    return ranked
+
+
+def render_ranking(ranked: List[RankedDefect]) -> str:
+    lines = ["ranked defects (most actionable first):"]
+    for r in ranked:
+        sites = ", ".join(sorted(r.defect.key))
+        lines.append(f"  #{r.rank} [{r.defect.classification.value}] {{{sites}}}")
+        lines.append(f"      {r.rationale}")
+    return "\n".join(lines)

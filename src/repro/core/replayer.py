@@ -1,0 +1,201 @@
+"""The Replayer (paper §3.5, Algorithm 4).
+
+Re-executes the program while a :class:`WolfReplayStrategy` steers the
+schedule by the synchronization dependency graph:
+
+* a cycle thread about to acquire at a ``Gs`` vertex with a remaining
+  **cross-thread** in-edge is paused (the acquisition it depends on has
+  not happened yet);
+* when a tracked acquisition executes, its vertex *and every vertex that
+  reaches it* are removed (the latter handles control-flow divergence:
+  a skipped acquisition must not wedge other threads forever);
+* paused threads whose vertices lose their last cross-thread in-edge are
+  released;
+* if nothing is runnable but paused threads remain, a random one is
+  released (Algorithm 4 lines 5-7) — progress beats fidelity;
+* threads outside the cycle run unconstrained, and a cycle thread that
+  terminates drops all its remaining vertices.
+
+A *hit* (paper §4.2) is a manifested deadlock whose blocked acquisitions
+come from exactly the target cycle's source locations.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Set
+
+from repro.core.generator import GeneratorDecision
+from repro.core.syncgraph import SyncGraph
+from repro.runtime.events import AcquireEvent, EndEvent, TraceEvent
+from repro.runtime.sim.result import RunResult, RunStatus
+from repro.runtime.sim.runtime import Program, run_program
+from repro.runtime.sim.scheduler import AcquireOp, ThreadState
+from repro.runtime.sim.strategy import SchedulingStrategy
+from repro.util.ids import ThreadId
+from repro.util.rng import DeterministicRNG
+
+
+class WolfReplayStrategy(SchedulingStrategy):
+    """Algorithm 4 as a scheduling strategy over a working copy of ``Gs``."""
+
+    def __init__(self, gs: SyncGraph, seed: int = 0) -> None:
+        self.gs = gs
+        self.graph = gs.graph.copy()
+        self.by_index = dict(gs.by_index)
+        self.cycle_threads: Set[ThreadId] = set(gs.threads)
+        self.rng = DeterministicRNG(seed)
+        #: Number of times the scheduler had to force-release a paused
+        #: thread (the paper's "very rarely" safety valve) — useful for
+        #: diagnosing why an attempt missed.
+        self.forced_releases = 0
+
+    # -- policy -----------------------------------------------------------
+
+    def pick(self, ready: List[ThreadId]) -> ThreadId:
+        return self.rng.choice(ready)
+
+    def before_acquire(self, thread: ThreadId, op: AcquireOp) -> bool:
+        if thread not in self.cycle_threads:
+            return True
+        v = self.by_index.get(op.index)
+        if v is None or v not in self.graph:
+            return True
+        return not self._has_cross_thread_dep(v)
+
+    def on_event(self, event: TraceEvent) -> None:
+        if isinstance(event, AcquireEvent):
+            v = self.by_index.get(event.index)
+            if v is not None and v in self.graph:
+                # Satisfied: this vertex, and anything that was supposed to
+                # come before it but got skipped, no longer constrain anyone.
+                for u in self.graph.ancestors(v):
+                    self.graph.remove_node(u)
+                self.graph.remove_node(v)
+                self._release_eligible()
+        elif isinstance(event, EndEvent) and event.thread in self.cycle_threads:
+            doomed = [u for u in self.graph.nodes() if u.thread == event.thread]
+            for u in doomed:
+                self.graph.remove_node(u)
+            if doomed:
+                self._release_eligible()
+
+    def choose_unpause(self, paused: List[ThreadId]) -> Optional[ThreadId]:
+        self.forced_releases += 1
+        return self.rng.choice(paused) if paused else None
+
+    # -- helpers -----------------------------------------------------------
+
+    def _has_cross_thread_dep(self, v) -> bool:
+        return any(u.thread != v.thread for u in self.graph.predecessors(v))
+
+    def _release_eligible(self) -> None:
+        for record in self.sched.records.values():
+            if record.state != ThreadState.PAUSED:
+                continue
+            op = record.cell.op
+            if not isinstance(op, AcquireOp):
+                continue
+            v = self.by_index.get(op.index)
+            if v is None or v not in self.graph or not self._has_cross_thread_dep(v):
+                self.sched.unpause(record.tid)
+
+
+@dataclass
+class ReplayOutcome:
+    """Result of attempting to reproduce one potential deadlock."""
+
+    decision: GeneratorDecision
+    reproduced: bool
+    attempts: int
+    hits: int
+    statuses: List[RunStatus] = field(default_factory=list)
+    hit_run: Optional[RunResult] = None
+    wall_time_s: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.attempts if self.attempts else 0.0
+
+
+def is_hit(result: RunResult, gs: SyncGraph) -> bool:
+    """Paper's hit criterion: the replay deadlocked at the target cycle's
+    source locations."""
+    return (
+        result.status is RunStatus.DEADLOCK
+        and result.deadlock is not None
+        and result.deadlock.sites == gs.cycle.sites
+    )
+
+
+class Replayer:
+    """Runs replay attempts for Generator survivors."""
+
+    def __init__(
+        self,
+        program: Program,
+        *,
+        name: str = "",
+        attempts: int = 5,
+        seed: int = 0,
+        max_steps: int = 200_000,
+        step_timeout: float = 30.0,
+    ) -> None:
+        self.program = program
+        self.name = name
+        self.attempts = attempts
+        self.seed = seed
+        self.max_steps = max_steps
+        self.step_timeout = step_timeout
+
+    def run_once(self, decision: GeneratorDecision, seed: int) -> RunResult:
+        strategy = WolfReplayStrategy(decision.gs, seed=seed)
+        return run_program(
+            self.program,
+            strategy,
+            seed=seed,
+            name=self.name,
+            max_steps=self.max_steps,
+            step_timeout=self.step_timeout,
+        )
+
+    def replay(
+        self,
+        decision: GeneratorDecision,
+        *,
+        attempts: Optional[int] = None,
+        stop_on_hit: bool = True,
+    ) -> ReplayOutcome:
+        """Attempt reproduction up to ``attempts`` times.
+
+        With ``stop_on_hit`` (the pipeline's mode) the first hit confirms
+        the defect; without it every attempt runs (hit-rate measurement,
+        paper Figure 8).
+        """
+        n = attempts if attempts is not None else self.attempts
+        t0 = time.perf_counter()
+        statuses: List[RunStatus] = []
+        hits = 0
+        hit_run: Optional[RunResult] = None
+        made = 0
+        for k in range(n):
+            rng = DeterministicRNG(self.seed).fork(f"replay:{decision.cycle.sites}:{k}")
+            result = self.run_once(decision, seed=rng.seed)
+            made += 1
+            statuses.append(result.status)
+            if is_hit(result, decision.gs):
+                hits += 1
+                if hit_run is None:
+                    hit_run = result
+                if stop_on_hit:
+                    break
+        return ReplayOutcome(
+            decision=decision,
+            reproduced=hits > 0,
+            attempts=made,
+            hits=hits,
+            statuses=statuses,
+            hit_run=hit_run,
+            wall_time_s=time.perf_counter() - t0,
+        )

@@ -1,0 +1,194 @@
+"""Classification results: per-cycle and per-defect reports.
+
+The paper counts defects two ways (§4.3): per *cycle* (Table 2, what
+iGoodLock/DeadlockFuzzer report) and per unique set of *source locations*
+of the deadlocking acquisitions (Table 1, what a programmer must fix).
+:class:`WolfReport` keeps per-cycle classifications and aggregates them
+into defects, so both tables derive from one analysis.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.core.detector import DetectionResult, PotentialDeadlock
+from repro.core.generator import GeneratorDecision
+from repro.core.pruner import PruneDecision
+from repro.core.replayer import ReplayOutcome
+from repro.util.fmt import percent
+from repro.util.ids import Site
+
+
+class Classification(enum.Enum):
+    """Final verdict for one cycle (paper Figure 3's outputs)."""
+
+    FALSE_PRUNER = "false (pruner)"
+    FALSE_GENERATOR = "false (generator)"
+    CONFIRMED = "confirmed deadlock"
+    UNKNOWN = "unknown (manual)"
+
+    @property
+    def is_false(self) -> bool:
+        return self in (Classification.FALSE_PRUNER, Classification.FALSE_GENERATOR)
+
+
+@dataclass
+class CycleReport:
+    cycle: PotentialDeadlock
+    classification: Classification
+    prune: Optional[PruneDecision] = None
+    generator: Optional[GeneratorDecision] = None
+    replay: Optional[ReplayOutcome] = None
+
+    @property
+    def gs_vertices(self) -> Optional[int]:
+        return self.generator.gs.num_vertices() if self.generator else None
+
+    def pretty(self) -> str:
+        extra = ""
+        if self.classification is Classification.FALSE_PRUNER and self.prune:
+            extra = f" — {self.prune.reason}"
+        elif self.classification is Classification.CONFIRMED and self.replay:
+            extra = f" — reproduced in {self.replay.attempts} attempt(s)"
+        return f"[{self.classification.value}] {self.cycle.pretty()}{extra}"
+
+
+@dataclass
+class DefectReport:
+    """All cycles sharing one set of deadlocking source locations."""
+
+    key: FrozenSet[Site]
+    cycles: List[CycleReport] = field(default_factory=list)
+
+    @property
+    def classification(self) -> Classification:
+        """Defect-level verdict: confirmed if *any* cycle reproduced
+        (one deadlocking execution proves the source locations defective,
+        §4.3); false only if *every* cycle is false; otherwise unknown."""
+        classes = [c.classification for c in self.cycles]
+        if Classification.CONFIRMED in classes:
+            return Classification.CONFIRMED
+        if all(c.is_false for c in classes):
+            # Attribute to the earliest stage that eliminated all of them.
+            if all(c is Classification.FALSE_PRUNER for c in classes):
+                return Classification.FALSE_PRUNER
+            return Classification.FALSE_GENERATOR
+        return Classification.UNKNOWN
+
+    @property
+    def sites(self) -> FrozenSet[Site]:
+        return self.key
+
+    def pretty(self) -> str:
+        sites = ", ".join(sorted(self.key))
+        return f"defect at {{{sites}}}: {self.classification.value} ({len(self.cycles)} cycle(s))"
+
+
+@dataclass
+class WolfReport:
+    """End-to-end pipeline output for one program."""
+
+    program: str
+    seeds: List[int]
+    detections: List[DetectionResult] = field(default_factory=list)
+    cycle_reports: List[CycleReport] = field(default_factory=list)
+    #: wall-clock seconds per stage
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    # -- aggregation --------------------------------------------------------
+
+    @property
+    def defects(self) -> List[DefectReport]:
+        grouped: Dict[FrozenSet[Site], DefectReport] = {}
+        for cr in self.cycle_reports:
+            key = cr.cycle.defect_key
+            grouped.setdefault(key, DefectReport(key=key)).cycles.append(cr)
+        return list(grouped.values())
+
+    def count_cycles(self, classification: Classification) -> int:
+        return sum(
+            1 for c in self.cycle_reports if c.classification is classification
+        )
+
+    def count_defects(self, classification: Classification) -> int:
+        return sum(1 for d in self.defects if d.classification is classification)
+
+    @property
+    def n_cycles(self) -> int:
+        return len(self.cycle_reports)
+
+    @property
+    def n_defects(self) -> int:
+        return len(self.defects)
+
+    @property
+    def avg_gs_vertices(self) -> Optional[float]:
+        sizes = [c.gs_vertices for c in self.cycle_reports if c.gs_vertices]
+        return sum(sizes) / len(sizes) if sizes else None
+
+    # -- presentation ---------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Machine-readable report (for dashboards/CI): per-cycle and
+        per-defect verdicts plus stage timings."""
+        import json
+
+        def cycle_row(cr: CycleReport) -> dict:
+            d = {
+                "sites": sorted(cr.cycle.sites),
+                "threads": [t.pretty() for t in cr.cycle.threads],
+                "classification": cr.classification.value,
+                "gs_vertices": cr.gs_vertices,
+            }
+            if cr.replay is not None:
+                d["replay"] = {
+                    "attempts": cr.replay.attempts,
+                    "hits": cr.replay.hits,
+                    "hit_rate": cr.replay.hit_rate,
+                }
+            if cr.prune is not None and cr.prune.pruned:
+                d["prune_reason"] = cr.prune.reason
+            return d
+
+        return json.dumps(
+            {
+                "program": self.program,
+                "seeds": self.seeds,
+                "cycles": [cycle_row(cr) for cr in self.cycle_reports],
+                "defects": [
+                    {
+                        "sites": sorted(d.key),
+                        "classification": d.classification.value,
+                        "n_cycles": len(d.cycles),
+                    }
+                    for d in self.defects
+                ],
+                "timings": self.timings,
+            },
+            indent=2,
+        )
+
+    def summary(self) -> str:
+        n, nd = self.n_cycles, self.n_defects
+        lines = [
+            f"WOLF report for {self.program!r} (seeds {self.seeds})",
+            f"  cycles detected : {n}",
+            f"    false (pruner)    : "
+            f"{percent(self.count_cycles(Classification.FALSE_PRUNER), n)}",
+            f"    false (generator) : "
+            f"{percent(self.count_cycles(Classification.FALSE_GENERATOR), n)}",
+            f"    confirmed         : "
+            f"{percent(self.count_cycles(Classification.CONFIRMED), n)}",
+            f"    unknown           : "
+            f"{percent(self.count_cycles(Classification.UNKNOWN), n)}",
+            f"  defects (unique source locations) : {nd}",
+            f"    false     : "
+            f"{percent(self.count_defects(Classification.FALSE_PRUNER) + self.count_defects(Classification.FALSE_GENERATOR), nd)}",
+            f"    confirmed : {percent(self.count_defects(Classification.CONFIRMED), nd)}",
+            f"    unknown   : {percent(self.count_defects(Classification.UNKNOWN), nd)}",
+        ]
+        for d in self.defects:
+            lines.append(f"  - {d.pretty()}")
+        return "\n".join(lines)

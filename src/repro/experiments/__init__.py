@@ -1,0 +1,46 @@
+"""Experiment drivers regenerating the paper's evaluation artifacts.
+
+* :mod:`repro.experiments.table1` — Table 1 (defects by source location);
+* :mod:`repro.experiments.table2` — Table 2 (per-cycle counting);
+* :mod:`repro.experiments.fig8` — Figure 8 (hit rates over N runs);
+* :mod:`repro.experiments.fig10` — Figure 10 (WOLF vs DF time overheads);
+* :mod:`repro.experiments.metrics` — slowdown / SL / |Vs| measurements.
+
+Every driver prints the same rows/series the paper reports and returns
+structured results so the benchmark suite and EXPERIMENTS.md generation
+can reuse them.
+"""
+
+from repro.experiments.metrics import detection_slowdown, average_stack_length
+from repro.experiments.table1 import Table1Row, run_table1, render_table1
+from repro.experiments.table2 import Table2Row, run_table2, render_table2
+from repro.experiments.fig8 import HitRateRow, run_fig8, render_fig8
+from repro.experiments.fig10 import OverheadRow, run_fig10, render_fig10
+from repro.experiments.multirun import CoverageRow, render_coverage, run_coverage
+from repro.experiments.fuzz import FuzzStats, run_fuzz
+from repro.experiments.scaling import ScalingRow, render_scaling, run_scaling
+
+__all__ = [
+    "CoverageRow",
+    "FuzzStats",
+    "HitRateRow",
+    "OverheadRow",
+    "ScalingRow",
+    "Table1Row",
+    "Table2Row",
+    "average_stack_length",
+    "detection_slowdown",
+    "render_coverage",
+    "render_fig10",
+    "render_fig8",
+    "render_table1",
+    "render_table2",
+    "render_scaling",
+    "run_coverage",
+    "run_fig10",
+    "run_fig8",
+    "run_fuzz",
+    "run_scaling",
+    "run_table1",
+    "run_table2",
+]

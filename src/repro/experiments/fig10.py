@@ -1,0 +1,120 @@
+"""Figure 10 — WOLF's detection and reproduction time overheads
+normalized to DeadlockFuzzer's.
+
+Detection covers the instrumented run plus analysis (for WOLF that
+includes the Pruner and the Generator — the paper attributes ~10% extra
+there); reproduction compares mean wall-clock per replay attempt.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.baselines.deadlockfuzzer import DeadlockFuzzer, DfConfig
+from repro.core.detector import BaseDetector, ExtendedDetector
+from repro.core.generator import Generator, GeneratorVerdict
+from repro.core.pipeline import run_detection
+from repro.core.pruner import Pruner
+from repro.core.replayer import Replayer
+from repro.experiments.runner import ExperimentSettings, select_benchmarks
+from repro.util.fmt import render_table
+from repro.util.rng import DeterministicRNG
+from repro.workloads.registry import Benchmark
+
+
+@dataclass
+class OverheadRow:
+    benchmark: str
+    #: (WOLF detection+pruning+generation time) / (DF detection time)
+    detection_ratio: float
+    #: (WOLF mean replay time) / (DF mean replay time); NaN if either has
+    #: nothing to replay.
+    reproduction_ratio: float
+    wolf_detect_s: float
+    df_detect_s: float
+    wolf_replay_s: float
+    df_replay_s: float
+
+
+def measure_benchmark(
+    b: Benchmark, settings: ExperimentSettings, *, replays_per_cycle: int = 3
+) -> OverheadRow:
+    seed = settings.seed_for(b)
+
+    # --- WOLF detection: run + extended analysis + prune + generate.
+    t0 = time.perf_counter()
+    run = run_detection(b.program, seed, name=b.name, max_steps=settings.max_steps)
+    detection = ExtendedDetector(
+        max_length=b.max_cycle_length, max_cycles=settings.max_cycles
+    ).analyze(run.trace)
+    prune = Pruner(detection.vclocks).prune(detection.cycles)
+    gen = Generator(detection.relation).run(prune.survivors)
+    wolf_detect = time.perf_counter() - t0
+
+    # --- DF detection: run + base analysis.
+    t0 = time.perf_counter()
+    df_run = run_detection(b.program, seed, name=b.name, max_steps=settings.max_steps)
+    df_detection = BaseDetector(
+        max_length=b.max_cycle_length, max_cycles=settings.max_cycles
+    ).analyze(df_run.trace)
+    df_detect = time.perf_counter() - t0
+
+    # --- WOLF reproduction.
+    replayer = Replayer(b.program, name=b.name, seed=seed, max_steps=settings.max_steps)
+    wolf_attempts = 0
+    t0 = time.perf_counter()
+    for dec in gen.decisions:
+        if dec.verdict is GeneratorVerdict.FALSE:
+            continue
+        replayer.replay(dec, attempts=replays_per_cycle, stop_on_hit=False)
+        wolf_attempts += replays_per_cycle
+    wolf_replay = time.perf_counter() - t0
+
+    # --- DF reproduction.
+    fuzzer = DeadlockFuzzer(config=DfConfig(seed=seed, max_steps=settings.max_steps))
+    df_attempts = 0
+    t0 = time.perf_counter()
+    for cycle in df_detection.cycles:
+        for k in range(replays_per_cycle):
+            rng = DeterministicRNG(seed).fork(f"fig10:{sorted(cycle.sites)}:{k}")
+            fuzzer.replay_once(b.program, cycle, rng.seed, name=b.name)
+            df_attempts += 1
+    df_replay = time.perf_counter() - t0
+
+    wolf_per = wolf_replay / wolf_attempts if wolf_attempts else float("nan")
+    df_per = df_replay / df_attempts if df_attempts else float("nan")
+    return OverheadRow(
+        benchmark=b.name,
+        detection_ratio=wolf_detect / df_detect if df_detect > 0 else float("nan"),
+        reproduction_ratio=wolf_per / df_per if df_per == df_per and df_per > 0 else float("nan"),
+        wolf_detect_s=wolf_detect,
+        df_detect_s=df_detect,
+        wolf_replay_s=wolf_replay,
+        df_replay_s=df_replay,
+    )
+
+
+def run_fig10(
+    names: Optional[Sequence[str]] = None,
+    settings: Optional[ExperimentSettings] = None,
+    *,
+    replays_per_cycle: int = 3,
+) -> List[OverheadRow]:
+    settings = settings or ExperimentSettings()
+    return [
+        measure_benchmark(b, settings, replays_per_cycle=replays_per_cycle)
+        for b in select_benchmarks(names)
+    ]
+
+
+def render_fig10(rows: List[OverheadRow]) -> str:
+    return render_table(
+        ["Benchmark", "Detection (WOLF/DF)", "Reproduction (WOLF/DF)"],
+        [
+            [r.benchmark, f"{r.detection_ratio:.2f}", f"{r.reproduction_ratio:.2f}"]
+            for r in rows
+        ],
+        title="Figure 10: time overheads of WOLF normalized to DeadlockFuzzer",
+    )

@@ -1,0 +1,141 @@
+"""Pipeline fuzzing: run WOLF over a stream of random programs and
+cross-check every verdict against systematic schedule search.
+
+This is the repository's continuous-soundness harness (``wolf fuzz``):
+
+* a cycle the **Pruner** or **Generator** calls false must never deadlock
+  at its sites in bounded-exhaustive exploration (soundness of the
+  elimination stages);
+* a cycle the **Replayer** confirms must obviously be reachable (it was
+  reached!) — counted as a consistency sanity check;
+* cycles left *unknown* are tallied, with how many of them exploration
+  could in fact reach (the replay-miss rate on ground-truth-reachable
+  deadlocks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Set
+
+from repro.core.detector import ExtendedDetector
+from repro.core.generator import Generator, GeneratorVerdict
+from repro.core.pipeline import run_detection
+from repro.core.pruner import Pruner
+from repro.core.replayer import Replayer
+from repro.runtime.sim.explore import explore_deadlocks
+from repro.runtime.sim.result import RunStatus
+from repro.util.fmt import render_table
+from repro.workloads.randomgen import build_program, random_spec
+
+
+@dataclass
+class FuzzStats:
+    programs: int = 0
+    cycles: int = 0
+    pruned: int = 0
+    generator_false: int = 0
+    confirmed: int = 0
+    unknown: int = 0
+    #: unknown cycles whose sites exploration *did* reach (replay misses)
+    unknown_but_reachable: int = 0
+    #: soundness violations: eliminated cycles that exploration reached
+    violations: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        rows = [
+            ["programs fuzzed", self.programs],
+            ["cycles detected", self.cycles],
+            ["pruned (false)", self.pruned],
+            ["generator false", self.generator_false],
+            ["confirmed by replay", self.confirmed],
+            ["unknown", self.unknown],
+            ["unknown but reachable", self.unknown_but_reachable],
+            ["SOUNDNESS VIOLATIONS", len(self.violations)],
+        ]
+        return render_table(["metric", "value"], rows, title="fuzzing summary")
+
+
+def fuzz_once(
+    seed: int,
+    stats: FuzzStats,
+    *,
+    replay_attempts: int = 3,
+    explore_runs: int = 600,
+    preemption_bound: Optional[int] = 2,
+) -> None:
+    """Fuzz one random program and fold results into ``stats``."""
+    spec = random_spec(seed)
+    program = build_program(spec)
+    stats.programs += 1
+
+    run = run_detection(program, seed, tries=5, max_steps=50_000)
+    detection = ExtendedDetector(max_length=3).analyze(run.trace)
+    if not detection.cycles:
+        return
+    stats.cycles += len(detection.cycles)
+
+    prune = Pruner(detection.vclocks).prune(detection.cycles)
+    gen = Generator(detection.relation).run(prune.survivors)
+    replayer = Replayer(program, seed=seed, max_steps=50_000)
+
+    eliminated: Set[FrozenSet[str]] = set()
+    feasible: Set[FrozenSet[str]] = set()
+    unknown_sites: List[FrozenSet[str]] = []
+
+    stats.pruned += len(prune.false_positives)
+    for c in prune.false_positives:
+        eliminated.add(c.sites)
+    for dec in gen.decisions:
+        if dec.verdict is GeneratorVerdict.FALSE:
+            stats.generator_false += 1
+            eliminated.add(dec.cycle.sites)
+        else:
+            feasible.add(dec.cycle.sites)
+            outcome = replayer.replay(dec, attempts=replay_attempts)
+            if outcome.reproduced:
+                stats.confirmed += 1
+            else:
+                stats.unknown += 1
+                unknown_sites.append(dec.cycle.sites)
+
+    # A site set is only provably-impossible if no feasible cycle shares it.
+    eliminated -= feasible
+    if not eliminated and not unknown_sites:
+        return
+
+    witnesses, _ = explore_deadlocks(
+        program,
+        max_runs=explore_runs,
+        preemption_bound=preemption_bound,
+        max_steps=50_000,
+    )
+    reached = set(witnesses)
+    for sites in eliminated & reached:
+        stats.violations.append(
+            f"seed {seed}: eliminated cycle at {sorted(sites)} was reached "
+            f"by exploration — {spec.describe()}"
+        )
+    for sites in unknown_sites:
+        if sites in reached:
+            stats.unknown_but_reachable += 1
+
+
+def run_fuzz(
+    *,
+    n_programs: int = 50,
+    base_seed: int = 0,
+    replay_attempts: int = 3,
+    explore_runs: int = 600,
+    preemption_bound: Optional[int] = 2,
+) -> FuzzStats:
+    stats = FuzzStats()
+    for k in range(n_programs):
+        fuzz_once(
+            base_seed + k,
+            stats,
+            replay_attempts=replay_attempts,
+            explore_runs=explore_runs,
+            preemption_bound=preemption_bound,
+        )
+    return stats

@@ -1,0 +1,87 @@
+"""Detection coverage vs number of observed executions (extension).
+
+Dynamic analyses only see what the test inputs and explored schedules
+expose (paper §4.4: "the quality of the results will be a function of the
+test inputs ... and explored schedules").  This driver quantifies that for
+the schedule dimension: how many distinct defects (unique source-location
+sets) are discovered cumulatively as more seeded detection runs are
+analyzed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Sequence, Set
+
+from repro.core.detector import ExtendedDetector
+from repro.core.pipeline import run_detection
+from repro.experiments.runner import ExperimentSettings, select_benchmarks
+from repro.util.fmt import render_table
+from repro.workloads.registry import Benchmark
+
+
+@dataclass
+class CoverageRow:
+    benchmark: str
+    #: cumulative distinct defects after run 1, 2, ..., n
+    cumulative_defects: List[int] = field(default_factory=list)
+    #: cumulative distinct cycles (by entry-index identity)
+    cumulative_cycles: List[int] = field(default_factory=list)
+
+    @property
+    def saturated_after(self) -> int:
+        """First run index (1-based) after which no new defect appeared."""
+        if not self.cumulative_defects:
+            return 0
+        final = self.cumulative_defects[-1]
+        for i, v in enumerate(self.cumulative_defects):
+            if v == final:
+                return i + 1
+        return len(self.cumulative_defects)
+
+
+def coverage_for(
+    b: Benchmark, *, runs: int = 8, settings: Optional[ExperimentSettings] = None
+) -> CoverageRow:
+    settings = settings or ExperimentSettings()
+    base_seed = settings.seed_for(b)
+    defects: Set[FrozenSet[str]] = set()
+    cycles: Set[tuple] = set()
+    row = CoverageRow(benchmark=b.name)
+    detector = ExtendedDetector(max_length=b.max_cycle_length)
+    for k in range(runs):
+        run = run_detection(
+            b.program, base_seed + 1000 * k, name=b.name, max_steps=settings.max_steps
+        )
+        detection = detector.analyze(run.trace)
+        for c in detection.cycles:
+            defects.add(c.defect_key)
+            cycles.add(tuple((e.index, e.lock) for e in c.entries))
+        row.cumulative_defects.append(len(defects))
+        row.cumulative_cycles.append(len(cycles))
+    return row
+
+
+def run_coverage(
+    names: Optional[Sequence[str]] = None,
+    settings: Optional[ExperimentSettings] = None,
+    *,
+    runs: int = 8,
+) -> List[CoverageRow]:
+    return [
+        coverage_for(b, runs=runs, settings=settings)
+        for b in select_benchmarks(names)
+    ]
+
+
+def render_coverage(rows: List[CoverageRow]) -> str:
+    n = max((len(r.cumulative_defects) for r in rows), default=0)
+    headers = ["Benchmark"] + [f"run{i+1}" for i in range(n)] + ["saturated@"]
+    body = []
+    for r in rows:
+        body.append([r.benchmark, *r.cumulative_defects, r.saturated_after])
+    return render_table(
+        headers,
+        body,
+        title="Detection coverage: cumulative distinct defects per added run",
+    )

@@ -1,0 +1,143 @@
+"""Table 1 — defects counted by unique source locations (paper §4.2-4.3).
+
+Columns (matching the paper): benchmark, SL (avg stack length), |Vs| (avg
+sync-graph vertices), detection slowdown, detected defects, false
+positives split by Pruner/Generator, true positives (WOLF vs DF) and
+unknowns (WOLF vs DF), plus the cumulative percentage row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.report import Classification as C
+from repro.core.report import WolfReport
+from repro.experiments.metrics import average_stack_length, detection_slowdown
+from repro.experiments.runner import (
+    ExperimentSettings,
+    run_both,
+    select_benchmarks,
+)
+from repro.util.fmt import percent, render_table
+
+
+@dataclass
+class Table1Row:
+    benchmark: str
+    sl: Optional[float]
+    vs: Optional[float]
+    slowdown: float
+    detected: int
+    fp_pruner: int
+    fp_generator: int
+    tp_wolf: int
+    tp_df: int
+    unknown_wolf: int
+    unknown_df: int
+
+    @property
+    def fp_total(self) -> int:
+        return self.fp_pruner + self.fp_generator
+
+
+def _df_defect_counts(df_report: WolfReport) -> tuple:
+    """DF has no FP elimination: a defect is TP if any of its cycles was
+    reproduced, else unknown."""
+    tp = df_report.count_defects(C.CONFIRMED)
+    unknown = df_report.n_defects - tp
+    return tp, unknown
+
+
+def row_for(
+    wolf: WolfReport, df: WolfReport, *, slowdown: float
+) -> Table1Row:
+    tp_df, unk_df = _df_defect_counts(df)
+    return Table1Row(
+        benchmark=wolf.program,
+        sl=average_stack_length(wolf),
+        vs=wolf.avg_gs_vertices,
+        slowdown=slowdown,
+        detected=wolf.n_defects,
+        fp_pruner=wolf.count_defects(C.FALSE_PRUNER),
+        fp_generator=wolf.count_defects(C.FALSE_GENERATOR),
+        tp_wolf=wolf.count_defects(C.CONFIRMED),
+        tp_df=tp_df,
+        unknown_wolf=wolf.count_defects(C.UNKNOWN),
+        unknown_df=unk_df,
+    )
+
+
+def run_table1(
+    names: Optional[Sequence[str]] = None,
+    settings: Optional[ExperimentSettings] = None,
+    *,
+    measure_slowdown: bool = True,
+) -> List[Table1Row]:
+    settings = settings or ExperimentSettings()
+    rows: List[Table1Row] = []
+    for b in select_benchmarks(names):
+        wolf, df = run_both(b, settings)
+        slowdown = (
+            detection_slowdown(b.program, seed=settings.seed_for(b))
+            if measure_slowdown
+            else float("nan")
+        )
+        rows.append(row_for(wolf, df, slowdown=slowdown))
+    return rows
+
+
+def render_table1(rows: List[Table1Row]) -> str:
+    headers = [
+        "Benchmark",
+        "SL",
+        "Vs",
+        "Slowdown",
+        "Detected",
+        "FP(Pr)",
+        "FP(Gen)",
+        "TP(WOLF)",
+        "TP(DF)",
+        "Unk(WOLF)",
+        "Unk(DF)",
+    ]
+    body = [
+        [
+            r.benchmark,
+            r.sl,
+            r.vs,
+            r.slowdown,
+            r.detected,
+            r.fp_pruner,
+            r.fp_generator,
+            r.tp_wolf,
+            r.tp_df,
+            r.unknown_wolf,
+            r.unknown_df,
+        ]
+        for r in rows
+    ]
+    total = sum(r.detected for r in rows)
+    fp = sum(r.fp_total for r in rows)
+    tp_w = sum(r.tp_wolf for r in rows)
+    tp_d = sum(r.tp_df for r in rows)
+    unk_w = sum(r.unknown_wolf for r in rows)
+    unk_d = sum(r.unknown_df for r in rows)
+    body.append(
+        [
+            "Cumulative",
+            None,
+            None,
+            None,
+            total,
+            percent(fp, total),
+            "",
+            percent(tp_w, total),
+            percent(tp_d, total),
+            percent(unk_w, total),
+            percent(unk_d, total),
+        ]
+    )
+    return render_table(
+        headers, body, title="Table 1: defects by unique source locations"
+    )

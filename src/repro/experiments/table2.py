@@ -1,0 +1,86 @@
+"""Table 2 — the same comparison counted per cycle (paper §4.3).
+
+Counting each lock-graph cycle as a separate defect penalizes both tools
+for dynamic re-occurrences of the same source locations, but it is how
+DeadlockFuzzer's paper reports results, so the paper includes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.report import Classification as C
+from repro.core.report import WolfReport
+from repro.experiments.runner import (
+    ExperimentSettings,
+    run_both,
+    select_benchmarks,
+)
+from repro.util.fmt import percent, render_table
+
+
+@dataclass
+class Table2Row:
+    benchmark: str
+    cycles: int
+    fp_wolf: int
+    tp_wolf: int
+    tp_df: int
+    unknown_wolf: int
+    unknown_df: int
+
+
+def row_for(wolf: WolfReport, df: WolfReport) -> Table2Row:
+    return Table2Row(
+        benchmark=wolf.program,
+        cycles=wolf.n_cycles,
+        fp_wolf=(
+            wolf.count_cycles(C.FALSE_PRUNER) + wolf.count_cycles(C.FALSE_GENERATOR)
+        ),
+        tp_wolf=wolf.count_cycles(C.CONFIRMED),
+        tp_df=df.count_cycles(C.CONFIRMED),
+        unknown_wolf=wolf.count_cycles(C.UNKNOWN),
+        unknown_df=df.count_cycles(C.UNKNOWN),
+    )
+
+
+def run_table2(
+    names: Optional[Sequence[str]] = None,
+    settings: Optional[ExperimentSettings] = None,
+) -> List[Table2Row]:
+    settings = settings or ExperimentSettings()
+    rows: List[Table2Row] = []
+    for b in select_benchmarks(names):
+        wolf, df = run_both(b, settings)
+        rows.append(row_for(wolf, df))
+    return rows
+
+
+def render_table2(rows: List[Table2Row]) -> str:
+    headers = [
+        "Benchmark",
+        "Cycles",
+        "FP(WOLF)",
+        "TP(WOLF)",
+        "TP(DF)",
+        "Unk(WOLF)",
+        "Unk(DF)",
+    ]
+    body = [
+        [r.benchmark, r.cycles, r.fp_wolf, r.tp_wolf, r.tp_df, r.unknown_wolf, r.unknown_df]
+        for r in rows
+    ]
+    total = sum(r.cycles for r in rows)
+    body.append(
+        [
+            "Cumulative",
+            total,
+            percent(sum(r.fp_wolf for r in rows), total),
+            percent(sum(r.tp_wolf for r in rows), total),
+            percent(sum(r.tp_df for r in rows), total),
+            percent(sum(r.unknown_wolf for r in rows), total),
+            percent(sum(r.unknown_df for r in rows), total),
+        ]
+    )
+    return render_table(headers, body, title="Table 2: comparison by detected cycles")

@@ -1,0 +1,70 @@
+"""Execution substrates and the trace model shared by all of them.
+
+The paper instruments Java programs with Soot and records lock/thread
+operations.  Here two substrates emit the same event stream:
+
+* :mod:`repro.runtime.sim` — a deterministic cooperative runtime.  Real OS
+  threads run the workload code, but a scheduler grants exactly one thread
+  at a time and every synchronization operation is a scheduling point, so a
+  run is a pure function of ``(program, strategy, seed)``.  This mirrors
+  the paper's monitor-thread replay design and makes both detection and
+  replay reproducible.
+* :mod:`repro.runtime.nativert` — monkeypatch-style instrumentation of real
+  ``threading`` primitives with a watchdog deadlock monitor, demonstrating
+  the approach on uncontrolled schedules.
+
+The analysis in :mod:`repro.core` consumes only :class:`~repro.runtime.events.Trace`
+objects and is therefore substrate-agnostic ("trace driven").
+"""
+
+from repro.runtime.events import (
+    AcquireEvent,
+    BeginEvent,
+    BlockEvent,
+    EndEvent,
+    JoinEvent,
+    NotifyEvent,
+    ReleaseEvent,
+    SpawnEvent,
+    Trace,
+    TraceEvent,
+    WaitEvent,
+)
+from repro.runtime.sim import (
+    DeadlockInfo,
+    RandomStrategy,
+    RoundRobinStrategy,
+    RunResult,
+    RunStatus,
+    SchedulingStrategy,
+    SimCondition,
+    SimLock,
+    SimRuntime,
+    SimThreadHandle,
+    run_program,
+)
+
+__all__ = [
+    "AcquireEvent",
+    "BeginEvent",
+    "BlockEvent",
+    "DeadlockInfo",
+    "EndEvent",
+    "JoinEvent",
+    "NotifyEvent",
+    "RandomStrategy",
+    "ReleaseEvent",
+    "RoundRobinStrategy",
+    "RunResult",
+    "RunStatus",
+    "SchedulingStrategy",
+    "SimCondition",
+    "SimLock",
+    "SimRuntime",
+    "SimThreadHandle",
+    "SpawnEvent",
+    "Trace",
+    "TraceEvent",
+    "WaitEvent",
+    "run_program",
+]

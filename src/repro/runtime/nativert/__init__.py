@@ -1,0 +1,39 @@
+"""Instrumentation for *real* ``threading`` code (the monkeypatch path).
+
+The simulated runtime gives WOLF deterministic schedules; this package
+shows the same trace model working on ordinary Python threads, the way
+the paper's Soot instrumentation wraps ordinary Java threads:
+
+* :class:`InstrumentedLock` / :class:`InstrumentedRLock` wrap the real
+  primitives, record :class:`~repro.runtime.events.Trace` events and
+  poll with timeouts so a watchdog can observe (and break) deadlocks;
+* :class:`NativeRuntime` manages thread registration, deterministic
+  identities, and the wait-for graph;
+* :func:`patch_threading` temporarily swaps ``threading.Lock``/``RLock``
+  for instrumented constructors, so unmodified code gets traced;
+* :class:`NativeReplayer` drives real threads toward a WOLF
+  synchronization dependency graph by gating instrumented acquisitions.
+
+Real-thread schedules are OS-controlled, so detection here is
+best-effort (exactly like running the paper's tool on a real JVM): traces
+vary run to run, and the deadlock monitor recovers the process by
+aborting the deadlocked threads.
+"""
+
+from repro.runtime.nativert.runtime import (
+    DeadlockAborted,
+    InstrumentedLock,
+    InstrumentedRLock,
+    NativeRuntime,
+    patch_threading,
+)
+from repro.runtime.nativert.replay import NativeReplayer
+
+__all__ = [
+    "DeadlockAborted",
+    "InstrumentedLock",
+    "InstrumentedRLock",
+    "NativeReplayer",
+    "NativeRuntime",
+    "patch_threading",
+]

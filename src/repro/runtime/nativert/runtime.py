@@ -1,0 +1,369 @@
+"""Instrumented real-thread runtime.
+
+All state shared between workload threads is guarded by one internal
+mutex (the GIL alone is not enough for compound updates).  Blocked
+acquisitions poll with a timeout; each timeout tick runs an inline
+deadlock check over the wait-for graph, so no separate watchdog thread is
+needed and detection latency is bounded by ``poll_interval``.
+
+On a detected deadlock every cycle member is marked for abort: its next
+poll tick raises :class:`DeadlockAborted`, unwinding ``with`` blocks (and
+releasing locks), so the process recovers instead of hanging — the
+recorded :class:`~repro.runtime.sim.result.DeadlockInfo` is the evidence.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.runtime.events import (
+    AcquireEvent,
+    BeginEvent,
+    BlockEvent,
+    EndEvent,
+    JoinEvent,
+    ReleaseEvent,
+    SpawnEvent,
+    Trace,
+)
+from repro.runtime.sim.result import BlockedAt, DeadlockInfo
+from repro.util.digraph import DiGraph
+from repro.util.ids import (
+    ExecIndex,
+    LockId,
+    OccurrenceCounter,
+    Site,
+    ThreadId,
+    auto_site,
+)
+
+
+# Bound at import time so instrumented internals keep working while
+# ``patch_threading`` has swapped the public constructors.
+_OrigLock = threading.Lock
+
+
+class DeadlockAborted(BaseException):
+    """Raised inside a deadlocked thread to break the cycle and let the
+    process recover.  ``BaseException`` so workload ``except Exception``
+    blocks cannot swallow it."""
+
+
+class _ThreadState:
+    __slots__ = ("tid", "occ", "spawn_occ", "lock_occ", "held")
+
+    def __init__(self, tid: ThreadId) -> None:
+        self.tid = tid
+        self.occ = OccurrenceCounter()
+        self.spawn_occ = OccurrenceCounter()
+        self.lock_occ = OccurrenceCounter()
+        self.held: List[Tuple["InstrumentedLock", ExecIndex]] = []
+
+
+class NativeRuntime:
+    """Trace recorder + deadlock monitor for real ``threading`` code."""
+
+    def __init__(
+        self,
+        *,
+        name: str = "",
+        poll_interval: float = 0.005,
+        gate: Optional[object] = None,
+    ) -> None:
+        self.trace = Trace(program=name)
+        self.poll_interval = poll_interval
+        #: Optional replay gate (see :class:`NativeReplayer`).
+        self.gate = gate
+        self.deadlocks: List[DeadlockInfo] = []
+        self._mutex = _OrigLock()
+        self._states: Dict[int, _ThreadState] = {}
+        self._waiting: Dict[int, Tuple["InstrumentedLock", ExecIndex]] = {}
+        self._abort: Set[int] = set()
+        self._step = 0
+        root = _ThreadState(ThreadId.root())
+        self._states[threading.get_ident()] = root
+        self._record(BeginEvent, thread=root.tid)
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def _record(self, cls, **kw) -> None:
+        with self._mutex:
+            self.trace.append(cls(step=self._step, **kw))
+            self._step += 1
+
+    def _state(self) -> _ThreadState:
+        ident = threading.get_ident()
+        with self._mutex:
+            state = self._states.get(ident)
+            if state is None:
+                # A thread we did not spawn (plain threading.Thread while
+                # patched): register it under root with a synthetic site.
+                root = ThreadId.root()
+                seq = len(self._states)
+                state = _ThreadState(ThreadId(root, "<native>", seq))
+                self._states[ident] = state
+        return state
+
+    # -- lock factory --------------------------------------------------------------
+
+    def new_lock(
+        self, *, name: str = "", site: Optional[Site] = None, reentrant: bool = True
+    ) -> "InstrumentedLock":
+        if site is None:
+            site = auto_site(2)
+        state = self._state()
+        lid = LockId(state.tid, site, state.lock_occ.next(site), name=name)
+        cls = InstrumentedRLock if reentrant else InstrumentedLock
+        return cls(self, lid)
+
+    # -- threads ------------------------------------------------------------------------
+
+    def spawn(
+        self,
+        target: Callable[[], None],
+        *,
+        name: str = "",
+        site: Optional[Site] = None,
+    ) -> "NativeThreadHandle":
+        if site is None:
+            site = auto_site(2)
+        parent = self._state()
+        tid = ThreadId(parent.tid, site, parent.spawn_occ.next(site), name=name)
+
+        def runner() -> None:
+            with self._mutex:
+                self._states[threading.get_ident()] = _ThreadState(tid)
+            self._record(BeginEvent, thread=tid)
+            try:
+                target()
+            except DeadlockAborted:
+                pass
+            finally:
+                self._record(EndEvent, thread=tid)
+
+        os_thread = threading.Thread(target=runner, daemon=True, name=tid.pretty())
+        self._record(SpawnEvent, thread=parent.tid, child=tid)
+        os_thread.start()
+        return NativeThreadHandle(self, tid, os_thread)
+
+    # -- deadlock monitoring -----------------------------------------------------------
+
+    def _note_waiting(self, lock: "InstrumentedLock", index: ExecIndex) -> None:
+        ident = threading.get_ident()
+        state = self._states[ident]
+        with self._mutex:
+            first = ident not in self._waiting
+            self._waiting[ident] = (lock, index)
+        if first:
+            holder = lock.owner_tid()
+            self._record(
+                BlockEvent, thread=state.tid, lock=lock.lid, index=index, holder=holder
+            )
+
+    def _note_not_waiting(self) -> None:
+        with self._mutex:
+            self._waiting.pop(threading.get_ident(), None)
+
+    def _should_abort(self) -> bool:
+        with self._mutex:
+            return threading.get_ident() in self._abort
+
+    def check_deadlock(self) -> Optional[DeadlockInfo]:
+        """Inline wait-for cycle check, run by blocked threads on each
+        poll tick.  On a cycle: record it, mark every member for abort."""
+        with self._mutex:
+            graph = DiGraph()
+            owner_idents: Dict[ThreadId, int] = {}
+            for ident, state in self._states.items():
+                owner_idents[state.tid] = ident
+            blocked_at: Dict[ThreadId, BlockedAt] = {}
+            for ident, (lock, index) in self._waiting.items():
+                waiter = self._states[ident].tid
+                holder = lock.owner_tid()
+                blocked_at[waiter] = BlockedAt(
+                    thread=waiter, lock=lock.lid, index=index, holder=holder
+                )
+                if holder is not None:
+                    graph.add_edge(waiter, holder)
+            cycle = graph.find_cycle()
+            if cycle is None or not all(t in blocked_at for t in cycle):
+                return None
+            info = DeadlockInfo(
+                cycle=[blocked_at[t] for t in cycle],
+                all_blocked=list(blocked_at.values()),
+            )
+            self.deadlocks.append(info)
+            for t in cycle:
+                self._abort.add(owner_idents[t])
+            return info
+
+
+class NativeThreadHandle:
+    def __init__(self, rt: NativeRuntime, tid: ThreadId, thread: threading.Thread):
+        self._rt = rt
+        self.tid = tid
+        self._thread = thread
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        self._thread.join(timeout)
+        if not self._thread.is_alive():
+            waiter = self._rt._state()
+            self._rt._record(JoinEvent, thread=waiter.tid, target=self.tid)
+
+    def is_alive(self) -> bool:
+        return self._thread.is_alive()
+
+
+class InstrumentedLock:
+    """Non-reentrant instrumented mutex over ``threading.Lock``."""
+
+    _reentrant = False
+
+    def __init__(self, rt: NativeRuntime, lid: LockId) -> None:
+        self._rt = rt
+        self.lid = lid
+        self._inner = _OrigLock()
+        self._owner_ident: Optional[int] = None
+        self._depth = 0
+
+    def owner_tid(self) -> Optional[ThreadId]:
+        ident = self._owner_ident
+        if ident is None:
+            return None
+        state = self._rt._states.get(ident)
+        return state.tid if state else None
+
+    # -- acquire/release --------------------------------------------------------
+
+    def acquire(self, site: Optional[Site] = None) -> None:
+        if site is None:
+            site = auto_site(2)
+        rt = self._rt
+        state = rt._state()
+        index = ExecIndex(state.tid, site, state.occ.next(site))
+
+        if self._reentrant and self._owner_ident == threading.get_ident():
+            self._depth += 1
+            rt._record(
+                AcquireEvent,
+                thread=state.tid,
+                lock=self.lid,
+                index=index,
+                held=tuple(l.lid for l, _ in state.held),
+                held_indices=tuple(ix for _, ix in state.held),
+                reentrant=True,
+            )
+            return
+
+        if rt.gate is not None:
+            rt.gate.before_acquire(state.tid, self, index)
+
+        blocked = False
+        while not self._inner.acquire(timeout=rt.poll_interval):
+            if not blocked:
+                blocked = True
+                rt._note_waiting(self, index)
+            if rt._should_abort():
+                rt._note_not_waiting()
+                raise DeadlockAborted(f"{state.tid.pretty()} aborted at {site}")
+            rt.check_deadlock()
+        if blocked:
+            rt._note_not_waiting()
+        self._owner_ident = threading.get_ident()
+        self._depth = 1
+        rt._record(
+            AcquireEvent,
+            thread=state.tid,
+            lock=self.lid,
+            index=index,
+            held=tuple(l.lid for l, _ in state.held),
+            held_indices=tuple(ix for _, ix in state.held),
+            reentrant=False,
+        )
+        state.held.append((self, index))
+        if rt.gate is not None:
+            rt.gate.on_acquired(state.tid, self, index)
+
+    def release(self, site: Optional[Site] = None) -> None:
+        if site is None:
+            site = auto_site(2)
+        rt = self._rt
+        state = rt._state()
+        if self._owner_ident != threading.get_ident():
+            raise RuntimeError(
+                f"{state.tid.pretty()} releasing {self.lid.pretty()} it does not hold"
+            )
+        self._depth -= 1
+        reentrant = self._depth > 0
+        if not reentrant:
+            self._owner_ident = None
+            for i in range(len(state.held) - 1, -1, -1):
+                if state.held[i][0] is self:
+                    del state.held[i]
+                    break
+            self._inner.release()
+        rt._record(
+            ReleaseEvent, thread=state.tid, lock=self.lid, site=site, reentrant=reentrant
+        )
+
+    def at(self, site: Site):
+        return _Region(self, site)
+
+    def __enter__(self) -> "InstrumentedLock":
+        self.acquire(site=auto_site(2))
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release(site=auto_site(2))
+
+
+class InstrumentedRLock(InstrumentedLock):
+    """Reentrant instrumented monitor (Java-style)."""
+
+    _reentrant = True
+
+
+class _Region:
+    __slots__ = ("_lock", "_site")
+
+    def __init__(self, lock: InstrumentedLock, site: Site) -> None:
+        self._lock = lock
+        self._site = site
+
+    def __enter__(self):
+        self._lock.acquire(site=self._site)
+        return self._lock
+
+    def __exit__(self, *exc) -> None:
+        self._lock.release(site=self._site)
+
+
+@contextlib.contextmanager
+def patch_threading(rt: NativeRuntime):
+    """Swap ``threading.Lock``/``RLock`` for instrumented constructors.
+
+    Code that merely calls ``threading.Lock()`` gets traced without any
+    modification — the paper's bytecode-instrumentation effect.  Only the
+    constructors are patched; existing lock objects are untouched.
+    """
+    orig_lock, orig_rlock = threading.Lock, threading.RLock
+    counter = {"n": 0}
+
+    def make_lock():
+        counter["n"] += 1
+        return rt.new_lock(name=f"patched#{counter['n']}", reentrant=False)
+
+    def make_rlock():
+        counter["n"] += 1
+        return rt.new_lock(name=f"patched#{counter['n']}", reentrant=True)
+
+    threading.Lock = make_lock  # type: ignore[misc]
+    threading.RLock = make_rlock  # type: ignore[misc]
+    try:
+        yield rt
+    finally:
+        threading.Lock = orig_lock  # type: ignore[misc]
+        threading.RLock = orig_rlock  # type: ignore[misc]

@@ -1,0 +1,211 @@
+"""Lossless trace serialization (save / load round trip).
+
+``Trace.to_json`` is a human-oriented rendering; this module is the
+machine format: every identity (recursive :class:`ThreadId` chains,
+:class:`LockId`, :class:`ExecIndex`) survives a round trip, so a trace
+recorded on one machine can be analyzed offline — detection, pruning and
+``Gs`` construction are pure functions of the trace (replay additionally
+needs the program).
+
+Format: JSON object ``{"version", "program", "seed", "threads", "locks",
+"events"}`` with identity tables (threads/locks referenced by index) to
+keep files compact.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from repro.runtime.events import (
+    AcquireEvent,
+    BeginEvent,
+    BlockEvent,
+    EndEvent,
+    JoinEvent,
+    NotifyEvent,
+    ReleaseEvent,
+    SpawnEvent,
+    Trace,
+    TraceEvent,
+    WaitEvent,
+)
+from repro.util.ids import ExecIndex, LockId, ThreadId
+
+FORMAT_VERSION = 1
+
+
+class TraceEncoder:
+    """Assigns table indices to identities while encoding events."""
+
+    def __init__(self) -> None:
+        self._threads: Dict[ThreadId, int] = {}
+        self._locks: Dict[LockId, int] = {}
+        self.thread_rows: List[dict] = []
+        self.lock_rows: List[dict] = []
+
+    def thread(self, tid: ThreadId) -> int:
+        if tid in self._threads:
+            return self._threads[tid]
+        parent = self.thread(tid.parent) if tid.parent is not None else None
+        idx = len(self.thread_rows)
+        self._threads[tid] = idx
+        self.thread_rows.append(
+            {
+                "parent": parent,
+                "spawn_site": tid.spawn_site,
+                "seq": tid.seq,
+                "name": tid.name,
+            }
+        )
+        return idx
+
+    def lock(self, lid: LockId) -> int:
+        if lid in self._locks:
+            return self._locks[lid]
+        owner = self.thread(lid.owner)
+        idx = len(self.lock_rows)
+        self._locks[lid] = idx
+        self.lock_rows.append(
+            {
+                "owner": owner,
+                "create_site": lid.create_site,
+                "seq": lid.seq,
+                "name": lid.name,
+            }
+        )
+        return idx
+
+    def index(self, ix: ExecIndex) -> list:
+        return [self.thread(ix.thread), ix.site, ix.occ]
+
+    def event(self, ev: TraceEvent) -> dict:
+        d: dict = {
+            "kind": type(ev).__name__,
+            "step": ev.step,
+            "thread": self.thread(ev.thread),
+        }
+        if isinstance(ev, SpawnEvent):
+            d["child"] = self.thread(ev.child)
+        elif isinstance(ev, JoinEvent):
+            d["target"] = self.thread(ev.target)
+        elif isinstance(ev, AcquireEvent):
+            d.update(
+                lock=self.lock(ev.lock),
+                index=self.index(ev.index),
+                held=[self.lock(l) for l in ev.held],
+                held_indices=[self.index(ix) for ix in ev.held_indices],
+                reentrant=ev.reentrant,
+                stack_depth=ev.stack_depth,
+            )
+        elif isinstance(ev, ReleaseEvent):
+            d.update(lock=self.lock(ev.lock), site=ev.site, reentrant=ev.reentrant)
+        elif isinstance(ev, BlockEvent):
+            d.update(
+                lock=self.lock(ev.lock),
+                index=self.index(ev.index),
+                holder=self.thread(ev.holder) if ev.holder is not None else None,
+            )
+        elif isinstance(ev, WaitEvent):
+            d.update(condition=ev.condition, lock=self.lock(ev.lock), site=ev.site)
+        elif isinstance(ev, NotifyEvent):
+            d.update(
+                condition=ev.condition,
+                lock=self.lock(ev.lock),
+                site=ev.site,
+                woken=ev.woken,
+                notify_all=ev.notify_all,
+            )
+        return d
+
+
+def dump_trace(trace: Trace) -> str:
+    """Serialize a trace to a JSON string."""
+    enc = TraceEncoder()
+    events = [enc.event(ev) for ev in trace.events]
+    return json.dumps(
+        {
+            "version": FORMAT_VERSION,
+            "program": trace.program,
+            "seed": trace.seed,
+            "threads": enc.thread_rows,
+            "locks": enc.lock_rows,
+            "events": events,
+        }
+    )
+
+
+def load_trace(text: str) -> Trace:
+    """Reconstruct a :class:`Trace` from :func:`dump_trace` output."""
+    doc = json.loads(text)
+    if doc.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format version {doc.get('version')!r}")
+
+    threads: List[ThreadId] = []
+    for row in doc["threads"]:
+        parent = threads[row["parent"]] if row["parent"] is not None else None
+        threads.append(
+            ThreadId(parent, row["spawn_site"], row["seq"], name=row["name"])
+        )
+    locks: List[LockId] = []
+    for row in doc["locks"]:
+        locks.append(
+            LockId(threads[row["owner"]], row["create_site"], row["seq"], name=row["name"])
+        )
+
+    def index(v: list) -> ExecIndex:
+        return ExecIndex(threads[v[0]], v[1], v[2])
+
+    trace = Trace(program=doc["program"], seed=doc["seed"])
+    for d in doc["events"]:
+        kind = d["kind"]
+        step, thread = d["step"], threads[d["thread"]]
+        if kind == "BeginEvent":
+            ev: TraceEvent = BeginEvent(step, thread)
+        elif kind == "EndEvent":
+            ev = EndEvent(step, thread)
+        elif kind == "SpawnEvent":
+            ev = SpawnEvent(step, thread, child=threads[d["child"]])
+        elif kind == "JoinEvent":
+            ev = JoinEvent(step, thread, target=threads[d["target"]])
+        elif kind == "AcquireEvent":
+            ev = AcquireEvent(
+                step,
+                thread,
+                lock=locks[d["lock"]],
+                index=index(d["index"]),
+                held=tuple(locks[i] for i in d["held"]),
+                held_indices=tuple(index(v) for v in d["held_indices"]),
+                reentrant=d["reentrant"],
+                stack_depth=d.get("stack_depth", 0),
+            )
+        elif kind == "ReleaseEvent":
+            ev = ReleaseEvent(
+                step, thread, lock=locks[d["lock"]], site=d["site"], reentrant=d["reentrant"]
+            )
+        elif kind == "BlockEvent":
+            ev = BlockEvent(
+                step,
+                thread,
+                lock=locks[d["lock"]],
+                index=index(d["index"]),
+                holder=threads[d["holder"]] if d["holder"] is not None else None,
+            )
+        elif kind == "WaitEvent":
+            ev = WaitEvent(
+                step, thread, condition=d["condition"], lock=locks[d["lock"]], site=d["site"]
+            )
+        elif kind == "NotifyEvent":
+            ev = NotifyEvent(
+                step,
+                thread,
+                condition=d["condition"],
+                lock=locks[d["lock"]],
+                site=d["site"],
+                woken=d["woken"],
+                notify_all=d["notify_all"],
+            )
+        else:
+            raise ValueError(f"unknown event kind {kind!r}")
+        trace.append(ev)
+    return trace

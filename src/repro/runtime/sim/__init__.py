@@ -1,0 +1,47 @@
+"""Deterministic cooperative runtime (the reproduction's JVM stand-in).
+
+Workload code runs on real OS threads, but a :class:`Scheduler` grants
+exactly one thread at a time and every synchronization operation — lock
+acquire/release, spawn, join — is a scheduling point.  A run is therefore
+a pure function of ``(program, strategy, seed)``: the same seed replays the
+same interleaving, and a replay strategy can steer the schedule precisely,
+which is what the paper's Replayer (Algorithm 4) requires.
+"""
+
+from repro.runtime.sim.explore import (
+    DecisionRecordingStrategy,
+    ExplorationStats,
+    explore_deadlocks,
+    explore_runs,
+)
+from repro.runtime.sim.result import DeadlockInfo, RunResult, RunStatus
+from repro.runtime.sim.strategy import (
+    RandomStrategy,
+    RoundRobinStrategy,
+    SchedulingStrategy,
+)
+from repro.runtime.sim.runtime import (
+    SimCondition,
+    SimLock,
+    SimRuntime,
+    SimThreadHandle,
+    run_program,
+)
+
+__all__ = [
+    "DeadlockInfo",
+    "DecisionRecordingStrategy",
+    "ExplorationStats",
+    "RandomStrategy",
+    "RoundRobinStrategy",
+    "RunResult",
+    "RunStatus",
+    "SchedulingStrategy",
+    "SimCondition",
+    "SimLock",
+    "SimRuntime",
+    "SimThreadHandle",
+    "explore_deadlocks",
+    "explore_runs",
+    "run_program",
+]

@@ -1,0 +1,166 @@
+"""Systematic schedule exploration (CHESS-style, paper §4.4).
+
+The paper's discussion points at Musuvathi & Qadeer's iterative context
+bounding as the complementary tool for WOLF's trace-incompleteness
+limitation: instead of sampling random schedules, *enumerate* them.
+
+The deterministic runtime makes this straightforward: every scheduling
+decision is a ``pick`` from a candidate list, so a schedule is the
+sequence of chosen indices.  :class:`DecisionRecordingStrategy` replays a
+decision prefix then follows a default policy while recording the choice
+points it passes; the explorer backtracks over untried alternatives in
+DFS order, optionally bounding *preemptions* (switching away from a
+runnable current thread), which is the context-bound that makes the
+search tractable (CHESS's key idea).
+
+``explore_runs`` yields one :class:`RunResult` per distinct explored
+schedule; :func:`explore_deadlocks` aggregates the distinct deadlocks.
+Exhaustive exploration of small programs is also used by the test suite
+to check the Pruner *soundly* (not just statistically): a pruned cycle's
+sites must not deadlock in ANY schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.runtime.sim.result import RunResult, RunStatus
+from repro.runtime.sim.runtime import Program, run_program
+from repro.runtime.sim.strategy import SchedulingStrategy
+from repro.util.ids import ThreadId
+
+
+@dataclass
+class _ChoicePoint:
+    """One pick() the strategy answered while running a schedule."""
+
+    n_candidates: int
+    chosen: int
+    #: True when candidates included the previously-running thread but the
+    #: choice switched away from it — a preemption in CHESS terms.
+    preemptive_alternatives: Tuple[int, ...] = ()
+
+
+class DecisionRecordingStrategy(SchedulingStrategy):
+    """Replays ``prefix`` decisions, then picks the default (index 0,
+    preferring the currently-running thread), recording every choice."""
+
+    def __init__(self, prefix: List[int]) -> None:
+        self.prefix = prefix
+        self.log: List[_ChoicePoint] = []
+        self._last: Optional[ThreadId] = None
+
+    def pick(self, ready: List[ThreadId]) -> ThreadId:
+        # Default policy: stay on the current thread when possible (this
+        # makes "extra" choices preemptions, matching context bounding).
+        order = list(ready)
+        if self._last in ready:
+            order.remove(self._last)
+            order.insert(0, self._last)
+        k = len(self.log)
+        chosen = self.prefix[k] if k < len(self.prefix) else 0
+        chosen = min(chosen, len(order) - 1)
+        preemptive = tuple(
+            i
+            for i in range(len(order))
+            if self._last in ready and order[i] != self._last
+        )
+        self.log.append(
+            _ChoicePoint(
+                n_candidates=len(order),
+                chosen=chosen,
+                preemptive_alternatives=preemptive,
+            )
+        )
+        choice = order[chosen]
+        self._last = choice
+        return choice
+
+    def choose_unpause(self, paused: List[ThreadId]) -> Optional[ThreadId]:
+        return paused[0] if paused else None
+
+
+@dataclass
+class ExplorationStats:
+    runs: int = 0
+    deadlocks: int = 0
+    truncated: bool = False
+
+
+def explore_runs(
+    program: Program,
+    *,
+    max_runs: int = 2_000,
+    preemption_bound: Optional[int] = None,
+    name: str = "",
+    max_steps: int = 50_000,
+) -> Iterator[RunResult]:
+    """DFS over the schedule tree; yields each explored run's result.
+
+    ``preemption_bound`` limits how many *preemptive* choices a schedule
+    may contain (``None`` = unbounded = exhaustive).  ``max_runs`` caps
+    the search; hitting it is reported by the caller via counting.
+    """
+    stack: List[List[int]] = [[]]
+    seen: Set[Tuple[int, ...]] = set()
+    runs = 0
+    while stack and runs < max_runs:
+        prefix = stack.pop()
+        key = tuple(prefix)
+        if key in seen:
+            continue
+        seen.add(key)
+        strategy = DecisionRecordingStrategy(list(prefix))
+        result = run_program(
+            program, strategy, name=name, max_steps=max_steps
+        )
+        runs += 1
+        yield result
+        # Enqueue untried alternatives at every choice point at/after the
+        # prefix (standard stateless-search backtracking).
+        for depth in range(len(prefix), len(strategy.log)):
+            cp = strategy.log[depth]
+            base = strategy.log[: depth]
+            used_preemptions = sum(
+                1
+                for d, c in enumerate(base)
+                if c.chosen in c.preemptive_alternatives
+            )
+            for alt in range(1, cp.n_candidates):
+                if (
+                    preemption_bound is not None
+                    and alt in cp.preemptive_alternatives
+                    and used_preemptions >= preemption_bound
+                ):
+                    continue
+                stack.append(
+                    [c.chosen for c in base] + [alt]
+                )
+
+
+def explore_deadlocks(
+    program: Program,
+    *,
+    max_runs: int = 2_000,
+    preemption_bound: Optional[int] = None,
+    name: str = "",
+    max_steps: int = 50_000,
+) -> Tuple[Dict[FrozenSet[str], RunResult], ExplorationStats]:
+    """Run the explorer and collect one witness run per distinct deadlock
+    site-set."""
+    witnesses: Dict[FrozenSet[str], RunResult] = {}
+    stats = ExplorationStats()
+    for result in explore_runs(
+        program,
+        max_runs=max_runs,
+        preemption_bound=preemption_bound,
+        name=name,
+        max_steps=max_steps,
+    ):
+        stats.runs += 1
+        if result.status is RunStatus.DEADLOCK and result.deadlock is not None:
+            stats.deadlocks += 1
+            witnesses.setdefault(result.deadlock.sites, result)
+    stats.truncated = stats.runs >= max_runs
+    return witnesses, stats

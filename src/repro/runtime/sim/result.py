@@ -1,0 +1,92 @@
+"""Run outcomes reported by the simulated runtime."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.runtime.events import Trace
+from repro.util.ids import ExecIndex, LockId, Site, ThreadId
+
+
+class RunStatus(enum.Enum):
+    """Terminal state of one simulated execution."""
+
+    COMPLETED = "completed"
+    #: Every live thread is blocked and a cyclic wait exists among
+    #: lock-blocked threads — a resource deadlock (what WOLF reproduces).
+    DEADLOCK = "deadlock"
+    #: Every live thread is blocked but no lock cycle exists (e.g. a join
+    #: on a thread that is itself lock-blocked outside any cycle).
+    STUCK = "stuck"
+    #: The scheduler's step budget ran out (runaway workload guard).
+    STEP_LIMIT = "step_limit"
+    #: A workload thread raised an exception.
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class BlockedAt:
+    """Where one thread was blocked when the run ended."""
+
+    thread: ThreadId
+    lock: LockId
+    index: ExecIndex
+    holder: Optional[ThreadId]
+
+    @property
+    def site(self) -> Site:
+        return self.index.site
+
+
+@dataclass
+class DeadlockInfo:
+    """A manifested deadlock: the cyclically-waiting threads.
+
+    ``cycle`` lists the blocked acquisitions around the wait-for cycle;
+    ``sites`` (the deduplicated deadlocking source locations) is what the
+    paper's *hit* criterion compares (§4.2: "acquired locks (or attempts to
+    acquire locks) at the same locations").
+    """
+
+    cycle: List[BlockedAt]
+    all_blocked: List[BlockedAt] = field(default_factory=list)
+
+    @property
+    def threads(self) -> Tuple[ThreadId, ...]:
+        return tuple(b.thread for b in self.cycle)
+
+    @property
+    def sites(self) -> frozenset:
+        return frozenset(b.site for b in self.cycle)
+
+    def pretty(self) -> str:
+        lines = ["deadlock:"]
+        for b in self.cycle:
+            holder = b.holder.pretty() if b.holder else "?"
+            lines.append(
+                f"  {b.thread.pretty()} waits for {b.lock.pretty()} "
+                f"at {b.site} (held by {holder})"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class RunResult:
+    """Everything one simulated run produced."""
+
+    status: RunStatus
+    trace: Trace
+    steps: int
+    deadlock: Optional[DeadlockInfo] = None
+    errors: Dict[ThreadId, BaseException] = field(default_factory=dict)
+    wall_time_s: float = 0.0
+
+    @property
+    def deadlocked(self) -> bool:
+        return self.status is RunStatus.DEADLOCK
+
+    def raise_errors(self) -> None:
+        for exc in self.errors.values():
+            raise exc

@@ -1,0 +1,725 @@
+"""The cooperative scheduler: one thread runs at a time, by decree.
+
+Workload threads are real OS threads, but each parks at every
+synchronization operation and waits for a grant.  The scheduler (running in
+the caller's thread) repeatedly asks the strategy which parked thread to
+step, commits that thread's pending operation (or blocks/pauses it) and
+lets it run to its next park.  Because scheduling decisions happen *only*
+at these parks, an execution is a deterministic function of the strategy's
+choices — the property the paper's Replayer relies on to drive a program
+into a specific deadlock.
+
+Protocol per thread (see :class:`_Cell`):
+
+1. the workload thread posts an :class:`Op` and waits;
+2. the scheduler inspects the op, updates lock/thread state, records a
+   :class:`~repro.runtime.events.TraceEvent`, and either *grants* (thread
+   resumes until its next op) or leaves the thread parked (blocked/paused);
+3. on grant the scheduler waits for the thread to park again or finish.
+
+Deadlock detection is structural: when nothing is runnable and nobody can
+be unpaused, the wait-for graph over blocked threads is examined; a cycle
+of lock waits is a manifested resource deadlock (paper §3.5: "none of the
+threads can make progress").
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.runtime.events import (
+    AcquireEvent,
+    BeginEvent,
+    BlockEvent,
+    EndEvent,
+    JoinEvent,
+    NotifyEvent,
+    ReleaseEvent,
+    SpawnEvent,
+    Trace,
+    TraceEvent,
+    WaitEvent,
+)
+from repro.runtime.sim.result import BlockedAt, DeadlockInfo, RunResult, RunStatus
+from repro.runtime.sim.strategy import SchedulingStrategy
+from repro.util.digraph import DiGraph
+from repro.util.ids import ExecIndex, OccurrenceCounter, Site, ThreadId
+
+
+class ThreadKilled(BaseException):
+    """Raised inside workload threads to unwind them at teardown.
+
+    Derives from :class:`BaseException` so ordinary ``except Exception``
+    handlers in workloads cannot swallow it.
+    """
+
+
+class SchedulerStalled(RuntimeError):
+    """A workload thread failed to reach a scheduling point in time
+    (almost always an unbounded loop with no synchronization ops)."""
+
+
+class LockUsageError(RuntimeError):
+    """Workload misuse of a lock (e.g. releasing a lock it does not hold)."""
+
+
+# --------------------------------------------------------------------------
+# Operations posted by workload threads
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Op:
+    """Base class for parked operations."""
+
+
+@dataclass
+class BeginOp(Op):
+    """First park of every thread, before any workload code runs."""
+
+
+@dataclass
+class AcquireOp(Op):
+    lock: object  # SimLock (duck-typed to avoid an import cycle)
+    site: Site
+    index: ExecIndex
+    stack_depth: int = 0
+
+
+@dataclass
+class ReleaseOp(Op):
+    lock: object
+    site: Site
+
+
+@dataclass
+class SpawnOp(Op):
+    handle: object  # SimThreadHandle
+
+
+@dataclass
+class JoinOp(Op):
+    handle: object
+
+
+@dataclass
+class CheckpointOp(Op):
+    """Voluntary scheduling point in lock-free code (no trace event)."""
+
+
+@dataclass
+class WaitOp(Op):
+    """Condition wait (Java ``Object.wait``): release the monitor, sleep
+    until notified, then *reacquire* the monitor at this site.
+
+    ``phase`` tracks the three dispatch stages: ``"start"`` (validate +
+    release), ``"waiting"`` (parked on the condition) and ``"reacquire"``
+    (notified; contending for the monitor again).  ``index`` is the
+    execution index of the reacquisition — a real acquisition to the
+    analysis and to replay strategies.
+    """
+
+    cond: object  # SimCondition
+    lock: object  # SimLock (the condition's monitor)
+    site: Site
+    index: ExecIndex
+    stack_depth: int = 0
+    phase: str = "start"
+    saved_depth: int = 0
+
+
+@dataclass
+class NotifyOp(Op):
+    cond: object
+    lock: object
+    site: Site
+    notify_all: bool = False
+
+
+# --------------------------------------------------------------------------
+# Thread cells and records
+# --------------------------------------------------------------------------
+
+
+class _Cell:
+    """Handshake channel between one workload thread and the scheduler."""
+
+    __slots__ = (
+        "cond",
+        "op",
+        "op_posted",
+        "granted",
+        "abort",
+        "finished",
+        "exc",
+        "exc_to_raise",
+    )
+
+    def __init__(self) -> None:
+        self.cond = threading.Condition()
+        self.op: Optional[Op] = None
+        self.op_posted = False
+        self.granted = False
+        self.abort = False
+        self.finished = False
+        self.exc: Optional[BaseException] = None
+        self.exc_to_raise: Optional[BaseException] = None
+
+    # -- workload-thread side ------------------------------------------------
+
+    def park(self, op: Op) -> None:
+        """Post ``op`` and wait until the scheduler grants continuation."""
+        with self.cond:
+            if self.abort:
+                raise ThreadKilled()
+            self.op = op
+            self.op_posted = True
+            self.cond.notify_all()
+            while not self.granted and not self.abort:
+                self.cond.wait()
+            if self.abort:
+                raise ThreadKilled()
+            self.granted = False
+            self.op = None
+            if self.exc_to_raise is not None:
+                exc = self.exc_to_raise
+                self.exc_to_raise = None
+                raise exc
+
+    def finish(self) -> None:
+        with self.cond:
+            self.finished = True
+            self.cond.notify_all()
+
+    # -- scheduler side --------------------------------------------------------
+
+    def grant(self) -> None:
+        with self.cond:
+            self.op_posted = False
+            self.granted = True
+            self.cond.notify_all()
+
+    def wait_parked(self, timeout: float) -> None:
+        """Block until the thread posts its next op or finishes."""
+        deadline = time.monotonic() + timeout
+        with self.cond:
+            while not self.op_posted and not self.finished:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise SchedulerStalled(
+                        "workload thread did not reach a scheduling point "
+                        f"within {timeout:.1f}s"
+                    )
+                self.cond.wait(remaining)
+
+    def kill(self) -> None:
+        with self.cond:
+            self.abort = True
+            self.cond.notify_all()
+
+
+class ThreadState:
+    NEW = "new"
+    READY = "ready"
+    BLOCKED = "blocked"  # on a lock or a join; see record.blocked_*
+    PAUSED = "paused"  # held back by the strategy
+    DONE = "done"
+
+
+@dataclass
+class _ThreadRecord:
+    tid: ThreadId
+    cell: _Cell
+    target: object
+    os_thread: Optional[threading.Thread] = None
+    state: str = ThreadState.NEW
+    #: Acquisition-ordered held locks with the index each was acquired at.
+    held: List[Tuple[object, ExecIndex]] = field(default_factory=list)
+    #: Per-site occurrence counter for execution indices (thread-side use).
+    occ: OccurrenceCounter = field(default_factory=OccurrenceCounter)
+    #: Per-site counters minting child ThreadIds and LockIds.
+    spawn_occ: OccurrenceCounter = field(default_factory=OccurrenceCounter)
+    lock_occ: OccurrenceCounter = field(default_factory=OccurrenceCounter)
+    blocked_lock: Optional[object] = None
+    blocked_index: Optional[ExecIndex] = None
+    join_on: Optional[ThreadId] = None
+    #: Set while parked in a condition wait (phase "waiting").
+    blocked_cond: Optional[object] = None
+    #: Set when the scheduler force-releases this thread from a strategy
+    #: pause (Algorithm 4 lines 5-7): the next acquire dispatch bypasses
+    #: the strategy gate once, otherwise the strategy would immediately
+    #: re-pause it and the loop would spin forever.
+    skip_gate: bool = False
+
+    def held_locks(self) -> Tuple[object, ...]:
+        return tuple(l for l, _ in self.held)
+
+
+class Scheduler:
+    """Executes one simulated run.  Create via
+    :func:`repro.runtime.sim.runtime.run_program`."""
+
+    def __init__(
+        self,
+        strategy: SchedulingStrategy,
+        *,
+        trace: Optional[Trace] = None,
+        max_steps: int = 200_000,
+        step_timeout: float = 30.0,
+    ) -> None:
+        self.strategy = strategy
+        self.trace = trace if trace is not None else Trace()
+        self.max_steps = max_steps
+        self.step_timeout = step_timeout
+        self.records: Dict[ThreadId, _ThreadRecord] = {}
+        self._tls = threading.local()
+        self._steps = 0
+        self._runtime = None  # set by SimRuntime
+        strategy.attach(self)
+
+    # -- thread-side accessors -------------------------------------------------
+
+    @property
+    def current_record(self) -> _ThreadRecord:
+        record = getattr(self._tls, "record", None)
+        if record is None:
+            raise RuntimeError(
+                "this operation is only valid inside a simulated thread"
+            )
+        return record
+
+    def in_sim_thread(self) -> bool:
+        return getattr(self._tls, "record", None) is not None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def register_root(self, tid: ThreadId, target) -> _ThreadRecord:
+        return self._register(tid, target)
+
+    def _register(self, tid: ThreadId, target) -> _ThreadRecord:
+        if tid in self.records:
+            raise RuntimeError(f"duplicate thread id {tid!r}")
+        record = _ThreadRecord(tid=tid, cell=_Cell(), target=target)
+        self.records[tid] = record
+        return record
+
+    def _start_os_thread(self, record: _ThreadRecord) -> None:
+        t = threading.Thread(
+            target=self._runner, args=(record,), daemon=True, name=record.tid.pretty()
+        )
+        record.os_thread = t
+        t.start()
+        record.cell.wait_parked(self.step_timeout)  # parks at BeginOp
+        record.state = ThreadState.READY
+
+    def _runner(self, record: _ThreadRecord) -> None:
+        self._tls.record = record
+        try:
+            record.cell.park(BeginOp())
+            record.target()
+        except ThreadKilled:
+            pass
+        except BaseException as exc:  # noqa: BLE001 - reported via RunResult
+            record.cell.exc = exc
+        finally:
+            record.cell.finish()
+
+    # -- main loop -----------------------------------------------------------------
+
+    def run(self, root: _ThreadRecord) -> RunResult:
+        t0 = time.perf_counter()
+        status = RunStatus.COMPLETED
+        deadlock: Optional[DeadlockInfo] = None
+        iterations = 0
+        try:
+            self._start_os_thread(root)
+            while True:
+                iterations += 1
+                if self._steps >= self.max_steps or iterations > 10 * self.max_steps:
+                    status = RunStatus.STEP_LIMIT
+                    break
+                ready = [
+                    r.tid for r in self.records.values() if r.state == ThreadState.READY
+                ]
+                if not ready:
+                    paused = [
+                        r.tid
+                        for r in self.records.values()
+                        if r.state == ThreadState.PAUSED
+                    ]
+                    if paused:
+                        victim = self.strategy.choose_unpause(paused)
+                        if victim is not None:
+                            self.records[victim].skip_gate = True
+                            self.unpause(victim)
+                            continue
+                    blocked = [
+                        r
+                        for r in self.records.values()
+                        if r.state in (ThreadState.BLOCKED, ThreadState.PAUSED)
+                    ]
+                    if not blocked:
+                        status = RunStatus.COMPLETED
+                        break
+                    deadlock = self._classify_stuck()
+                    status = (
+                        RunStatus.DEADLOCK if deadlock is not None else RunStatus.STUCK
+                    )
+                    break
+                tid = self.strategy.pick(ready)
+                self._dispatch(self.records[tid])
+        finally:
+            self._teardown()
+        errors = {
+            r.tid: r.cell.exc for r in self.records.values() if r.cell.exc is not None
+        }
+        if errors and status is RunStatus.COMPLETED:
+            status = RunStatus.ERROR
+        return RunResult(
+            status=status,
+            trace=self.trace,
+            steps=self._steps,
+            deadlock=deadlock,
+            errors=errors,
+            wall_time_s=time.perf_counter() - t0,
+        )
+
+    # -- pause control (used by replay strategies) -----------------------------------
+
+    def unpause(self, tid: ThreadId) -> None:
+        record = self.records[tid]
+        if record.state == ThreadState.PAUSED:
+            record.state = ThreadState.READY
+
+    def pause(self, tid: ThreadId) -> None:
+        record = self.records[tid]
+        if record.state == ThreadState.READY:
+            record.state = ThreadState.PAUSED
+
+    # -- dispatch -------------------------------------------------------------------
+
+    def _dispatch(self, record: _ThreadRecord) -> None:
+        op = record.cell.op
+        if isinstance(op, BeginOp):
+            self._commit(BeginEvent(self._next_step(), record.tid))
+            self._resume(record)
+        elif isinstance(op, AcquireOp):
+            self._dispatch_acquire(record, op)
+        elif isinstance(op, ReleaseOp):
+            self._dispatch_release(record, op)
+        elif isinstance(op, SpawnOp):
+            self._dispatch_spawn(record, op)
+        elif isinstance(op, JoinOp):
+            self._dispatch_join(record, op)
+        elif isinstance(op, WaitOp):
+            self._dispatch_wait(record, op)
+        elif isinstance(op, NotifyOp):
+            self._dispatch_notify(record, op)
+        elif isinstance(op, CheckpointOp):
+            self._resume(record)
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"unknown op {op!r}")
+
+    def _dispatch_acquire(self, record: _ThreadRecord, op: AcquireOp) -> None:
+        if record.skip_gate:
+            record.skip_gate = False
+        elif not self.strategy.before_acquire(record.tid, op):
+            record.state = ThreadState.PAUSED
+            return
+        lock = op.lock
+        if lock.owner is None:
+            lock.owner = record.tid
+            lock.depth = 1
+            record.held.append((lock, op.index))
+            record.blocked_lock = record.blocked_index = None
+            self._commit(
+                AcquireEvent(
+                    self._next_step(),
+                    record.tid,
+                    lock=lock.lid,
+                    index=op.index,
+                    held=tuple(l.lid for l, _ in record.held[:-1]),
+                    held_indices=tuple(ix for _, ix in record.held[:-1]),
+                    reentrant=False,
+                    stack_depth=op.stack_depth,
+                )
+            )
+            self._resume(record)
+        elif lock.owner == record.tid and lock.reentrant:
+            lock.depth += 1
+            self._commit(
+                AcquireEvent(
+                    self._next_step(),
+                    record.tid,
+                    lock=lock.lid,
+                    index=op.index,
+                    held=tuple(l.lid for l, _ in record.held),
+                    held_indices=tuple(ix for _, ix in record.held),
+                    reentrant=True,
+                    stack_depth=op.stack_depth,
+                )
+            )
+            self._resume(record)
+        else:
+            # Held by someone else (or a non-reentrant self-acquire).
+            if record.blocked_lock is not lock or record.blocked_index != op.index:
+                self._commit(
+                    BlockEvent(
+                        self._next_step(),
+                        record.tid,
+                        lock=lock.lid,
+                        index=op.index,
+                        holder=lock.owner,
+                    )
+                )
+            record.blocked_lock = lock
+            record.blocked_index = op.index
+            record.state = ThreadState.BLOCKED
+
+    def _dispatch_release(self, record: _ThreadRecord, op: ReleaseOp) -> None:
+        lock = op.lock
+        if lock.owner != record.tid:
+            record.cell.exc_to_raise = LockUsageError(
+                f"{record.tid.pretty()} released {lock.lid.pretty()} "
+                "which it does not hold"
+            )
+            self._resume(record)
+            return
+        lock.depth -= 1
+        reentrant = lock.depth > 0
+        if not reentrant:
+            lock.owner = None
+            for i in range(len(record.held) - 1, -1, -1):
+                if record.held[i][0] is lock:
+                    del record.held[i]
+                    break
+            for r in self.records.values():
+                if r.state == ThreadState.BLOCKED and r.blocked_lock is lock:
+                    r.state = ThreadState.READY
+        self._commit(
+            ReleaseEvent(
+                self._next_step(),
+                record.tid,
+                lock=lock.lid,
+                site=op.site,
+                reentrant=reentrant,
+            )
+        )
+        self._resume(record)
+
+    def _dispatch_spawn(self, record: _ThreadRecord, op: SpawnOp) -> None:
+        handle = op.handle
+        child = self._register(handle.tid, handle._target)
+        self._commit(SpawnEvent(self._next_step(), record.tid, child=handle.tid))
+        self._start_os_thread(child)
+        self._resume(record)
+
+    def _dispatch_join(self, record: _ThreadRecord, op: JoinOp) -> None:
+        target = self.records.get(op.handle.tid)
+        if target is None:
+            record.cell.exc_to_raise = RuntimeError(
+                f"join on never-started thread {op.handle.tid!r}"
+            )
+            self._resume(record)
+            return
+        if target.state == ThreadState.DONE:
+            record.join_on = None
+            self._commit(JoinEvent(self._next_step(), record.tid, target=target.tid))
+            self._resume(record)
+        else:
+            record.join_on = target.tid
+            record.state = ThreadState.BLOCKED
+
+    def _dispatch_wait(self, record: _ThreadRecord, op: WaitOp) -> None:
+        lock = op.lock
+        if op.phase == "start":
+            if lock.owner != record.tid:
+                record.cell.exc_to_raise = LockUsageError(
+                    f"{record.tid.pretty()} waited on {op.cond.name!r} "
+                    f"without holding {lock.lid.pretty()}"
+                )
+                self._resume(record)
+                return
+            # Fully release the monitor (Java saves the recursion depth).
+            op.saved_depth = lock.depth
+            lock.depth = 0
+            lock.owner = None
+            for i in range(len(record.held) - 1, -1, -1):
+                if record.held[i][0] is lock:
+                    del record.held[i]
+                    break
+            self._commit(
+                WaitEvent(
+                    self._next_step(),
+                    record.tid,
+                    condition=op.cond.name,
+                    lock=lock.lid,
+                    site=op.site,
+                )
+            )
+            self._commit(
+                ReleaseEvent(
+                    self._next_step(),
+                    record.tid,
+                    lock=lock.lid,
+                    site=op.site,
+                    reentrant=False,
+                )
+            )
+            for r in self.records.values():
+                if r.state == ThreadState.BLOCKED and r.blocked_lock is lock:
+                    r.state = ThreadState.READY
+            op.phase = "waiting"
+            record.blocked_cond = op.cond
+            record.state = ThreadState.BLOCKED
+            op.cond._waiters.append(record)
+        elif op.phase == "reacquire":
+            # Notified: contend for the monitor like a fresh acquisition.
+            if record.skip_gate:
+                record.skip_gate = False
+            elif not self.strategy.before_acquire(record.tid, op):
+                record.state = ThreadState.PAUSED
+                return
+            if lock.owner is None:
+                lock.owner = record.tid
+                lock.depth = op.saved_depth
+                record.blocked_lock = record.blocked_index = None
+                self._commit(
+                    AcquireEvent(
+                        self._next_step(),
+                        record.tid,
+                        lock=lock.lid,
+                        index=op.index,
+                        held=tuple(l.lid for l, _ in record.held),
+                        held_indices=tuple(ix for _, ix in record.held),
+                        reentrant=False,
+                        stack_depth=op.stack_depth,
+                    )
+                )
+                record.held.append((lock, op.index))
+                self._resume(record)
+            else:
+                if record.blocked_lock is not lock or record.blocked_index != op.index:
+                    self._commit(
+                        BlockEvent(
+                            self._next_step(),
+                            record.tid,
+                            lock=lock.lid,
+                            index=op.index,
+                            holder=lock.owner,
+                        )
+                    )
+                record.blocked_lock = lock
+                record.blocked_index = op.index
+                record.state = ThreadState.BLOCKED
+        else:  # pragma: no cover - "waiting" is never dispatched
+            raise RuntimeError(f"wait op dispatched in phase {op.phase!r}")
+
+    def _dispatch_notify(self, record: _ThreadRecord, op: NotifyOp) -> None:
+        lock = op.lock
+        if lock.owner != record.tid:
+            record.cell.exc_to_raise = LockUsageError(
+                f"{record.tid.pretty()} notified {op.cond.name!r} "
+                f"without holding {lock.lid.pretty()}"
+            )
+            self._resume(record)
+            return
+        waiters = op.cond._waiters
+        n = len(waiters) if op.notify_all else min(1, len(waiters))
+        for _ in range(n):
+            waiter = waiters.pop(0)
+            waiter.cell.op.phase = "reacquire"
+            waiter.blocked_cond = None
+            waiter.state = ThreadState.READY
+        self._commit(
+            NotifyEvent(
+                self._next_step(),
+                record.tid,
+                condition=op.cond.name,
+                lock=lock.lid,
+                site=op.site,
+                woken=n,
+                notify_all=op.notify_all,
+            )
+        )
+        self._resume(record)
+
+    def _resume(self, record: _ThreadRecord) -> None:
+        """Grant the thread one burst: it runs until its next park."""
+        record.cell.grant()
+        record.cell.wait_parked(self.step_timeout)
+        if record.cell.finished:
+            record.state = ThreadState.DONE
+            self._commit(EndEvent(self._next_step(), record.tid))
+            if record.held:
+                names = ", ".join(l.lid.pretty() for l, _ in record.held)
+                record.cell.exc = LockUsageError(
+                    f"{record.tid.pretty()} terminated while holding: {names}"
+                )
+                # Free the leaked locks so other threads are not wedged by a
+                # workload bug unrelated to the deadlock under study.
+                for lock, _ in record.held:
+                    lock.owner = None
+                    lock.depth = 0
+                    for r in self.records.values():
+                        if r.state == ThreadState.BLOCKED and r.blocked_lock is lock:
+                            r.state = ThreadState.READY
+                record.held.clear()
+            for r in self.records.values():
+                if r.state == ThreadState.BLOCKED and r.join_on == record.tid:
+                    r.join_on = None
+                    r.state = ThreadState.READY
+        else:
+            record.state = ThreadState.READY
+
+    # -- bookkeeping --------------------------------------------------------------------
+
+    def _next_step(self) -> int:
+        step = self._steps
+        self._steps += 1
+        return step
+
+    def _commit(self, event: TraceEvent) -> None:
+        self.trace.append(event)
+        self.strategy.on_event(event)
+
+    def _classify_stuck(self) -> Optional[DeadlockInfo]:
+        """Return deadlock info if the blocked threads contain a cycle of
+        lock waits; ``None`` for other stuck states."""
+        wait_for = DiGraph()
+        blocked_at: Dict[ThreadId, BlockedAt] = {}
+        for r in self.records.values():
+            if r.state != ThreadState.BLOCKED:
+                continue
+            if r.blocked_lock is not None and r.join_on is None:
+                holder = r.blocked_lock.owner
+                blocked_at[r.tid] = BlockedAt(
+                    thread=r.tid,
+                    lock=r.blocked_lock.lid,
+                    index=r.blocked_index,
+                    holder=holder,
+                )
+                if holder is not None:
+                    wait_for.add_edge(r.tid, holder)
+            elif r.join_on is not None:
+                wait_for.add_edge(r.tid, r.join_on)
+        cycle = wait_for.find_cycle()
+        if cycle is None:
+            return None
+        if not all(tid in blocked_at for tid in cycle):
+            return None  # mixed lock/join cycle: report as STUCK
+        return DeadlockInfo(
+            cycle=[blocked_at[tid] for tid in cycle],
+            all_blocked=list(blocked_at.values()),
+        )
+
+    def _teardown(self) -> None:
+        for record in self.records.values():
+            if record.state != ThreadState.DONE:
+                record.cell.kill()
+        for record in self.records.values():
+            if record.os_thread is not None:
+                record.os_thread.join(timeout=5.0)

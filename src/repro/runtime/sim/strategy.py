@@ -1,0 +1,134 @@
+"""Scheduling strategies: who runs next, and when to hold a thread back.
+
+The scheduler is mechanism; strategies are policy.  Detection runs use
+:class:`RandomStrategy` (the paper analyses ordinary randomly-interleaved
+executions); the WOLF Replayer and the DeadlockFuzzer baseline are
+strategies too (:mod:`repro.core.replayer`, :mod:`repro.baselines`), which
+is what lets the same runtime serve detection, replay and fuzzing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.util.ids import ThreadId
+from repro.util.rng import DeterministicRNG
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.events import TraceEvent
+    from repro.runtime.sim.scheduler import AcquireOp, Scheduler
+
+
+class SchedulingStrategy:
+    """Policy hooks consulted by the :class:`Scheduler`.
+
+    Subclasses may keep per-run state; ``attach`` is called once per run
+    before any other hook.
+    """
+
+    sched: "Scheduler"
+
+    def attach(self, sched: "Scheduler") -> None:
+        self.sched = sched
+
+    def pick(self, ready: List[ThreadId]) -> ThreadId:
+        """Choose the next thread to step from the non-empty ready list."""
+        return ready[0]
+
+    def before_acquire(self, thread: ThreadId, op: "AcquireOp") -> bool:
+        """Return ``False`` to pause ``thread`` instead of letting it
+        attempt this acquisition.  Paused threads stay parked until
+        :meth:`Scheduler.unpause` is called (typically from
+        :meth:`on_event`) or :meth:`choose_unpause` releases one."""
+        return True
+
+    def on_event(self, event: "TraceEvent") -> None:
+        """Observe each committed event (in global order)."""
+
+    def choose_unpause(self, paused: List[ThreadId]) -> Optional[ThreadId]:
+        """Nothing is runnable but paused threads exist: pick one to
+        release (Algorithm 4, lines 5-7) or ``None`` to give up and let the
+        scheduler classify the state."""
+        return paused[0] if paused else None
+
+
+def sticky_pick(
+    rng: DeterministicRNG,
+    ready: List[ThreadId],
+    last: Optional[ThreadId],
+    stickiness: float,
+) -> ThreadId:
+    """Burst-biased random choice: keep running ``last`` with probability
+    ``stickiness`` when it is still ready, otherwise pick uniformly.
+
+    Real schedulers run threads for whole quanta, so context switches at
+    *every* synchronization point (stickiness 0) wildly over-represent
+    tight interleavings — under it, deadlock-prone workloads deadlock on
+    nearly every run and the detector never sees a complete trace.  High
+    stickiness models quantum-based scheduling: overlaps (and therefore
+    manifested deadlocks) become rare events, as on real hardware.
+    """
+    if last is not None and last in ready and rng.random() < stickiness:
+        return last
+    return rng.choice(ready)
+
+
+class RandomStrategy(SchedulingStrategy):
+    """Seeded random scheduling; never pauses anyone.
+
+    This models the ordinary executions the detector observes.  Different
+    seeds explore different interleavings of the same test input;
+    ``stickiness`` sets the burst bias (see :func:`sticky_pick`).
+    """
+
+    def __init__(self, seed: int = 0, *, stickiness: float = 0.0) -> None:
+        self.rng = DeterministicRNG(seed)
+        self.stickiness = stickiness
+        self._last: Optional[ThreadId] = None
+
+    def pick(self, ready: List[ThreadId]) -> ThreadId:
+        choice = sticky_pick(self.rng, ready, self._last, self.stickiness)
+        self._last = choice
+        return choice
+
+    def choose_unpause(self, paused: List[ThreadId]) -> Optional[ThreadId]:
+        return self.rng.choice(paused) if paused else None
+
+
+class RoundRobinStrategy(SchedulingStrategy):
+    """Cycle through ready threads in creation order (deterministic,
+    seed-free).  Useful in tests that need a fixed, legible schedule."""
+
+    def __init__(self) -> None:
+        self._last: Optional[ThreadId] = None
+
+    def pick(self, ready: List[ThreadId]) -> ThreadId:
+        if self._last in ready:
+            i = ready.index(self._last)
+            choice = ready[(i + 1) % len(ready)]
+        else:
+            choice = ready[0]
+        self._last = choice
+        return choice
+
+
+class FixedOrderStrategy(SchedulingStrategy):
+    """Run threads to completion in a fixed priority order.
+
+    Always steps the highest-priority ready thread; priorities are given as
+    a list of thread *names* (unlisted threads come last, creation order).
+    Handy for constructing specific interleavings in unit tests.
+    """
+
+    def __init__(self, priority: List[str]) -> None:
+        self.priority = list(priority)
+
+    def _rank(self, tid: ThreadId) -> int:
+        name = tid.pretty()
+        try:
+            return self.priority.index(name)
+        except ValueError:
+            return len(self.priority)
+
+    def pick(self, ready: List[ThreadId]) -> ThreadId:
+        return min(ready, key=self._rank)

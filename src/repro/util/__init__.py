@@ -1,0 +1,21 @@
+"""Shared utilities: identity model, graphs, RNG, and table formatting.
+
+The identity model (:mod:`repro.util.ids`) is load-bearing for the whole
+reproduction: the paper's algorithms require *execution indices* that
+"identify instructions, objects and threads across runs" (paper §3.1,
+footnote 2).  Everything else in :mod:`repro` builds on these types.
+"""
+
+from repro.util.ids import ExecIndex, LockId, Site, ThreadId, auto_site
+from repro.util.digraph import DiGraph
+from repro.util.rng import DeterministicRNG
+
+__all__ = [
+    "DeterministicRNG",
+    "DiGraph",
+    "ExecIndex",
+    "LockId",
+    "Site",
+    "ThreadId",
+    "auto_site",
+]

@@ -1,0 +1,197 @@
+"""A small deterministic directed graph.
+
+The synchronization dependency graph ``Gs`` (paper Algorithm 3) and the
+Replayer's edge-elimination loop (Algorithm 4) need a handful of graph
+operations: insertion-ordered iteration (for reproducible behaviour),
+cycle detection, ancestor queries and node removal.  ``networkx`` provides
+all of these but with nondeterministic set-ordering in places and far more
+generality than needed on the hot replay path, so we keep a minimal
+implementation here; the test suite cross-checks it against ``networkx``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+Node = Hashable
+
+
+class DiGraph:
+    """Insertion-ordered directed graph with the operations WOLF needs."""
+
+    def __init__(self) -> None:
+        self._succ: Dict[Node, Dict[Node, None]] = {}
+        self._pred: Dict[Node, Dict[Node, None]] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_node(self, u: Node) -> None:
+        if u not in self._succ:
+            self._succ[u] = {}
+            self._pred[u] = {}
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        """Add edge ``u -> v`` (self-loops allowed; duplicates ignored)."""
+        self.add_node(u)
+        self.add_node(v)
+        self._succ[u][v] = None
+        self._pred[v][u] = None
+
+    def remove_node(self, u: Node) -> None:
+        """Remove ``u`` and every edge incident on it."""
+        if u not in self._succ:
+            return
+        for v in self._succ.pop(u):
+            if v != u:
+                del self._pred[v][u]
+        for w in self._pred.pop(u):
+            if w != u:
+                del self._succ[w][u]
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        self._succ.get(u, {}).pop(v, None)
+        self._pred.get(v, {}).pop(u, None)
+
+    def copy(self) -> "DiGraph":
+        g = DiGraph()
+        for u, succs in self._succ.items():
+            g.add_node(u)
+            for v in succs:
+                g.add_edge(u, v)
+        return g
+
+    # -- queries ----------------------------------------------------------
+
+    def __contains__(self, u: Node) -> bool:
+        return u in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def nodes(self) -> Iterator[Node]:
+        return iter(self._succ)
+
+    def edges(self) -> Iterator[Tuple[Node, Node]]:
+        for u, succs in self._succ.items():
+            for v in succs:
+                yield (u, v)
+
+    def num_edges(self) -> int:
+        return sum(len(s) for s in self._succ.values())
+
+    def successors(self, u: Node) -> Tuple[Node, ...]:
+        return tuple(self._succ.get(u, ()))
+
+    def predecessors(self, u: Node) -> Tuple[Node, ...]:
+        return tuple(self._pred.get(u, ()))
+
+    def in_degree(self, u: Node) -> int:
+        return len(self._pred.get(u, ()))
+
+    def out_degree(self, u: Node) -> int:
+        return len(self._succ.get(u, ()))
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        return v in self._succ.get(u, {})
+
+    # -- algorithms --------------------------------------------------------
+
+    def ancestors(self, v: Node) -> Set[Node]:
+        """All nodes with a non-empty path to ``v``, excluding ``v`` itself
+        (networkx semantics, even when ``v`` lies on a cycle)."""
+        seen: Set[Node] = set()
+        stack: List[Node] = list(self._pred.get(v, ()))
+        while stack:
+            u = stack.pop()
+            if u in seen:
+                continue
+            seen.add(u)
+            stack.extend(p for p in self._pred.get(u, ()) if p not in seen)
+        seen.discard(v)
+        return seen
+
+    def descendants(self, v: Node) -> Set[Node]:
+        """All nodes reachable from ``v`` by a non-empty path, excluding
+        ``v`` itself (networkx semantics)."""
+        seen: Set[Node] = set()
+        stack: List[Node] = list(self._succ.get(v, ()))
+        while stack:
+            u = stack.pop()
+            if u in seen:
+                continue
+            seen.add(u)
+            stack.extend(s for s in self._succ.get(u, ()) if s not in seen)
+        seen.discard(v)
+        return seen
+
+    def has_cycle(self) -> bool:
+        return self.find_cycle() is not None
+
+    def find_cycle(self) -> Optional[List[Node]]:
+        """Return one directed cycle as a node list (first == entry node,
+        not repeated at the end), or ``None`` if the graph is acyclic.
+
+        Iterative three-colour DFS; deterministic given insertion order.
+        """
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour: Dict[Node, int] = {u: WHITE for u in self._succ}
+        parent: Dict[Node, Optional[Node]] = {}
+        for root in self._succ:
+            if colour[root] != WHITE:
+                continue
+            stack: List[Tuple[Node, Iterator[Node]]] = [(root, iter(self._succ[root]))]
+            colour[root] = GREY
+            parent[root] = None
+            while stack:
+                u, it = stack[-1]
+                advanced = False
+                for v in it:
+                    if colour[v] == WHITE:
+                        colour[v] = GREY
+                        parent[v] = u
+                        stack.append((v, iter(self._succ[v])))
+                        advanced = True
+                        break
+                    if colour[v] == GREY:
+                        # Found a back edge u -> v: unwind the cycle.
+                        cycle = [u]
+                        node = u
+                        while node != v:
+                            node = parent[node]
+                            cycle.append(node)
+                        cycle.reverse()
+                        return cycle
+                if not advanced:
+                    colour[u] = BLACK
+                    stack.pop()
+        return None
+
+    def topological_order(self) -> List[Node]:
+        """Kahn topological order.  Raises ``ValueError`` on cycles."""
+        indeg = {u: len(self._pred[u]) for u in self._succ}
+        ready = [u for u, d in indeg.items() if d == 0]
+        order: List[Node] = []
+        while ready:
+            u = ready.pop()
+            order.append(u)
+            for v in self._succ[u]:
+                indeg[v] -= 1
+                if indeg[v] == 0:
+                    ready.append(v)
+        if len(order) != len(self._succ):
+            raise ValueError("graph has a cycle; no topological order")
+        return order
+
+    def subgraph(self, nodes: Iterable[Node]) -> "DiGraph":
+        keep = set(nodes)
+        g = DiGraph()
+        for u in self._succ:
+            if u in keep:
+                g.add_node(u)
+        for u, v in self.edges():
+            if u in keep and v in keep:
+                g.add_edge(u, v)
+        return g
+
+    def __repr__(self) -> str:
+        return f"DiGraph(|V|={len(self)}, |E|={self.num_edges()})"

@@ -1,0 +1,80 @@
+"""Graphviz/DOT export for the analysis artifacts.
+
+``wolf`` is a debugging tool; being able to *look* at the global lock
+graph and at a cycle's synchronization dependency graph matters.  These
+functions emit plain DOT text (no graphviz dependency — render with any
+viewer).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.core.detector import PotentialDeadlock
+from repro.core.lockdep import LockDependencyRelation
+from repro.core.syncgraph import EdgeKind, SyncGraph
+
+_EDGE_STYLE = {
+    EdgeKind.D: 'color="firebrick", penwidth=2',
+    EdgeKind.C: 'color="steelblue"',
+    EdgeKind.P: 'color="gray50", style=dashed',
+}
+
+
+def _quote(s: str) -> str:
+    return '"' + s.replace('"', '\\"') + '"'
+
+
+def sync_graph_dot(gs: SyncGraph) -> str:
+    """Render ``Gs`` with the paper's edge-kind legend (Figure 7 style):
+    type-D red, type-C blue, type-P dashed gray; one cluster per thread."""
+    lines: List[str] = ["digraph Gs {", "  rankdir=TB;", "  node [shape=box];"]
+    by_thread: Dict[str, List[str]] = {}
+    for v in gs.graph.nodes():
+        by_thread.setdefault(v.thread.pretty(), []).append(v)
+    for i, (tname, vs) in enumerate(sorted(by_thread.items())):
+        lines.append(f"  subgraph cluster_{i} {{")
+        lines.append(f"    label={_quote(tname)};")
+        for v in vs:
+            label = f"{v.index.site} x{v.index.occ}\\n{v.lock.pretty()}"
+            lines.append(f"    {_quote(v.pretty())} [label={_quote(label)}];")
+        lines.append("  }")
+    for (u, v), kind in gs.edge_kinds.items():
+        style = _EDGE_STYLE[kind]
+        lines.append(
+            f"  {_quote(u.pretty())} -> {_quote(v.pretty())} "
+            f"[{style}, label={_quote(kind.value)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def lock_graph_dot(
+    rel: LockDependencyRelation,
+    cycles: Iterable[PotentialDeadlock] = (),
+) -> str:
+    """Render the global lock graph (locks as nodes, thread-labelled
+    nested-acquisition edges, §1); edges on detected cycles are red."""
+    hot = set()
+    for c in cycles:
+        n = len(c.entries)
+        for i in range(n):
+            ei = c.entries[i]
+            for held in ei.lockset:
+                if ei.lock != held:
+                    hot.add((held, ei.lock, ei.thread))
+    lines: List[str] = ["digraph LockGraph {", "  node [shape=ellipse];"]
+    seen = set()
+    for e in rel.entries:
+        for held in e.lockset:
+            key = (held, e.lock, e.thread)
+            if key in seen:
+                continue
+            seen.add(key)
+            style = 'color="firebrick", penwidth=2' if key in hot else 'color="gray30"'
+            lines.append(
+                f"  {_quote(held.pretty())} -> {_quote(e.lock.pretty())} "
+                f"[{style}, label={_quote(e.thread.pretty())}];"
+            )
+    lines.append("}")
+    return "\n".join(lines)

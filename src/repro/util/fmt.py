@@ -1,0 +1,64 @@
+"""Plain-text table rendering for experiment outputs.
+
+The experiment drivers (:mod:`repro.experiments`) print the same rows the
+paper's Tables 1 and 2 report; this module owns the layout so every driver
+formats identically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str = "",
+    align_left: Sequence[int] = (0,),
+) -> str:
+    """Render an ASCII table.
+
+    ``align_left`` lists column indices rendered flush-left (default: the
+    first, typically the benchmark name); all other columns are
+    right-aligned, which keeps numeric columns scannable.
+    """
+    str_rows: List[List[str]] = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if i in align_left:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    out: List[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(fmt_row(list(headers)))
+    out.append(sep)
+    out.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def percent(part: int, whole: int) -> str:
+    """``part/whole`` as the paper's ``N (P%)`` cell, safe for whole==0."""
+    if whole == 0:
+        return f"{part} (0.0%)"
+    return f"{part} ({100.0 * part / whole:.1f}%)"

@@ -1,0 +1,85 @@
+"""ASCII timeline rendering of a trace: one lane per thread.
+
+Understanding why a replay deadlocked (or missed) means reading the
+interleaving; this renders a trace as per-thread event lanes in global
+step order — the textual version of the paper's Figure 4/6 diagrams.
+
+Example output::
+
+    step  main              t2          t3
+    ----  ----------------  ----------  ----------
+       0  begin
+       1  acq l1 @11
+       2  spawn t2
+       3                    begin
+       ...
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.runtime.events import (
+    AcquireEvent,
+    BeginEvent,
+    BlockEvent,
+    EndEvent,
+    JoinEvent,
+    NotifyEvent,
+    ReleaseEvent,
+    SpawnEvent,
+    Trace,
+    TraceEvent,
+    WaitEvent,
+)
+
+
+def _describe(ev: TraceEvent) -> str:
+    if isinstance(ev, BeginEvent):
+        return "begin"
+    if isinstance(ev, EndEvent):
+        return "end"
+    if isinstance(ev, SpawnEvent):
+        return f"spawn {ev.child.pretty()}"
+    if isinstance(ev, JoinEvent):
+        return f"join {ev.target.pretty()}"
+    if isinstance(ev, AcquireEvent):
+        tag = "reacq" if ev.reentrant else "acq"
+        return f"{tag} {ev.lock.pretty()} @{ev.index.site}"
+    if isinstance(ev, ReleaseEvent):
+        tag = "rerel" if ev.reentrant else "rel"
+        return f"{tag} {ev.lock.pretty()} @{ev.site}"
+    if isinstance(ev, BlockEvent):
+        return f"BLOCK on {ev.lock.pretty()} @{ev.index.site}"
+    if isinstance(ev, WaitEvent):
+        return f"wait {ev.condition} @{ev.site}"
+    if isinstance(ev, NotifyEvent):
+        kind = "notifyAll" if ev.notify_all else "notify"
+        return f"{kind} {ev.condition} (+{ev.woken})"
+    return type(ev).__name__
+
+
+def render_timeline(
+    trace: Trace,
+    *,
+    max_steps: Optional[int] = None,
+    lane_width: int = 26,
+) -> str:
+    """Render the trace as per-thread lanes (one row per event)."""
+    threads = trace.threads()
+    lanes: Dict = {t: i for i, t in enumerate(threads)}
+    header = ["step"] + [t.pretty()[: lane_width - 2] for t in threads]
+    widths = [6] + [lane_width] * len(threads)
+
+    def row(cells: List[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    out = [row(header), row(["-" * 4] + ["-" * (lane_width - 2)] * len(threads))]
+    events = trace.events if max_steps is None else trace.events[:max_steps]
+    for ev in events:
+        cells = [str(ev.step)] + [""] * len(threads)
+        cells[1 + lanes[ev.thread]] = _describe(ev)[: lane_width - 1]
+        out.append(row(cells))
+    if max_steps is not None and len(trace.events) > max_steps:
+        out.append(f"... {len(trace.events) - max_steps} more events")
+    return "\n".join(out)

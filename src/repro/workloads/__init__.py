@@ -1,0 +1,22 @@
+"""The paper's benchmarks, modelled in Python (paper §4.1).
+
+* :mod:`repro.workloads.structures` — from-scratch data structures
+  standing in for ``java.util`` (dynamic array, linked list, stack, hash
+  map, AVL tree map, linked/weak/identity hash maps);
+* :mod:`repro.workloads.collections_sync` — ``Collections.synchronizedX``
+  style wrappers whose lock discipline produces the Table 1/2 deadlocks;
+* :mod:`repro.workloads.cache4j` — deadlock-free object cache (cache4j);
+* :mod:`repro.workloads.jigsaw` — mini web server with the Jigsaw
+  ThreadCache patterns (incl. the Figure 1 false positive);
+* :mod:`repro.workloads.logging_lib` — log4j-style logger/appender
+  hierarchy (incl. the bug-24159 deadlock);
+* :mod:`repro.workloads.figures` — the paper's motivating examples
+  (Figures 1, 2, 4, 9) as runnable programs;
+* :mod:`repro.workloads.philosophers` — dining philosophers (quickstart);
+* :mod:`repro.workloads.registry` — the benchmark table the experiment
+  drivers iterate.
+"""
+
+from repro.workloads.registry import BENCHMARKS, Benchmark, get_benchmark
+
+__all__ = ["BENCHMARKS", "Benchmark", "get_benchmark"]

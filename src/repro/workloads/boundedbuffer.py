@@ -1,0 +1,107 @@
+"""Producer/consumer workloads on a monitor-style bounded buffer.
+
+Java monitors pair locks with ``wait``/``notify`` (Jigsaw's
+``waitForRunner`` is exactly this shape), so the runtime supports
+condition variables and these workloads exercise them:
+
+* :func:`pipeline_program` — a clean producer→consumer pipeline: no lock
+  cycles, detection finds nothing;
+* :func:`transfer_deadlock_program` — two buffers cross-transferred by
+  two threads holding their source buffer's monitor while pushing into
+  the destination's: a classic lock-order deadlock *around* the condition
+  machinery, detectable and replayable by WOLF (waits appear in the trace
+  as release + reacquire, needing no special cases in the analysis).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.runtime.sim.runtime import SimRuntime
+
+
+class BoundedBuffer:
+    """Fixed-capacity FIFO guarded by one monitor + two conditions."""
+
+    def __init__(self, rt: SimRuntime, capacity: int, name: str = "buffer") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.name = name
+        self.monitor = rt.new_lock(name=f"{name}.monitor")
+        self.not_empty = self.monitor.condition(f"{name}.not_empty")
+        self.not_full = self.monitor.condition(f"{name}.not_full")
+        self._items: List[Any] = []
+
+    # -- public blocking API -------------------------------------------------
+
+    def put(self, item: Any) -> None:
+        with self.monitor.at("BoundedBuffer.java:31"):
+            while len(self._items) >= self.capacity:
+                self.not_full.wait(site="BoundedBuffer.java:33")
+            self._items.append(item)
+            self.not_empty.notify(site="BoundedBuffer.java:36")
+
+    def take(self) -> Any:
+        with self.monitor.at("BoundedBuffer.java:42"):
+            while not self._items:
+                self.not_empty.wait(site="BoundedBuffer.java:44")
+            item = self._items.pop(0)
+            self.not_full.notify(site="BoundedBuffer.java:47")
+            return item
+
+    # -- the deadlock-prone extension ---------------------------------------------
+
+    def drain_into(self, other: "BoundedBuffer") -> int:
+        """Move everything into ``other`` while holding *this* monitor —
+        ``other.put`` then takes the destination monitor: held-across-call
+        nesting, inverted when two threads drain in opposite directions."""
+        moved = 0
+        with self.monitor.at("BoundedBuffer.java:55"):
+            while self._items:
+                other.put(self._items.pop(0))
+                moved += 1
+        return moved
+
+    def size(self) -> int:
+        with self.monitor.at("BoundedBuffer.java:62"):
+            return len(self._items)
+
+
+def pipeline_program(rt: SimRuntime) -> None:
+    """Producer → buffer → consumer; clean (no potential deadlocks)."""
+    buf = BoundedBuffer(rt, capacity=2, name="pipe")
+    out: List[int] = []
+
+    def producer() -> None:
+        for i in range(6):
+            buf.put(i)
+
+    def consumer() -> None:
+        for _ in range(6):
+            out.append(buf.take())
+
+    h1 = rt.spawn(producer, name="producer", site="PipeHarness.java:10")
+    h2 = rt.spawn(consumer, name="consumer", site="PipeHarness.java:11")
+    h1.join()
+    h2.join()
+    assert out == list(range(6)), out
+
+
+def transfer_deadlock_program(rt: SimRuntime) -> None:
+    """Two movers drain opposite directions: monitor-order inversion."""
+    left = BoundedBuffer(rt, capacity=8, name="left")
+    right = BoundedBuffer(rt, capacity=8, name="right")
+    for i in range(2):
+        left.put(i)
+        right.put(10 + i)
+
+    def mover(src: BoundedBuffer, dst: BoundedBuffer) -> None:
+        src.drain_into(dst)
+
+    handles = [
+        rt.spawn(lambda: mover(left, right), name="mover-lr", site="PipeHarness.java:30"),
+        rt.spawn(lambda: mover(right, left), name="mover-rl", site="PipeHarness.java:31"),
+    ]
+    for h in handles:
+        h.join()

@@ -1,0 +1,122 @@
+"""cache4j — a simple, fast object cache (the paper's true-negative
+benchmark: zero deadlocks detected).
+
+Models cache4j's ``SynchronizedCache``: one monitor guards the whole
+cache; entries live in a :class:`HashMap` with an LRU order maintained in
+a :class:`LinkedHashMap`-style access chain, TTL-based expiry and
+eviction statistics.  All lock usage is single-lock, so the lock graph is
+trivially acyclic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.runtime.sim.runtime import SimRuntime
+from repro.workloads.structures import HashMap, LinkedHashMap
+
+
+class CacheEntry:
+    __slots__ = ("key", "value", "created_at", "ttl", "hits")
+
+    def __init__(self, key: Any, value: Any, created_at: int, ttl: Optional[int]):
+        self.key = key
+        self.value = value
+        self.created_at = created_at
+        self.ttl = ttl
+        self.hits = 0
+
+    def expired(self, now: int) -> bool:
+        return self.ttl is not None and now - self.created_at >= self.ttl
+
+
+class SynchronizedCache:
+    """cache4j-style cache: one reentrant monitor, LRU + TTL eviction."""
+
+    def __init__(self, rt: SimRuntime, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self._lock = rt.new_lock(name="Cache.monitor")
+        self._entries = HashMap()
+        self._lru = LinkedHashMap(access_order=True)
+        self.capacity = capacity
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # All public operations take the single cache monitor — cache4j's
+    # design, and the reason it contributes zero cycles to Table 1.
+
+    def put(self, key: Any, value: Any, ttl: Optional[int] = None) -> None:
+        with self._lock.at("CacheImpl.java:51"):
+            self._clock += 1
+            if not self._entries.contains_key(key) and (
+                self._entries.size() >= self.capacity
+            ):
+                self._evict_locked()
+            self._entries.put(key, CacheEntry(key, value, self._clock, ttl))
+            self._lru.put(key, self._clock)
+
+    def get(self, key: Any) -> Optional[Any]:
+        with self._lock.at("CacheImpl.java:67"):
+            self._clock += 1
+            entry = self._entries.get(key)
+            if entry is None or entry.expired(self._clock):
+                if entry is not None:
+                    self._entries.remove(key)
+                    self._lru.remove(key)
+                self.misses += 1
+                return None
+            entry.hits += 1
+            self.hits += 1
+            self._lru.get(key)  # touch for LRU order
+            return entry.value
+
+    def remove(self, key: Any) -> Optional[Any]:
+        with self._lock.at("CacheImpl.java:83"):
+            entry = self._entries.remove(key)
+            self._lru.remove(key)
+            return entry.value if entry else None
+
+    def size(self) -> int:
+        with self._lock.at("CacheImpl.java:95"):
+            return self._entries.size()
+
+    def clear(self) -> None:
+        with self._lock.at("CacheImpl.java:99"):
+            self._entries.clear()
+            self._lru.clear()
+
+    def _evict_locked(self) -> None:
+        victim = self._lru.eldest_key()
+        self._entries.remove(victim)
+        self._lru.remove(victim)
+        self.evictions += 1
+
+
+def cache4j_program(rt: SimRuntime) -> None:
+    """Three workers hammer one cache with put/get/remove mixes."""
+    cache = SynchronizedCache(rt, capacity=4)
+
+    def writer() -> None:
+        for i in range(6):
+            cache.put(f"k{i % 5}", i)
+
+    def reader() -> None:
+        for i in range(6):
+            cache.get(f"k{i % 5}")
+
+    def churner() -> None:
+        for i in range(4):
+            cache.put(f"k{i}", -i, ttl=2)
+            cache.get(f"k{i}")
+            cache.remove(f"k{(i + 1) % 4}")
+
+    handles = [
+        rt.spawn(writer, name="writer", site="Cache4jHarness.java:10"),
+        rt.spawn(reader, name="reader", site="Cache4jHarness.java:11"),
+        rt.spawn(churner, name="churner", site="Cache4jHarness.java:12"),
+    ]
+    for h in handles:
+        h.join()

@@ -1,0 +1,237 @@
+"""``Collections.synchronizedX``-style wrappers (paper Figures 2 and 9).
+
+Each wrapper guards a backing structure with a ``mutex`` lock, acquiring
+it inside every method at a fixed source site (labelled with the
+``Collections.java`` line numbers the paper quotes).  Cross-collection
+operations — ``add_all``, ``remove_all``, ``retain_all``, ``equals`` —
+call the *other* collection's synchronized accessors while still holding
+their own mutex, which is precisely the lock discipline behind the
+deadlocks of the paper's evaluation:
+
+* ``sc1.add_all(sc2)`` holds ``SC1.mutex`` and takes ``SC2.mutex`` inside
+  ``to_array`` (Figure 9's 1591 → 1570 chain);
+* ``sm1.equals(sm2)`` holds ``SM1.mutex`` and takes ``SM2.mutex`` twice —
+  once in ``size`` and once per ``get`` — producing the theta_1..theta_4
+  cycle family of Figure 2, of which the get×get cycle is infeasible
+  (interim size acquisition) and is eliminated by the Generator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.runtime.sim.runtime import SimRuntime
+from repro.workloads.structures.base import Collection, ListLike, MapLike
+
+# Source sites, matching the paper's Collections.java quotes where it has
+# them (Figures 2 and 9) and nearby lines for the rest.
+SITE_IS_EMPTY = "Collections.java:1561"
+SITE_SIZE = "Collections.java:1564"
+SITE_CONTAINS = "Collections.java:1567"
+SITE_TO_ARRAY = "Collections.java:1570"
+SITE_ADD = "Collections.java:1573"
+SITE_REMOVE = "Collections.java:1576"
+SITE_CLEAR = "Collections.java:1579"
+SITE_ADD_ALL = "Collections.java:1591"
+SITE_REMOVE_ALL = "Collections.java:1594"
+SITE_RETAIN_ALL = "Collections.java:1597"
+SITE_LIST_EQUALS = "Collections.java:1611"
+SITE_LIST_GET = "Collections.java:1620"
+SITE_LIST_SET = "Collections.java:1623"
+SITE_LIST_INSERT = "Collections.java:1626"
+SITE_LIST_REMOVE_AT = "Collections.java:1629"
+SITE_LIST_INDEX_OF = "Collections.java:1632"
+SITE_STACK_PUSH = "Collections.java:1641"
+SITE_STACK_POP = "Collections.java:1644"
+SITE_MAP_IS_EMPTY = "Collections.java:2001"
+SITE_MAP_SIZE = "Collections.java:2004"
+SITE_MAP_GET = "Collections.java:2007"
+SITE_MAP_PUT = "Collections.java:2010"
+SITE_MAP_REMOVE = "Collections.java:2013"
+SITE_MAP_CONTAINS = "Collections.java:2016"
+SITE_MAP_CLEAR = "Collections.java:2019"
+SITE_MAP_ENTRIES = "Collections.java:2022"
+SITE_MAP_EQUALS = "Collections.java:2024"
+
+
+class SynchronizedCollection:
+    """Thread-safe view of a :class:`Collection` (one mutex per view)."""
+
+    def __init__(self, rt: SimRuntime, backing: Collection, name: str = "") -> None:
+        self._rt = rt
+        self._backing = backing
+        self.name = name or type(backing).__name__
+        self.mutex = rt.new_lock(name=f"{self.name}.mutex")
+
+    # -- single-lock operations ------------------------------------------------
+
+    def add(self, value: Any) -> bool:
+        with self.mutex.at(SITE_ADD):
+            return self._backing.add(value)
+
+    def remove_value(self, value: Any) -> bool:
+        with self.mutex.at(SITE_REMOVE):
+            return self._backing.remove_value(value)
+
+    def contains(self, value: Any) -> bool:
+        with self.mutex.at(SITE_CONTAINS):
+            return self._backing.contains(value)
+
+    def size(self) -> int:
+        with self.mutex.at(SITE_SIZE):
+            return self._backing.size()
+
+    def is_empty(self) -> bool:
+        with self.mutex.at(SITE_IS_EMPTY):
+            return self._backing.is_empty()
+
+    def to_array(self) -> List[Any]:
+        with self.mutex.at(SITE_TO_ARRAY):
+            return self._backing.to_array()
+
+    def clear(self) -> None:
+        with self.mutex.at(SITE_CLEAR):
+            self._backing.clear()
+
+    # -- cross-collection operations (the deadlock-prone ones) ---------------------
+
+    def add_all(self, other: "SynchronizedCollection") -> bool:
+        """Figure 9's ``addAll``: own mutex at 1591, then the other's at
+        1570 via ``to_array`` — a nested cross acquisition."""
+        with self.mutex.at(SITE_ADD_ALL):
+            changed = False
+            for value in other.to_array():
+                changed |= self._backing.add(value)
+            return changed
+
+    def remove_all(self, other: "SynchronizedCollection") -> bool:
+        """Figure 9's ``removeAll``: own mutex at 1594, then repeated
+        ``contains`` probes of the other at 1567 — one interim cross
+        acquisition per element."""
+        with self.mutex.at(SITE_REMOVE_ALL):
+            changed = False
+            for value in self._backing.to_array():
+                if other.contains(value):
+                    self._backing.remove_value(value)
+                    changed = True
+            return changed
+
+    def retain_all(self, other: "SynchronizedCollection") -> bool:
+        with self.mutex.at(SITE_RETAIN_ALL):
+            changed = False
+            for value in self._backing.to_array():
+                if not other.contains(value):
+                    self._backing.remove_value(value)
+                    changed = True
+            return changed
+
+    def __repr__(self) -> str:
+        return f"Synchronized({self.name})"
+
+
+class SynchronizedList(SynchronizedCollection):
+    """Thread-safe view of a :class:`ListLike`."""
+
+    _backing: ListLike
+
+    def get(self, index: int) -> Any:
+        with self.mutex.at(SITE_LIST_GET):
+            return self._backing.get(index)
+
+    def set(self, index: int, value: Any) -> Any:
+        with self.mutex.at(SITE_LIST_SET):
+            return self._backing.set(index, value)
+
+    def insert(self, index: int, value: Any) -> None:
+        with self.mutex.at(SITE_LIST_INSERT):
+            self._backing.insert(index, value)
+
+    def remove_at(self, index: int) -> Any:
+        with self.mutex.at(SITE_LIST_REMOVE_AT):
+            return self._backing.remove_at(index)
+
+    def index_of(self, value: Any) -> int:
+        with self.mutex.at(SITE_LIST_INDEX_OF):
+            return self._backing.index_of(value)
+
+    def equals(self, other: "SynchronizedList") -> bool:
+        """``AbstractList.equals`` through synchronized views: own mutex,
+        then the other's once for ``size`` and once per element ``get`` —
+        the list analogue of Figure 2."""
+        with self.mutex.at(SITE_LIST_EQUALS):
+            if other.size() != self._backing.size():
+                return False
+            for i, value in enumerate(self._backing.to_array()):
+                if other.get(i) != value:
+                    return False
+            return True
+
+
+class SynchronizedStack(SynchronizedList):
+    """``Stack`` view: adds synchronized push/pop."""
+
+    def push(self, value: Any) -> Any:
+        with self.mutex.at(SITE_STACK_PUSH):
+            return self._backing.push(value)
+
+    def pop(self) -> Any:
+        with self.mutex.at(SITE_STACK_POP):
+            return self._backing.pop()
+
+
+class SynchronizedMap:
+    """Thread-safe view of a :class:`MapLike` (paper Figure 2's
+    ``SynchronizedMap``)."""
+
+    def __init__(self, rt: SimRuntime, backing: MapLike, name: str = "") -> None:
+        self._rt = rt
+        self._backing = backing
+        self.name = name or type(backing).__name__
+        self.mutex = rt.new_lock(name=f"{self.name}.mutex")
+
+    def put(self, key: Any, value: Any) -> Optional[Any]:
+        with self.mutex.at(SITE_MAP_PUT):
+            return self._backing.put(key, value)
+
+    def get(self, key: Any) -> Optional[Any]:
+        with self.mutex.at(SITE_MAP_GET):
+            return self._backing.get(key)
+
+    def remove(self, key: Any) -> Optional[Any]:
+        with self.mutex.at(SITE_MAP_REMOVE):
+            return self._backing.remove(key)
+
+    def contains_key(self, key: Any) -> bool:
+        with self.mutex.at(SITE_MAP_CONTAINS):
+            return self._backing.contains_key(key)
+
+    def size(self) -> int:
+        with self.mutex.at(SITE_MAP_SIZE):
+            return self._backing.size()
+
+    def is_empty(self) -> bool:
+        with self.mutex.at(SITE_MAP_IS_EMPTY):
+            return self._backing.is_empty()
+
+    def entries(self) -> List[Tuple[Any, Any]]:
+        with self.mutex.at(SITE_MAP_ENTRIES):
+            return self._backing.entries()
+
+    def clear(self) -> None:
+        with self.mutex.at(SITE_MAP_CLEAR):
+            self._backing.clear()
+
+    def equals(self, other: "SynchronizedMap") -> bool:
+        """Figure 2: hold own mutex (2024), check ``other.size()`` (one
+        cross acquisition), then probe ``other.get(key)`` per entry (more
+        cross acquisitions) — producing the theta_1..theta_4 cycles."""
+        with self.mutex.at(SITE_MAP_EQUALS):
+            if other.size() != self._backing.size():
+                return False
+            for key, value in self._backing.entries():
+                if other.get(key) != value:
+                    return False
+            return True
+
+    def __repr__(self) -> str:
+        return f"SynchronizedMap({self.name})"

@@ -1,0 +1,178 @@
+"""The paper's motivating examples as runnable programs.
+
+Each ``figN_program`` reproduces the lock/thread structure of the paper's
+Figure N, with acquisition sites labelled by the Java source lines the
+paper quotes, so the expected analysis outcomes can be asserted exactly:
+
+* Figure 1 — Jigsaw's ThreadCache/CachedThread: a cycle that can never
+  manifest because the parent starts the child while holding both locks
+  (eliminated by the **Pruner**);
+* Figure 2 — ``SynchronizedMap.equals`` both ways: four cycles, of which
+  theta_4 is infeasible due to the interim ``size`` acquisition
+  (eliminated by the **Generator**, its ``Gs`` is Figure 7(b));
+* Figure 4 — the running example (three threads, three locks): theta'_1
+  pruned, theta'_2 real; its ``Gs`` is Figure 7(a);
+* Figure 9 — ``addAll``/``removeAll`` on two synchronized collections
+  with abstraction-identical threads: WOLF reproduces it reliably,
+  DeadlockFuzzer pauses the wrong thread and practically never does.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.sim.runtime import SimRuntime
+from repro.workloads.collections_sync import (
+    SynchronizedCollection,
+    SynchronizedMap,
+)
+from repro.workloads.structures import ArrayList, HashMap
+
+# --------------------------------------------------------------------------
+# Figure 1 — start-order false positive (Jigsaw ThreadCache)
+# --------------------------------------------------------------------------
+
+
+def fig1_program(rt: SimRuntime) -> None:
+    """t1 locks TC (initialize:401) then CT (start:75) and *then* starts
+    t2, which locks CT (waitForRunner:24) then TC (isFree:175).  The lock
+    graph has a cycle, but t2 cannot exist before t1 holds both locks."""
+    tc = rt.new_lock(name="TC")  # ThreadCache instance monitor
+    ct = rt.new_lock(name="CT")  # CachedThread instance monitor
+
+    def cached_thread_run() -> None:
+        # CachedThread.run -> waitForRunner (synchronized on CT) -> isFree
+        # (synchronized on TC).
+        with ct.at("ThreadCache.java:24"):
+            with tc.at("ThreadCache.java:175"):
+                pass
+
+    handle = None
+    # ThreadCache.initialize (synchronized on TC at 401)
+    with tc.at("ThreadCache.java:401"):
+        # CachedThread.start (synchronized on CT at 75)
+        with ct.at("ThreadCache.java:75"):
+            # super.start() at line 76: the runner begins.
+            handle = rt.spawn(
+                cached_thread_run, name="runner", site="ThreadCache.java:76"
+            )
+    handle.join()
+
+
+#: Sites of the (false) deadlock Figure 1's cycle reports.
+FIG1_SITES = frozenset({"ThreadCache.java:75", "ThreadCache.java:175"})
+
+# --------------------------------------------------------------------------
+# Figure 2 — interim-acquisition false positive (SynchronizedMap.equals)
+# --------------------------------------------------------------------------
+
+
+def fig2_program(rt: SimRuntime) -> None:
+    """Two threads compare two synchronized maps in opposite directions.
+
+    Each ``equals`` holds its own mutex (2024) and acquires the other's
+    twice: in ``size`` and in ``get``.  Cycles: size×size (theta_1),
+    size×get / get×size (theta_2, theta_3 — real), get×get (theta_4 —
+    infeasible, cyclic ``Gs``)."""
+    m1, m2 = HashMap(), HashMap()
+    sm1 = SynchronizedMap(rt, m1, "SM1")
+    sm2 = SynchronizedMap(rt, m2, "SM2")
+    sm1.put("key", "v1")
+    sm2.put("key", "v2")
+
+    def t1_body() -> None:
+        sm1.equals(sm2)
+
+    def t2_body() -> None:
+        sm2.equals(sm1)
+
+    h1 = rt.spawn(t1_body, name="t1", site="EqualsHarness.java:10")
+    h2 = rt.spawn(t2_body, name="t2", site="EqualsHarness.java:11")
+    h1.join()
+    h2.join()
+
+
+from repro.workloads.collections_sync import (  # noqa: E402  (site table)
+    SITE_MAP_EQUALS,
+    SITE_MAP_GET,
+    SITE_MAP_SIZE,
+)
+
+#: Deadlocking site pairs of the four Figure 2 cycles.
+FIG2_THETA1 = frozenset({SITE_MAP_SIZE})  # size x size
+FIG2_THETA23 = frozenset({SITE_MAP_SIZE, SITE_MAP_GET})  # size x get
+FIG2_THETA4 = frozenset({SITE_MAP_GET})  # get x get (infeasible)
+
+# --------------------------------------------------------------------------
+# Figure 4 — the running example
+# --------------------------------------------------------------------------
+
+
+def fig4_program(rt: SimRuntime) -> None:
+    """Execution indices from the paper are used as sites ("11" ... "36").
+
+    Main plays t1; it spawns t2 (index 15 / paper's ``t2.start()``), which
+    spawns t3 (index 21).  theta'_1 = {eta'_2, eta'_5} is pruned (t3 starts
+    only after t1's acquisition at 12); theta'_2 = {eta'_8, eta'_5} is a
+    real deadlock between sites 19 and 33."""
+    l1 = rt.new_lock(name="l1")
+    l2 = rt.new_lock(name="l2")
+    l3 = rt.new_lock(name="l3")
+
+    def t3_body() -> None:
+        l3.acquire(site="31")
+        l2.acquire(site="32")
+        l1.acquire(site="33")
+        l1.release(site="34")
+        l2.release(site="35")
+        l3.release(site="36")
+
+    def t2_body() -> None:
+        rt.spawn(t3_body, name="t3", site="21")
+
+    l1.acquire(site="11")
+    l2.acquire(site="12")
+    l2.release(site="13")
+    l1.release(site="14")
+    rt.spawn(t2_body, name="t2", site="15")
+    l3.acquire(site="16")
+    l3.release(site="17")
+    l1.acquire(site="18")
+    l2.acquire(site="19")
+    l2.release(site="19u")
+    l1.release(site="18u")
+
+
+FIG4_THETA1_SITES = frozenset({"12", "33"})  # pruned
+FIG4_THETA2_SITES = frozenset({"19", "33"})  # real
+
+# --------------------------------------------------------------------------
+# Figure 9 — reliable reproduction vs DeadlockFuzzer confusion
+# --------------------------------------------------------------------------
+
+
+def fig9_program(rt: SimRuntime) -> None:
+    """Two worker threads run the *same code* on swapped collection pairs:
+    ``addAll`` then ``removeAll``.  Threads and mutexes are created at
+    single program points, so DeadlockFuzzer's creation-site abstractions
+    cannot tell t1 from t2 (nor SC1.mutex from SC2.mutex) and it pauses
+    the wrong thread inside the wrong operation; WOLF's execution indices
+    disambiguate them."""
+    sc1 = SynchronizedCollection(rt, ArrayList(), "SC1")
+    sc2 = SynchronizedCollection(rt, ArrayList(), "SC2")
+    sc1.add("a")
+    sc2.add("b")
+
+    def worker(mine: SynchronizedCollection, other: SynchronizedCollection) -> None:
+        mine.add_all(other)
+        mine.remove_all(other)
+
+    handles = []
+    for mine, other in ((sc1, sc2), (sc2, sc1)):
+        handles.append(
+            rt.spawn(
+                (lambda m=mine, o=other: worker(m, o)),
+                name=f"worker-{mine.name}",
+                site="CollectionsHarness.java:20",
+            )
+        )
+    for h in handles:
+        h.join()

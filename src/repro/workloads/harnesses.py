@@ -1,0 +1,90 @@
+"""Test-input harnesses for the collections benchmarks (paper §4.1).
+
+These mirror the experimental setup credited to the DeadlockFuzzer
+authors: two synchronized views of the same structure type, two worker
+threads running the same cross-collection operation sequence on swapped
+pairs.  Workers and mutexes are created at single program points so the
+DeadlockFuzzer abstractions alias (the Figure 9 situation), while WOLF's
+occurrence-counted identities stay distinct.
+
+* list harness (ArrayList / Stack / LinkedList): ``add_all`` →
+  ``remove_all`` → ``equals``;
+* map harness (HashMap / TreeMap / WeakHashMap / LinkedHashMap /
+  IdentityHashMap): ``equals`` both directions — paper Figure 2, giving
+  per benchmark the theta_1..theta_4 cycle family with one
+  Generator-eliminated false positive.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Type
+
+from repro.runtime.sim.runtime import SimRuntime
+from repro.workloads.collections_sync import SynchronizedList, SynchronizedMap
+from repro.workloads.structures import LIST_TYPES, MAP_TYPES
+
+
+def make_list_harness(list_cls: Type) -> Callable[[SimRuntime], None]:
+    """Two synchronized lists, two symmetric workers."""
+
+    def program(rt: SimRuntime) -> None:
+        sl1 = SynchronizedList(rt, list_cls(), "SL1")
+        sl2 = SynchronizedList(rt, list_cls(), "SL2")
+        sl1.add("a")
+        sl2.add("b")
+
+        def worker(mine: SynchronizedList, other: SynchronizedList) -> None:
+            mine.add_all(other)
+            mine.remove_all(other)
+            mine.equals(other)
+
+        handles = []
+        for mine, other in ((sl1, sl2), (sl2, sl1)):
+            handles.append(
+                rt.spawn(
+                    (lambda m=mine, o=other: worker(m, o)),
+                    name=f"worker-{mine.name}",
+                    site="ListHarness.java:30",
+                )
+            )
+        for h in handles:
+            h.join()
+
+    program.__name__ = f"list_harness_{list_cls.__name__}"
+    return program
+
+
+def make_map_harness(map_cls: Type) -> Callable[[SimRuntime], None]:
+    """Two synchronized maps compared in opposite directions (Figure 2)."""
+
+    def program(rt: SimRuntime) -> None:
+        sm1 = SynchronizedMap(rt, map_cls(), "SM1")
+        sm2 = SynchronizedMap(rt, map_cls(), "SM2")
+        sm1.put("key", "v1")
+        sm2.put("key", "v2")
+
+        def worker(mine: SynchronizedMap, other: SynchronizedMap) -> None:
+            mine.equals(other)
+
+        handles = []
+        for mine, other in ((sm1, sm2), (sm2, sm1)):
+            handles.append(
+                rt.spawn(
+                    (lambda m=mine, o=other: worker(m, o)),
+                    name=f"worker-{mine.name}",
+                    site="MapHarness.java:30",
+                )
+            )
+        for h in handles:
+            h.join()
+
+    program.__name__ = f"map_harness_{map_cls.__name__}"
+    return program
+
+
+def list_harness(name: str) -> Callable[[SimRuntime], None]:
+    return make_list_harness(LIST_TYPES[name])
+
+
+def map_harness(name: str) -> Callable[[SimRuntime], None]:
+    return make_map_harness(MAP_TYPES[name])

@@ -1,0 +1,274 @@
+"""Jigsaw — a miniature of W3C's Jigsaw 2.2.6 web server (paper §2, §4).
+
+The paper's largest benchmark (160 KLoC) contributes most of Table 1's
+defects with every classification represented.  This model reproduces the
+structural patterns behind each class:
+
+* **ThreadCache / CachedThread** (Figure 1): ``initialize`` starts runner
+  threads while holding both the cache and the thread monitors — a lock
+  cycle that the Pruner eliminates via start-order;
+* **server startup**: the daemon holds the config monitor while spawning
+  client handlers that later take client-then-config — a second
+  Pruner-eliminated family;
+* **ResourceStore / Resource**: lookup nests store→resource while the
+  updater nests resource→store — real, reproducible deadlocks;
+* **config / properties**: reader nests props→config, reconfigurer nests
+  config→props — another real deadlock;
+* **stats / report** (Figure 2's shape): the stats walker probes the
+  resource monitor, releases it, then re-acquires it — the cycle on the
+  second acquisitions has a cyclic ``Gs`` (Generator-eliminated);
+* **indexer / validator**: a data-dependency (a flag published only after
+  the peer released its locks) makes the overlap impossible, but no
+  lock-order evidence shows it — detected, not reproducible, left
+  *unknown* (the paper's §4.4 limitation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.runtime.sim.runtime import SimRuntime
+from repro.workloads.structures import HashMap
+
+
+class Resource:
+    """A served document with its own monitor."""
+
+    def __init__(self, rt: SimRuntime, name: str, store: "ResourceStore") -> None:
+        self.rt = rt
+        self.name = name
+        self.store = store
+        self.monitor = rt.new_lock(name=f"Resource[{name}]")
+        self.content = f"<html>{name}</html>"
+        self.valid = True
+        self.reads = 0
+
+    def read_locked(self) -> str:
+        self.reads += 1
+        return self.content
+
+    def touch(self) -> None:
+        """Updater path: resource monitor, then the store's (to bump the
+        global revision) — opposite nesting to :meth:`ResourceStore.lookup`."""
+        with self.monitor.at("Resource.java:210"):
+            self.valid = True
+            with self.store.monitor.at("Resource.java:214"):
+                self.store.revision += 1
+
+
+class ResourceStore:
+    """The document index, with its own monitor."""
+
+    def __init__(self, rt: SimRuntime) -> None:
+        self.rt = rt
+        self.monitor = rt.new_lock(name="ResourceStore")
+        self.resources: Dict[str, Resource] = {}
+        self.revision = 0
+
+    def register(self, name: str) -> Resource:
+        with self.monitor.at("ResourceStore.java:88"):
+            res = Resource(self.rt, name, self)
+            self.resources[name] = res
+            return res
+
+    def lookup(self, name: str) -> Optional[str]:
+        """Client path: store monitor, then the resource's."""
+        with self.monitor.at("ResourceStore.java:120"):
+            res = self.resources.get(name)
+            if res is None:
+                return None
+            with res.monitor.at("ResourceStore.java:124"):
+                return res.read_locked()
+
+    def stats(self) -> int:
+        """Stats walker (the Generator-eliminated shape): holds the store
+        monitor, *probes* each resource monitor (acquire/release), then
+        re-acquires it for the detailed count — the interim probe makes a
+        deadlock on the second acquisition infeasible."""
+        total = 0
+        with self.monitor.at("ResourceStore.java:150"):
+            for res in self.resources.values():
+                with res.monitor.at("ResourceStore.java:153"):
+                    ok = res.valid
+                if ok:
+                    with res.monitor.at("ResourceStore.java:156"):
+                        total += res.reads
+        return total
+
+
+class HttpServer:
+    """Config + properties monitors and the ThreadCache (Figure 1)."""
+
+    def __init__(self, rt: SimRuntime, n_cached_threads: int = 2) -> None:
+        self.rt = rt
+        self.config_monitor = rt.new_lock(name="httpd.config")
+        self.props_monitor = rt.new_lock(name="httpd.props")
+        self.thread_monitors = [
+            rt.new_lock(name=f"CachedThread[{i}]", site="CachedThread.java:40")
+            for i in range(n_cached_threads)
+        ]
+        self.cache_monitor = rt.new_lock(name="ThreadCache")
+        self.props: Dict[str, str] = {"port": "8001"}
+        self.runners: List = []
+
+    # -- Figure 1: ThreadCache.initialize ---------------------------------------
+
+    def initialize_thread_cache(self) -> None:
+        """Start every cached thread while holding cache+thread monitors."""
+        with self.cache_monitor.at("ThreadCache.java:401"):
+            for i, ct_monitor in enumerate(self.thread_monitors):
+
+                def runner(m=ct_monitor) -> None:
+                    # CachedThread.run: waitForRunner (thread monitor) then
+                    # isFree (cache monitor).
+                    with m.at("ThreadCache.java:24"):
+                        with self.cache_monitor.at("ThreadCache.java:175"):
+                            pass
+
+                with ct_monitor.at("ThreadCache.java:75"):
+                    self.runners.append(
+                        self.rt.spawn(
+                            runner, name=f"cached{i}", site="ThreadCache.java:76"
+                        )
+                    )
+
+    # -- startup spawning a handler under the config monitor ----------------------
+
+    def start_daemon(self) -> None:
+        with self.config_monitor.at("httpd.java:953"):
+
+            def handler() -> None:
+                # Client handler: client monitor (its own thread monitor
+                # here) then the config monitor.
+                with self.thread_monitors[0].at("Client.java:310"):
+                    with self.config_monitor.at("Client.java:314"):
+                        pass
+
+            # Registration takes the client monitor while the config
+            # monitor is still held — the opposite nesting of handler(),
+            # but the handler thread is started under both, so the cycle
+            # is another start-order false positive for the Pruner.
+            with self.thread_monitors[0].at("httpd.java:955"):
+                self.runners.append(
+                    self.rt.spawn(handler, name="client0", site="httpd.java:957")
+                )
+
+    # -- config/properties: a real deadlock pair ------------------------------------
+
+    def read_properties(self) -> str:
+        """props monitor, then config monitor."""
+        with self.props_monitor.at("ObservableProperties.java:77"):
+            with self.config_monitor.at("ObservableProperties.java:80"):
+                return self.props["port"]
+
+    def reconfigure(self, port: str) -> None:
+        """config monitor, then props monitor — opposite order."""
+        with self.config_monitor.at("httpd.java:1210"):
+            with self.props_monitor.at("httpd.java:1213"):
+                self.props["port"] = port
+
+    def join_runners(self) -> None:
+        for h in self.runners:
+            h.join()
+
+
+class RequestHandler:
+    """Dispatch chain for client requests — mirrors Jigsaw's
+    httpd -> Client -> Request -> ResourceStore call depth (and gives the
+    SL statistic realistic stack lengths)."""
+
+    def __init__(self, store: ResourceStore) -> None:
+        self.store = store
+
+    def handle(self, name: str) -> Optional[str]:
+        return self._dispatch(name)
+
+    def _dispatch(self, name: str) -> Optional[str]:
+        return self._perform(name)
+
+    def _perform(self, name: str) -> Optional[str]:
+        return self.store.lookup(name)
+
+
+class MaintenanceTask:
+    """Updater-side chain: scheduler -> task -> resource refresh."""
+
+    def __init__(self, resources) -> None:
+        self.resources = resources
+
+    def run(self) -> None:
+        for res in self.resources:
+            self._refresh(res)
+
+    def _refresh(self, res: Resource) -> None:
+        res.touch()
+
+
+def jigsaw_program(rt: SimRuntime) -> None:
+    """The Jigsaw benchmark input: one server lifecycle with clients."""
+    server = HttpServer(rt, n_cached_threads=2)
+    store = ResourceStore(rt)
+    index = store.register("index.html")
+    about = store.register("about.html")
+
+    # Data-dependency cell for the unknown-producing pair: written without
+    # any lock, read in a bounded wait loop.
+    published = {"ready": False}
+
+    handler = RequestHandler(store)
+    maintenance = MaintenanceTask([index, about])
+
+    def client(name: str) -> None:
+        handler.handle(name)
+        handler.handle("missing.html")
+
+    def updater() -> None:
+        maintenance.run()
+
+    def stats_walker() -> None:
+        store.stats()
+
+    def reporter() -> None:
+        # Resource monitor then store monitor: cycles with stats(), but
+        # only the probe acquisitions are feasible.
+        with about.monitor.at("Resource.java:300"):
+            with store.monitor.at("Resource.java:303"):
+                _ = store.revision
+
+    def validator() -> None:
+        # Takes index-then-about, then publishes the flag after releasing
+        # both.  The indexer's opposite-order nesting is gated on the
+        # flag, so the regions can never overlap — but only the data flow
+        # knows that.
+        with index.monitor.at("Validator.java:50"):
+            with about.monitor.at("Validator.java:53"):
+                pass
+        published["ready"] = True
+
+    def indexer() -> None:
+        for _ in range(60):
+            if published["ready"]:
+                break
+            rt.checkpoint()
+        if published["ready"]:
+            with about.monitor.at("Indexer.java:71"):
+                with index.monitor.at("Indexer.java:74"):
+                    pass
+
+    server.initialize_thread_cache()
+    server.start_daemon()
+
+    handles = [
+        rt.spawn(lambda: client("index.html"), name="clientA", site="JigsawHarness.java:20"),
+        rt.spawn(lambda: client("about.html"), name="clientB", site="JigsawHarness.java:21"),
+        rt.spawn(updater, name="updater", site="JigsawHarness.java:22"),
+        rt.spawn(stats_walker, name="stats", site="JigsawHarness.java:23"),
+        rt.spawn(reporter, name="reporter", site="JigsawHarness.java:24"),
+        rt.spawn(validator, name="validator", site="JigsawHarness.java:25"),
+        rt.spawn(indexer, name="indexer", site="JigsawHarness.java:26"),
+        rt.spawn(server.read_properties, name="propsReader", site="JigsawHarness.java:27"),
+        rt.spawn(lambda: server.reconfigure("8002"), name="reconf", site="JigsawHarness.java:28"),
+    ]
+    for h in handles:
+        h.join()
+    server.join_runners()

@@ -1,0 +1,161 @@
+"""Java Logging — a jakarta-log4j 1.2.8-style logging library.
+
+Two real deadlock patterns from log4j's history, both detected and
+reproduced by WOLF in the paper (Table 1: 2 defects, both true):
+
+1. **Bug 24159** (the paper cites it directly): ``Category.callAppenders``
+   holds the logger monitor and takes each appender's monitor; an
+   appender's maintenance path (``close``/``flush``) holds the appender
+   monitor and calls back into the logger (status diagnostics), taking
+   the logger monitor — opposite order.
+2. **Hierarchy walk vs. cascade**: a child logger logging with
+   additivity holds its own monitor and walks up into the parent's; a
+   configuration thread's ``setLevel`` on the parent cascades down,
+   holding the parent monitor and taking each child's — opposite order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.runtime.sim.runtime import SimRuntime
+
+LEVELS = {"DEBUG": 10, "INFO": 20, "WARN": 30, "ERROR": 40}
+
+
+class LogRecord:
+    __slots__ = ("logger_name", "level", "message")
+
+    def __init__(self, logger_name: str, level: str, message: str) -> None:
+        self.logger_name = logger_name
+        self.level = level
+        self.message = message
+
+    def format(self) -> str:
+        return f"[{self.level}] {self.logger_name}: {self.message}"
+
+
+class Appender:
+    """A log sink with its own monitor (log4j ``AppenderSkeleton``)."""
+
+    def __init__(self, rt: SimRuntime, name: str) -> None:
+        self.rt = rt
+        self.name = name
+        self.monitor = rt.new_lock(name=f"Appender[{name}]")
+        self.lines: List[str] = []
+        self.closed = False
+
+    def do_append(self, record: LogRecord) -> None:
+        # AppenderSkeleton.doAppend is synchronized.
+        with self.monitor.at("AppenderSkeleton.java:105"):
+            if not self.closed:
+                self.lines.append(record.format())
+
+    def close(self, owner: "Logger") -> None:
+        """Maintenance path of bug 24159: holds the appender monitor and
+        reports back through the owning logger (which takes its monitor)."""
+        with self.monitor.at("AppenderSkeleton.java:140"):
+            self.closed = True
+            owner.status(f"appender {self.name} closed")
+
+
+class Logger:
+    """A named logger with hierarchy (log4j ``Category``)."""
+
+    def __init__(
+        self, rt: SimRuntime, name: str, parent: Optional["Logger"] = None
+    ) -> None:
+        self.rt = rt
+        self.name = name
+        self.parent = parent
+        self.children: List["Logger"] = []
+        if parent is not None:
+            parent.children.append(self)
+        self.monitor = rt.new_lock(name=f"Logger[{name}]")
+        self.level = "INFO"
+        self.additivity = parent is not None
+        self.appenders: List[Appender] = []
+
+    # -- appender management -------------------------------------------------
+
+    def add_appender(self, appender: Appender) -> None:
+        with self.monitor.at("Category.java:120"):
+            self.appenders.append(appender)
+
+    # -- logging (bug 24159 direction: logger -> appender) ----------------------
+
+    def log(self, level: str, message: str) -> None:
+        if LEVELS[level] < LEVELS[self.level]:
+            return
+        record = LogRecord(self.name, level, message)
+        self._call_appenders(record)
+
+    def _call_appenders(self, record: LogRecord) -> None:
+        # Category.callAppenders: synchronized on the logger, then each
+        # appender's doAppend takes the appender monitor.
+        logger: Optional[Logger] = self
+        while logger is not None:
+            with logger.monitor.at("Category.java:204"):
+                for appender in logger.appenders:
+                    appender.do_append(record)
+                if not logger.additivity:
+                    break
+                logger = logger.parent
+
+    def status(self, message: str) -> None:
+        """Internal diagnostics (bug 24159 direction: appender -> logger)."""
+        with self.monitor.at("Category.java:254"):
+            _ = f"{self.name}: {message}"
+
+    # -- configuration (hierarchy cascade) -----------------------------------------
+
+    def set_level_cascade(self, level: str) -> None:
+        """Hold this logger's monitor while pushing the level down into
+        every child (each taking the child's monitor)."""
+        with self.monitor.at("Hierarchy.java:310"):
+            self.level = level
+            for child in self.children:
+                with child.monitor.at("Hierarchy.java:313"):
+                    child.level = level
+
+    def effective_level(self) -> str:
+        """Hold this logger's monitor while walking up into the parent's
+        (opposite nesting order to :meth:`set_level_cascade`)."""
+        with self.monitor.at("Category.java:310"):
+            if self.parent is not None:
+                with self.parent.monitor.at("Category.java:312"):
+                    return self.parent.level
+            return self.level
+
+
+def logging_program(rt: SimRuntime) -> None:
+    """The Java Logging benchmark: both defects reachable in one input."""
+    root = Logger(rt, "root")
+    child = Logger(rt, "root.child", parent=root)
+    appender = Appender(rt, "console")
+    root.add_appender(appender)
+
+    def app_thread() -> None:
+        # Logs through the hierarchy: child monitor -> root monitor ->
+        # appender monitor; also consults the effective level
+        # (child -> parent order).
+        child.effective_level()
+        child.log("ERROR", "disk on fire")
+
+    def config_thread() -> None:
+        # Cascade: root monitor -> child monitor (opposite of
+        # effective_level's child -> root).
+        root.set_level_cascade("WARN")
+
+    def maintenance_thread() -> None:
+        # Bug 24159: appender monitor -> logger monitor (opposite of
+        # callAppenders' logger -> appender).
+        appender.close(root)
+
+    handles = [
+        rt.spawn(app_thread, name="app", site="LoggingHarness.java:10"),
+        rt.spawn(config_thread, name="config", site="LoggingHarness.java:11"),
+        rt.spawn(maintenance_thread, name="maint", site="LoggingHarness.java:12"),
+    ]
+    for h in handles:
+        h.join()

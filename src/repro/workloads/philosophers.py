@@ -1,0 +1,46 @@
+"""Dining philosophers — the quickstart workload.
+
+``n`` philosophers, ``n`` forks; each philosopher takes the left fork
+then the right (the classic global-ordering violation), producing one
+potential deadlock cycle of length ``n``.  ``ordered=True`` applies the
+standard fix (acquire in global fork order) and yields a deadlock-free
+program — handy as a true-negative check.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.runtime.sim.runtime import SimRuntime
+
+
+def make_philosophers(n: int = 3, *, ordered: bool = False, meals: int = 1):
+    """Build a philosophers program with ``n`` seats."""
+    if n < 2:
+        raise ValueError("need at least two philosophers")
+
+    def program(rt: SimRuntime) -> None:
+        forks = [rt.new_lock(name=f"fork{i}", site="Table.java:1") for i in range(n)]
+
+        def philosopher(i: int) -> None:
+            left, right = forks[i], forks[(i + 1) % n]
+            if ordered and forks.index(right) < forks.index(left):
+                left, right = right, left
+            for _ in range(meals):
+                with left.at(f"Philosopher.java:left{i}"):
+                    with right.at(f"Philosopher.java:right{i}"):
+                        pass  # eat
+
+        handles = [
+            rt.spawn((lambda k=i: philosopher(k)), name=f"phil{i}", site="Table.java:9")
+            for i in range(n)
+        ]
+        for h in handles:
+            h.join()
+
+    program.__name__ = f"philosophers_{n}{'_ordered' if ordered else ''}"
+    return program
+
+
+#: Default 3-seat instance used by the quickstart and tests.
+philosophers_program = make_philosophers(3)

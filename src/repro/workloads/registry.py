@@ -1,0 +1,100 @@
+"""The benchmark table (paper Table 1's rows) for the experiment drivers.
+
+Each :class:`Benchmark` bundles a program, the detection seed used by the
+tables (chosen so the detection run completes and observes the full
+trace), and per-benchmark analysis knobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.runtime.sim.runtime import Program
+from repro.workloads.cache4j import cache4j_program
+from repro.workloads.harnesses import list_harness, map_harness
+from repro.workloads.jigsaw import jigsaw_program
+from repro.workloads.logging_lib import logging_program
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    name: str
+    program: Program
+    #: Python LoC of the workload model (informational; the paper reports
+    #: the Java originals' sizes).
+    loc_note: str = ""
+    detect_seed: int = 0
+    max_cycle_length: int = 4
+    replay_attempts: int = 5
+
+
+def _mk(name: str, program: Program, **kw) -> Benchmark:
+    return Benchmark(name=name, program=program, **kw)
+
+
+#: Paper Table 1 rows, in order.
+BENCHMARKS: List[Benchmark] = [
+    _mk("cache4j", cache4j_program, loc_note="cache4j 3,897 LoC"),
+    _mk("Jigsaw", jigsaw_program, loc_note="Jigsaw 160,388 LoC"),
+    _mk("JavaLogging", logging_program, loc_note="jakarta-log4j 1.2.8"),
+    _mk("ArrayList", list_harness("ArrayList"), loc_note="java.util 17,633 LoC"),
+    _mk("Stack", list_harness("Stack")),
+    _mk("LinkedList", list_harness("LinkedList")),
+    _mk("HashMap", map_harness("HashMap"), loc_note="java.util 18,911 LoC"),
+    _mk("TreeMap", map_harness("TreeMap")),
+    _mk("WeakHashMap", map_harness("WeakHashMap")),
+    _mk("LinkedHashMap", map_harness("LinkedHashMap")),
+    _mk("IdentityHashMap", map_harness("IdentityHashMap")),
+]
+
+def _extras() -> List[Benchmark]:
+    # Lazy: the figure modules import collections_sync which imports this
+    # package's siblings; resolving at call time avoids import cycles.
+    from repro.workloads.boundedbuffer import (
+        pipeline_program,
+        transfer_deadlock_program,
+    )
+    from repro.workloads.figures import (
+        fig1_program,
+        fig2_program,
+        fig4_program,
+        fig9_program,
+    )
+    from repro.workloads.philosophers import philosophers_program
+
+    return [
+        _mk("fig1", fig1_program, loc_note="paper Figure 1 (pruned FP)"),
+        _mk("fig2", fig2_program, loc_note="paper Figure 2 (Generator FP)"),
+        _mk("fig4", fig4_program, loc_note="paper Figure 4 (running example)"),
+        _mk("fig9", fig9_program, loc_note="paper Figure 9 (WOLF vs DF)"),
+        _mk(
+            "philosophers",
+            philosophers_program,
+            loc_note="dining philosophers",
+            max_cycle_length=3,
+        ),
+        _mk("pipeline", pipeline_program, loc_note="bounded buffer (clean)"),
+        _mk(
+            "buffers",
+            transfer_deadlock_program,
+            loc_note="bounded-buffer cross transfer",
+        ),
+    ]
+
+
+_BY_NAME: Dict[str, Benchmark] = {b.name: b for b in BENCHMARKS}
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Look up a Table-1 benchmark or one of the extra named programs
+    (paper figures, philosophers, bounded buffers).  The extras are CLI
+    conveniences; the experiment drivers iterate :data:`BENCHMARKS` only.
+    """
+    if name in _BY_NAME:
+        return _BY_NAME[name]
+    for b in _extras():
+        if b.name == name:
+            return b
+    known = ", ".join(list(_BY_NAME) + [b.name for b in _extras()])
+    raise KeyError(f"unknown benchmark {name!r}; known: {known}")

@@ -1,0 +1,50 @@
+"""From-scratch data structures standing in for ``java.util``.
+
+These are real implementations (not wrappers over Python builtins for the
+interesting parts): :class:`ArrayList` manages its own growth policy,
+:class:`HashMap` its own buckets and rehashing, :class:`TreeMap` is an AVL
+tree, :class:`LinkedList`/:class:`LinkedHashMap` maintain their own node
+chains.  They carry no locks — thread safety is added by
+:mod:`repro.workloads.collections_sync`, exactly as in Java.
+"""
+
+from repro.workloads.structures.base import Collection, ListLike, MapLike
+from repro.workloads.structures.arraylist import ArrayList
+from repro.workloads.structures.linkedlist import LinkedList
+from repro.workloads.structures.stack import Stack
+from repro.workloads.structures.hashmap import HashMap
+from repro.workloads.structures.treemap import TreeMap
+from repro.workloads.structures.linkedhashmap import LinkedHashMap
+from repro.workloads.structures.weakhashmap import WeakHashMap, WeakRegistry
+from repro.workloads.structures.identityhashmap import IdentityHashMap
+
+__all__ = [
+    "ArrayList",
+    "Collection",
+    "HashMap",
+    "IdentityHashMap",
+    "LinkedHashMap",
+    "LinkedList",
+    "ListLike",
+    "MapLike",
+    "Stack",
+    "TreeMap",
+    "WeakHashMap",
+    "WeakRegistry",
+]
+
+#: Map classes keyed by benchmark name (used by the registry/harnesses).
+MAP_TYPES = {
+    "HashMap": HashMap,
+    "TreeMap": TreeMap,
+    "WeakHashMap": WeakHashMap,
+    "LinkedHashMap": LinkedHashMap,
+    "IdentityHashMap": IdentityHashMap,
+}
+
+#: List-like classes keyed by benchmark name.
+LIST_TYPES = {
+    "ArrayList": ArrayList,
+    "Stack": Stack,
+    "LinkedList": LinkedList,
+}

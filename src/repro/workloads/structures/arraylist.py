@@ -1,0 +1,110 @@
+"""A growable array (``java.util.ArrayList``).
+
+Backed by a fixed-capacity slot array that this class manages itself:
+amortized O(1) append via 1.5x growth (Java's policy), O(n) positional
+insert/remove with explicit element shifting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.workloads.structures.base import ListLike
+from repro.workloads.structures.iterators import FailFastIterator, Modifiable
+
+_DEFAULT_CAPACITY = 10
+
+
+class ArrayList(ListLike, Modifiable):
+    def __init__(self, initial_capacity: int = _DEFAULT_CAPACITY) -> None:
+        if initial_capacity < 1:
+            raise ValueError("capacity must be positive")
+        self._slots: List[Any] = [None] * initial_capacity
+        self._size = 0
+
+    # -- capacity management ------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return len(self._slots)
+
+    def _ensure_capacity(self, needed: int) -> None:
+        if needed <= len(self._slots):
+            return
+        new_cap = len(self._slots)
+        while new_cap < needed:
+            new_cap += (new_cap >> 1) + 1  # ~1.5x, Java's growth policy
+        grown = [None] * new_cap
+        grown[: self._size] = self._slots[: self._size]
+        self._slots = grown
+
+    # -- Collection ------------------------------------------------------------
+
+    def add(self, value: Any) -> bool:
+        self._ensure_capacity(self._size + 1)
+        self._slots[self._size] = value
+        self._size += 1
+        self._structural_change()
+        return True
+
+    def remove_value(self, value: Any) -> bool:
+        for i in range(self._size):
+            if self._slots[i] == value:
+                self.remove_at(i)
+                return True
+        return False
+
+    def contains(self, value: Any) -> bool:
+        return any(self._slots[i] == value for i in range(self._size))
+
+    def size(self) -> int:
+        return self._size
+
+    def to_array(self) -> List[Any]:
+        return self._slots[: self._size]
+
+    def clear(self) -> None:
+        for i in range(self._size):
+            self._slots[i] = None
+        self._size = 0
+        self._structural_change()
+
+    # -- ListLike ------------------------------------------------------------------
+
+    def get(self, index: int) -> Any:
+        self._check_index(index, upper=self._size)
+        return self._slots[index]
+
+    def set(self, index: int, value: Any) -> Any:
+        self._check_index(index, upper=self._size)
+        old = self._slots[index]
+        self._slots[index] = value
+        return old
+
+    def insert(self, index: int, value: Any) -> None:
+        if not 0 <= index <= self._size:
+            raise IndexError(f"index {index} out of range [0, {self._size}]")
+        self._ensure_capacity(self._size + 1)
+        for i in range(self._size, index, -1):
+            self._slots[i] = self._slots[i - 1]
+        self._slots[index] = value
+        self._size += 1
+        self._structural_change()
+
+    def remove_at(self, index: int) -> Any:
+        self._check_index(index, upper=self._size)
+        old = self._slots[index]
+        for i in range(index, self._size - 1):
+            self._slots[i] = self._slots[i + 1]
+        self._size -= 1
+        self._slots[self._size] = None
+        self._structural_change()
+        return old
+
+    def iterator(self) -> FailFastIterator:
+        """Fail-fast iterator (Java semantics): structural modification
+        during iteration raises ``ConcurrentModificationError``."""
+        return self._fail_fast(lambda i: self._slots[i], self._size)
+
+    def __repr__(self) -> str:
+        return f"ArrayList({self.to_array()!r})"

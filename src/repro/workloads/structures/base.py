@@ -1,0 +1,110 @@
+"""Abstract interfaces mirroring ``java.util.Collection``/``List``/``Map``.
+
+The synchronized wrappers program against these, so any structure can back
+any benchmark harness.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterator, List, Optional, Tuple
+
+
+class Collection(ABC):
+    """Bag of elements (``java.util.Collection``)."""
+
+    @abstractmethod
+    def add(self, value: Any) -> bool:
+        """Add ``value``; return True if the collection changed."""
+
+    @abstractmethod
+    def remove_value(self, value: Any) -> bool:
+        """Remove one occurrence of ``value``; return True if removed."""
+
+    @abstractmethod
+    def contains(self, value: Any) -> bool: ...
+
+    @abstractmethod
+    def size(self) -> int: ...
+
+    @abstractmethod
+    def to_array(self) -> List[Any]:
+        """Snapshot of the elements in iteration order."""
+
+    @abstractmethod
+    def clear(self) -> None: ...
+
+    def is_empty(self) -> bool:
+        return self.size() == 0
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.to_array())
+
+    def __len__(self) -> int:
+        return self.size()
+
+
+class ListLike(Collection):
+    """Positional collection (``java.util.List``)."""
+
+    @abstractmethod
+    def get(self, index: int) -> Any: ...
+
+    @abstractmethod
+    def set(self, index: int, value: Any) -> Any:
+        """Replace element at ``index``; return the previous value."""
+
+    @abstractmethod
+    def insert(self, index: int, value: Any) -> None: ...
+
+    @abstractmethod
+    def remove_at(self, index: int) -> Any: ...
+
+    def index_of(self, value: Any) -> int:
+        for i, v in enumerate(self.to_array()):
+            if v == value:
+                return i
+        return -1
+
+    def _check_index(self, index: int, *, upper: int) -> None:
+        if not 0 <= index < upper:
+            raise IndexError(f"index {index} out of range [0, {upper})")
+
+
+class MapLike(ABC):
+    """Key-value mapping (``java.util.Map``)."""
+
+    @abstractmethod
+    def put(self, key: Any, value: Any) -> Optional[Any]:
+        """Associate ``key`` with ``value``; return the previous value."""
+
+    @abstractmethod
+    def get(self, key: Any) -> Optional[Any]: ...
+
+    @abstractmethod
+    def remove(self, key: Any) -> Optional[Any]: ...
+
+    @abstractmethod
+    def contains_key(self, key: Any) -> bool: ...
+
+    @abstractmethod
+    def size(self) -> int: ...
+
+    @abstractmethod
+    def entries(self) -> List[Tuple[Any, Any]]:
+        """Snapshot of ``(key, value)`` pairs in iteration order."""
+
+    @abstractmethod
+    def clear(self) -> None: ...
+
+    def keys(self) -> List[Any]:
+        return [k for k, _ in self.entries()]
+
+    def values(self) -> List[Any]:
+        return [v for _, v in self.entries()]
+
+    def is_empty(self) -> bool:
+        return self.size() == 0
+
+    def __len__(self) -> int:
+        return self.size()

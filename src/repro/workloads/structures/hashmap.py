@@ -1,0 +1,141 @@
+"""A separate-chaining hash table (``java.util.HashMap``).
+
+Own bucket array and rehashing: power-of-two capacity, 0.75 load factor,
+per-bucket singly-linked chains.  Key hashing goes through
+:meth:`HashMap._hash` so subclasses can redefine key identity
+(:class:`~repro.workloads.structures.identityhashmap.IdentityHashMap`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.workloads.structures.base import MapLike
+from repro.workloads.structures.iterators import FailFastIterator, Modifiable
+
+_DEFAULT_CAPACITY = 16
+_LOAD_FACTOR = 0.75
+
+
+class _Entry:
+    __slots__ = ("key", "value", "next")
+
+    def __init__(self, key: Any, value: Any, nxt: Optional["_Entry"]) -> None:
+        self.key = key
+        self.value = value
+        self.next = nxt
+
+
+class HashMap(MapLike, Modifiable):
+    def __init__(self, initial_capacity: int = _DEFAULT_CAPACITY) -> None:
+        cap = 1
+        while cap < initial_capacity:
+            cap <<= 1
+        self._buckets: List[Optional[_Entry]] = [None] * cap
+        self._size = 0
+
+    # -- key identity (overridable) -------------------------------------------
+
+    def _hash(self, key: Any) -> int:
+        h = hash(key)
+        # Java's supplemental hash: spread high bits into the low ones.
+        return h ^ (h >> 16)
+
+    def _keys_equal(self, a: Any, b: Any) -> bool:
+        return a == b
+
+    # -- internals ---------------------------------------------------------------
+
+    def _bucket_index(self, key: Any, capacity: Optional[int] = None) -> int:
+        return self._hash(key) & ((capacity or len(self._buckets)) - 1)
+
+    def _resize(self) -> None:
+        old = self._buckets
+        new_cap = len(old) * 2
+        self._buckets = [None] * new_cap
+        for head in old:
+            e = head
+            while e is not None:
+                nxt = e.next
+                i = self._bucket_index(e.key, new_cap)
+                e.next = self._buckets[i]
+                self._buckets[i] = e
+                e = nxt
+
+    # -- MapLike -------------------------------------------------------------------
+
+    def put(self, key: Any, value: Any) -> Optional[Any]:
+        i = self._bucket_index(key)
+        e = self._buckets[i]
+        while e is not None:
+            if self._keys_equal(e.key, key):
+                old, e.value = e.value, value
+                return old
+            e = e.next
+        self._buckets[i] = _Entry(key, value, self._buckets[i])
+        self._size += 1
+        self._structural_change()
+        if self._size > _LOAD_FACTOR * len(self._buckets):
+            self._resize()
+        return None
+
+    def get(self, key: Any) -> Optional[Any]:
+        e = self._buckets[self._bucket_index(key)]
+        while e is not None:
+            if self._keys_equal(e.key, key):
+                return e.value
+            e = e.next
+        return None
+
+    def remove(self, key: Any) -> Optional[Any]:
+        i = self._bucket_index(key)
+        e, prev = self._buckets[i], None
+        while e is not None:
+            if self._keys_equal(e.key, key):
+                if prev is None:
+                    self._buckets[i] = e.next
+                else:
+                    prev.next = e.next
+                self._size -= 1
+                self._structural_change()
+                return e.value
+            prev, e = e, e.next
+        return None
+
+    def contains_key(self, key: Any) -> bool:
+        e = self._buckets[self._bucket_index(key)]
+        while e is not None:
+            if self._keys_equal(e.key, key):
+                return True
+            e = e.next
+        return False
+
+    def size(self) -> int:
+        return self._size
+
+    def entries(self) -> List[Tuple[Any, Any]]:
+        out: List[Tuple[Any, Any]] = []
+        for head in self._buckets:
+            e = head
+            while e is not None:
+                out.append((e.key, e.value))
+                e = e.next
+        return out
+
+    def clear(self) -> None:
+        self._buckets = [None] * len(self._buckets)
+        self._size = 0
+        self._structural_change()
+
+    def iterator(self) -> FailFastIterator:
+        """Fail-fast iterator over ``(key, value)`` pairs."""
+        snapshot = self.entries()
+        return self._fail_fast(lambda i: snapshot[i], len(snapshot))
+
+    @property
+    def capacity(self) -> int:
+        return len(self._buckets)
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{k!r}: {v!r}" for k, v in self.entries())
+        return f"{type(self).__name__}({{{pairs}}})"

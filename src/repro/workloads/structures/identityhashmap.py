@@ -1,0 +1,16 @@
+"""A reference-equality hash map (``java.util.IdentityHashMap``): keys
+match by identity (`is`), not by value equality."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.workloads.structures.hashmap import HashMap
+
+
+class IdentityHashMap(HashMap):
+    def _hash(self, key: Any) -> int:
+        return id(key)
+
+    def _keys_equal(self, a: Any, b: Any) -> bool:
+        return a is b

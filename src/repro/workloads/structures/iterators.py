@@ -1,0 +1,69 @@
+"""Fail-fast iteration (Java's ``modCount`` discipline).
+
+Java collections count structural modifications; iterators snapshot the
+count at creation and raise ``ConcurrentModificationException`` when it
+changes under them.  The structures here implement the same contract —
+single-threaded fail-fast, best-effort (exactly Java's guarantee), and
+the reason ``Collections.synchronizedX`` documentation tells users to
+lock around iteration manually.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List
+
+
+class ConcurrentModificationError(RuntimeError):
+    """The backing structure changed structurally during iteration."""
+
+
+class FailFastIterator:
+    """Iterator over a snapshot accessor, guarded by a mod-count probe.
+
+    ``next_item`` is called lazily per step so concurrent structural
+    changes are caught *during* iteration, as in Java, rather than only
+    at creation.
+    """
+
+    def __init__(
+        self,
+        owner: "Modifiable",
+        next_item: Callable[[int], Any],
+        size: int,
+    ) -> None:
+        self._owner = owner
+        self._expected = owner._mod_count
+        self._next_item = next_item
+        self._size = size
+        self._cursor = 0
+
+    def __iter__(self) -> "FailFastIterator":
+        return self
+
+    def __next__(self) -> Any:
+        self._check()
+        if self._cursor >= self._size:
+            raise StopIteration
+        item = self._next_item(self._cursor)
+        self._cursor += 1
+        return item
+
+    def _check(self) -> None:
+        if self._owner._mod_count != self._expected:
+            raise ConcurrentModificationError(
+                f"{type(self._owner).__name__} modified during iteration "
+                f"(expected modCount {self._expected}, "
+                f"found {self._owner._mod_count})"
+            )
+
+
+class Modifiable:
+    """Mixin: structural modification counter + fail-fast iterator factory."""
+
+    _mod_count: int = 0
+
+    def _structural_change(self) -> None:
+        self._mod_count += 1
+
+    def _fail_fast(self, next_item: Callable[[int], Any], size: int) -> FailFastIterator:
+        return FailFastIterator(self, next_item, size)

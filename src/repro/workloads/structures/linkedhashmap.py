@@ -1,0 +1,91 @@
+"""A hash map with predictable (insertion-order) iteration
+(``java.util.LinkedHashMap``): :class:`HashMap` plus a doubly-linked
+order chain threaded through the live keys."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.workloads.structures.hashmap import HashMap
+
+
+class _OrderNode:
+    __slots__ = ("key", "prev", "next")
+
+    def __init__(self, key: Any) -> None:
+        self.key = key
+        self.prev: Optional["_OrderNode"] = None
+        self.next: Optional["_OrderNode"] = None
+
+
+class LinkedHashMap(HashMap):
+    def __init__(self, initial_capacity: int = 16, *, access_order: bool = False):
+        super().__init__(initial_capacity)
+        self._order_head = _OrderNode(None)
+        self._order_tail = _OrderNode(None)
+        self._order_head.next = self._order_tail
+        self._order_tail.prev = self._order_head
+        self._order_nodes: Dict[Any, _OrderNode] = {}
+        #: Java's accessOrder=true turns this into an LRU chain.
+        self.access_order = access_order
+
+    # -- order chain -----------------------------------------------------------
+
+    def _append_order(self, key: Any) -> None:
+        node = _OrderNode(key)
+        node.prev = self._order_tail.prev
+        node.next = self._order_tail
+        self._order_tail.prev.next = node
+        self._order_tail.prev = node
+        self._order_nodes[key] = node
+
+    def _unlink_order(self, key: Any) -> None:
+        node = self._order_nodes.pop(key, None)
+        if node is not None:
+            node.prev.next = node.next
+            node.next.prev = node.prev
+
+    def _touch(self, key: Any) -> None:
+        if self.access_order and key in self._order_nodes:
+            self._unlink_order(key)
+            self._append_order(key)
+
+    # -- MapLike overrides --------------------------------------------------------
+
+    def put(self, key: Any, value: Any) -> Optional[Any]:
+        old = super().put(key, value)
+        if old is None and key not in self._order_nodes:
+            self._append_order(key)
+        else:
+            self._touch(key)
+        return old
+
+    def get(self, key: Any) -> Optional[Any]:
+        value = super().get(key)
+        if value is not None:
+            self._touch(key)
+        return value
+
+    def remove(self, key: Any) -> Optional[Any]:
+        old = super().remove(key)
+        self._unlink_order(key)
+        return old
+
+    def clear(self) -> None:
+        super().clear()
+        self._order_head.next = self._order_tail
+        self._order_tail.prev = self._order_head
+        self._order_nodes.clear()
+
+    def entries(self) -> List[Tuple[Any, Any]]:
+        out: List[Tuple[Any, Any]] = []
+        node = self._order_head.next
+        while node is not self._order_tail:
+            out.append((node.key, super(LinkedHashMap, self).get(node.key)))
+            node = node.next
+        return out
+
+    def eldest_key(self) -> Any:
+        if self._order_head.next is self._order_tail:
+            raise KeyError("map is empty")
+        return self._order_head.next.key

@@ -1,0 +1,165 @@
+"""A doubly-linked list (``java.util.LinkedList``).
+
+Own node chain with head/tail sentinels; O(1) insertion at both ends,
+O(n) positional access that walks from the nearer end (as Java does).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.workloads.structures.base import ListLike
+from repro.workloads.structures.iterators import ConcurrentModificationError, Modifiable
+
+
+class _Node:
+    __slots__ = ("value", "prev", "next")
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+        self.prev: Optional["_Node"] = None
+        self.next: Optional["_Node"] = None
+
+
+class LinkedList(ListLike, Modifiable):
+    def __init__(self) -> None:
+        self._head = _Node(None)  # sentinel
+        self._tail = _Node(None)  # sentinel
+        self._head.next = self._tail
+        self._tail.prev = self._head
+        self._size = 0
+        self._structural_change()
+
+    # -- node plumbing -----------------------------------------------------
+
+    def _node_at(self, index: int) -> _Node:
+        if index < self._size // 2:
+            node = self._head.next
+            for _ in range(index):
+                node = node.next
+        else:
+            node = self._tail.prev
+            for _ in range(self._size - 1 - index):
+                node = node.prev
+        return node
+
+    def _link_before(self, node: _Node, value: Any) -> None:
+        new = _Node(value)
+        new.prev, new.next = node.prev, node
+        node.prev.next = new
+        node.prev = new
+        self._size += 1
+        self._structural_change()
+
+    def _unlink(self, node: _Node) -> Any:
+        node.prev.next = node.next
+        node.next.prev = node.prev
+        node.prev = node.next = None
+        self._size -= 1
+        self._structural_change()
+        return node.value
+
+    # -- Collection ------------------------------------------------------------
+
+    def add(self, value: Any) -> bool:
+        self._link_before(self._tail, value)
+        return True
+
+    def add_first(self, value: Any) -> None:
+        self._link_before(self._head.next, value)
+
+    def remove_value(self, value: Any) -> bool:
+        node = self._head.next
+        while node is not self._tail:
+            if node.value == value:
+                self._unlink(node)
+                return True
+            node = node.next
+        return False
+
+    def contains(self, value: Any) -> bool:
+        node = self._head.next
+        while node is not self._tail:
+            if node.value == value:
+                return True
+            node = node.next
+        return False
+
+    def size(self) -> int:
+        return self._size
+
+    def to_array(self) -> List[Any]:
+        out: List[Any] = []
+        node = self._head.next
+        while node is not self._tail:
+            out.append(node.value)
+            node = node.next
+        return out
+
+    def clear(self) -> None:
+        self._head.next = self._tail
+        self._tail.prev = self._head
+        self._size = 0
+        self._structural_change()
+
+    # -- ListLike -------------------------------------------------------------------
+
+    def get(self, index: int) -> Any:
+        self._check_index(index, upper=self._size)
+        return self._node_at(index).value
+
+    def set(self, index: int, value: Any) -> Any:
+        self._check_index(index, upper=self._size)
+        node = self._node_at(index)
+        old, node.value = node.value, value
+        return old
+
+    def insert(self, index: int, value: Any) -> None:
+        if not 0 <= index <= self._size:
+            raise IndexError(f"index {index} out of range [0, {self._size}]")
+        anchor = self._tail if index == self._size else self._node_at(index)
+        self._link_before(anchor, value)
+
+    def remove_at(self, index: int) -> Any:
+        self._check_index(index, upper=self._size)
+        return self._unlink(self._node_at(index))
+
+    def peek_first(self) -> Any:
+        if self._size == 0:
+            raise IndexError("empty list")
+        return self._head.next.value
+
+    def poll_first(self) -> Any:
+        if self._size == 0:
+            raise IndexError("empty list")
+        return self._unlink(self._head.next)
+
+    def iterator(self) -> "_LinkedListIterator":
+        """Fail-fast node-walking iterator (O(1) per step)."""
+        return _LinkedListIterator(self)
+
+    def __repr__(self) -> str:
+        return f"LinkedList({self.to_array()!r})"
+
+
+class _LinkedListIterator:
+    """Walks the node chain directly; fail-fast via the mod counter."""
+
+    def __init__(self, owner: LinkedList) -> None:
+        self._owner = owner
+        self._expected = owner._mod_count
+        self._node = owner._head.next
+
+    def __iter__(self) -> "_LinkedListIterator":
+        return self
+
+    def __next__(self):
+        if self._owner._mod_count != self._expected:
+            raise ConcurrentModificationError(
+                "LinkedList modified during iteration"
+            )
+        if self._node is self._owner._tail:
+            raise StopIteration
+        value = self._node.value
+        self._node = self._node.next
+        return value

@@ -1,0 +1,35 @@
+"""A LIFO stack (``java.util.Stack``), layered over :class:`ArrayList`
+exactly as Java's ``Stack extends Vector``."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.workloads.structures.arraylist import ArrayList
+
+
+class Stack(ArrayList):
+    def push(self, value: Any) -> Any:
+        self.add(value)
+        return value
+
+    def pop(self) -> Any:
+        if self.size() == 0:
+            raise IndexError("pop from empty stack")
+        return self.remove_at(self.size() - 1)
+
+    def peek(self) -> Any:
+        if self.size() == 0:
+            raise IndexError("peek at empty stack")
+        return self.get(self.size() - 1)
+
+    def search(self, value: Any) -> int:
+        """1-based distance from the top (Java semantics); -1 if absent."""
+        arr = self.to_array()
+        for dist, i in enumerate(range(len(arr) - 1, -1, -1), start=1):
+            if arr[i] == value:
+                return dist
+        return -1
+
+    def __repr__(self) -> str:
+        return f"Stack({self.to_array()!r})"

@@ -1,0 +1,213 @@
+"""A sorted map backed by an AVL tree (``java.util.TreeMap`` is red-black;
+AVL gives the same O(log n) bounds and ordered iteration with simpler
+invariants, which the property-based tests verify directly).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.workloads.structures.base import MapLike
+from repro.workloads.structures.iterators import FailFastIterator, Modifiable
+
+
+class _Node:
+    __slots__ = ("key", "value", "left", "right", "height")
+
+    def __init__(self, key: Any, value: Any) -> None:
+        self.key = key
+        self.value = value
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+        self.height = 1
+
+
+def _h(node: Optional[_Node]) -> int:
+    return node.height if node else 0
+
+
+def _update(node: _Node) -> None:
+    node.height = 1 + max(_h(node.left), _h(node.right))
+
+
+def _balance_factor(node: _Node) -> int:
+    return _h(node.left) - _h(node.right)
+
+
+def _rotate_right(y: _Node) -> _Node:
+    x = y.left
+    y.left = x.right
+    x.right = y
+    _update(y)
+    _update(x)
+    return x
+
+
+def _rotate_left(x: _Node) -> _Node:
+    y = x.right
+    x.right = y.left
+    y.left = x
+    _update(x)
+    _update(y)
+    return y
+
+
+def _rebalance(node: _Node) -> _Node:
+    _update(node)
+    bf = _balance_factor(node)
+    if bf > 1:
+        if _balance_factor(node.left) < 0:
+            node.left = _rotate_left(node.left)
+        return _rotate_right(node)
+    if bf < -1:
+        if _balance_factor(node.right) > 0:
+            node.right = _rotate_right(node.right)
+        return _rotate_left(node)
+    return node
+
+
+class TreeMap(MapLike, Modifiable):
+    def __init__(self) -> None:
+        self._root: Optional[_Node] = None
+        self._size = 0
+
+    # -- MapLike -----------------------------------------------------------
+
+    def put(self, key: Any, value: Any) -> Optional[Any]:
+        old: List[Any] = [None]
+
+        def ins(node: Optional[_Node]) -> _Node:
+            if node is None:
+                self._size += 1
+                self._structural_change()
+                return _Node(key, value)
+            if key < node.key:
+                node.left = ins(node.left)
+            elif key > node.key:
+                node.right = ins(node.right)
+            else:
+                old[0], node.value = node.value, value
+                return node
+            return _rebalance(node)
+
+        self._root = ins(self._root)
+        return old[0]
+
+    def get(self, key: Any) -> Optional[Any]:
+        node = self._root
+        while node is not None:
+            if key < node.key:
+                node = node.left
+            elif key > node.key:
+                node = node.right
+            else:
+                return node.value
+        return None
+
+    def remove(self, key: Any) -> Optional[Any]:
+        old: List[Any] = [None]
+
+        def pop_min(node: _Node) -> Tuple[_Node, Optional[_Node]]:
+            if node.left is None:
+                return node, node.right
+            smallest, node.left = pop_min(node.left)
+            return smallest, _rebalance(node)
+
+        def rem(node: Optional[_Node]) -> Optional[_Node]:
+            if node is None:
+                return None
+            if key < node.key:
+                node.left = rem(node.left)
+            elif key > node.key:
+                node.right = rem(node.right)
+            else:
+                old[0] = node.value
+                self._size -= 1
+                self._structural_change()
+                if node.left is None:
+                    return node.right
+                if node.right is None:
+                    return node.left
+                successor, node.right = pop_min(node.right)
+                node.key, node.value = successor.key, successor.value
+            return _rebalance(node)
+
+        self._root = rem(self._root)
+        return old[0]
+
+    def contains_key(self, key: Any) -> bool:
+        node = self._root
+        while node is not None:
+            if key < node.key:
+                node = node.left
+            elif key > node.key:
+                node = node.right
+            else:
+                return True
+        return False
+
+    def size(self) -> int:
+        return self._size
+
+    def entries(self) -> List[Tuple[Any, Any]]:
+        out: List[Tuple[Any, Any]] = []
+
+        def walk(node: Optional[_Node]) -> None:
+            if node is None:
+                return
+            walk(node.left)
+            out.append((node.key, node.value))
+            walk(node.right)
+
+        walk(self._root)
+        return out
+
+    def clear(self) -> None:
+        self._root = None
+        self._size = 0
+        self._structural_change()
+
+    def iterator(self) -> FailFastIterator:
+        """Fail-fast in-order iterator over ``(key, value)`` pairs."""
+        snapshot = self.entries()
+        return self._fail_fast(lambda i: snapshot[i], len(snapshot))
+
+    # -- sorted-map extras ---------------------------------------------------
+
+    def first_key(self) -> Any:
+        if self._root is None:
+            raise KeyError("map is empty")
+        node = self._root
+        while node.left is not None:
+            node = node.left
+        return node.key
+
+    def last_key(self) -> Any:
+        if self._root is None:
+            raise KeyError("map is empty")
+        node = self._root
+        while node.right is not None:
+            node = node.right
+        return node.key
+
+    def height(self) -> int:
+        return _h(self._root)
+
+    def check_invariants(self) -> None:
+        """AVL + BST invariants; raises AssertionError on violation
+        (exercised by the hypothesis tests)."""
+
+        def check(node: Optional[_Node], lo, hi) -> int:
+            if node is None:
+                return 0
+            if lo is not None:
+                assert node.key > lo, f"BST violation at {node.key!r}"
+            if hi is not None:
+                assert node.key < hi, f"BST violation at {node.key!r}"
+            hl = check(node.left, lo, node.key)
+            hr = check(node.right, node.key, hi)
+            assert abs(hl - hr) <= 1, f"AVL violation at {node.key!r}"
+            assert node.height == 1 + max(hl, hr), "stale height"
+            return node.height
+
+        check(self._root, None, None)

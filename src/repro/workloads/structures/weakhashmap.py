@@ -1,0 +1,75 @@
+"""A weak-keyed hash map (``java.util.WeakHashMap``).
+
+Java's WeakHashMap drops entries whose keys the garbage collector has
+reclaimed, expunging stale entries lazily at the start of most operations.
+Python's GC is not deterministic enough for reproducible schedules, so key
+reclamation is modelled by an explicit :class:`WeakRegistry`: tests and
+harnesses call :meth:`WeakRegistry.collect` to "reclaim" a key, and the
+map expunges those entries on its next operation — the same observable
+behaviour, deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Set, Tuple
+
+from repro.workloads.structures.hashmap import HashMap
+
+
+class WeakRegistry:
+    """Stand-in for the garbage collector's reference queue."""
+
+    def __init__(self) -> None:
+        self._collected: Set[Any] = set()
+
+    def collect(self, key: Any) -> None:
+        """Mark ``key`` as reclaimed; weak maps drop it on next touch."""
+        self._collected.add(key)
+
+    def is_collected(self, key: Any) -> bool:
+        return key in self._collected
+
+    def drain(self) -> Set[Any]:
+        out, self._collected = self._collected, set()
+        return out
+
+
+class WeakHashMap(HashMap):
+    def __init__(
+        self, initial_capacity: int = 16, registry: Optional[WeakRegistry] = None
+    ) -> None:
+        super().__init__(initial_capacity)
+        self.registry = registry or WeakRegistry()
+
+    def _expunge(self) -> None:
+        stale = [k for k, _ in super().entries() if self.registry.is_collected(k)]
+        for k in stale:
+            super().remove(k)
+
+    # Every public operation expunges first, as in Java.
+
+    def put(self, key: Any, value: Any) -> Optional[Any]:
+        self._expunge()
+        if self.registry.is_collected(key):
+            raise KeyError(f"key {key!r} has been collected")
+        return super().put(key, value)
+
+    def get(self, key: Any) -> Optional[Any]:
+        self._expunge()
+        return super().get(key)
+
+    def remove(self, key: Any) -> Optional[Any]:
+        self._expunge()
+        return super().remove(key)
+
+    def contains_key(self, key: Any) -> bool:
+        self._expunge()
+        return super().contains_key(key)
+
+    def size(self) -> int:
+        self._expunge()
+        return super().size()
+
+    def entries(self) -> List[Tuple[Any, Any]]:
+        self._expunge()
+        return super().entries()

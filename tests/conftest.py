@@ -1,0 +1,54 @@
+"""Shared fixtures: small programs with known concurrency structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.sim.runtime import SimRuntime
+
+
+def two_lock_program(rt: SimRuntime) -> None:
+    """Classic AB/BA: deadlocks under some schedules."""
+    a = rt.new_lock(name="A")
+    b = rt.new_lock(name="B")
+
+    def t1() -> None:
+        with a.at("p:a1"):
+            with b.at("p:b1"):
+                pass
+
+    def t2() -> None:
+        with b.at("p:b2"):
+            with a.at("p:a2"):
+                pass
+
+    h1 = rt.spawn(t1, name="t1", site="spawn:t1")
+    h2 = rt.spawn(t2, name="t2", site="spawn:t2")
+    h1.join()
+    h2.join()
+
+
+def ordered_program(rt: SimRuntime) -> None:
+    """Same locks, same order in both threads: never deadlocks."""
+    a = rt.new_lock(name="A")
+    b = rt.new_lock(name="B")
+
+    def worker() -> None:
+        with a.at("q:a"):
+            with b.at("q:b"):
+                pass
+
+    h1 = rt.spawn(worker, name="t1", site="spawn:w")
+    h2 = rt.spawn(worker, name="t2", site="spawn:w")
+    h1.join()
+    h2.join()
+
+
+@pytest.fixture
+def ab_ba_program():
+    return two_lock_program
+
+
+@pytest.fixture
+def safe_program():
+    return ordered_program

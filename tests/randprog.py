@@ -1,0 +1,40 @@
+"""Hypothesis strategies over the library's synthetic program generator.
+
+The generator itself lives in :mod:`repro.workloads.randomgen` (it is a
+library feature — see ``wolf fuzz``); this module only adds the
+hypothesis strategies the property suites draw specs from.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.workloads.randomgen import (  # noqa: F401  (re-exported for tests)
+    ProgramSpec,
+    Region,
+    build_program,
+)
+
+
+def regions(depth: int, n_locks: int):
+    if depth == 0:
+        return st.builds(
+            Region, lock=st.integers(0, n_locks - 1), children=st.just(())
+        )
+    return st.builds(
+        Region,
+        lock=st.integers(0, n_locks - 1),
+        children=st.lists(regions(depth - 1, n_locks), max_size=2).map(tuple),
+    )
+
+
+@st.composite
+def program_specs(draw, max_threads: int = 3, max_locks: int = 3):
+    n_locks = draw(st.integers(2, max_locks))
+    n_threads = draw(st.integers(2, max_threads))
+    threads = tuple(
+        tuple(draw(st.lists(regions(2, n_locks), min_size=1, max_size=3)))
+        for _ in range(n_threads)
+    )
+    chain = (False,) + tuple(draw(st.booleans()) for _ in range(n_threads - 1))
+    return ProgramSpec(n_locks=n_locks, threads=threads, chain=chain)

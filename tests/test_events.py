@@ -1,0 +1,99 @@
+"""Trace container and event-model tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runtime.events import (
+    AcquireEvent,
+    BeginEvent,
+    BlockEvent,
+    NullTrace,
+    ReleaseEvent,
+    SpawnEvent,
+    Trace,
+)
+from repro.runtime.sim.runtime import run_program
+from repro.runtime.sim.strategy import RandomStrategy
+from tests.conftest import two_lock_program
+
+
+@pytest.fixture
+def trace():
+    result = run_program(two_lock_program, RandomStrategy(3), name="abba")
+    return result.trace
+
+
+class TestTraceViews:
+    def test_threads_in_first_appearance_order(self, trace):
+        threads = trace.threads()
+        assert threads[0].is_root
+        assert len(threads) == 3
+        assert len(set(threads)) == 3
+
+    def test_locks(self, trace):
+        names = sorted(l.name for l in trace.locks())
+        assert names == ["A", "B"]
+
+    def test_events_of(self, trace):
+        for t in trace.threads():
+            evs = trace.events_of(t)
+            assert all(e.thread == t for e in evs)
+
+    def test_acquisitions_filter(self, trace):
+        acqs = trace.acquisitions()
+        assert all(isinstance(e, AcquireEvent) and not e.reentrant for e in acqs)
+
+    def test_acquisitions_include_reentrant_flag(self):
+        def program(rt):
+            lock = rt.new_lock(name="L")
+            with lock.at("a:1"):
+                with lock.at("a:2"):
+                    pass
+
+        result = run_program(program)
+        trace = result.trace
+        assert len(trace.acquisitions()) == 1
+        assert len(trace.acquisitions(include_reentrant=True)) == 2
+
+    def test_parent_of(self, trace):
+        root = trace.threads()[0]
+        for t in trace.threads()[1:]:
+            assert trace.parent_of(t) == root
+        assert trace.parent_of(root) is None
+
+    def test_stack_depths(self, trace):
+        table = trace.stack_depths()
+        assert table
+        assert all(d >= 1 for d in table.values())
+
+    def test_len_and_iter(self, trace):
+        assert len(trace) == len(list(trace))
+
+
+class TestJsonRendering:
+    def test_to_json_parses(self, trace):
+        doc = json.loads(trace.to_json())
+        assert doc["program"] == "abba"
+        assert len(doc["events"]) == len(trace)
+        kinds = {e["kind"] for e in doc["events"]}
+        assert "AcquireEvent" in kinds and "SpawnEvent" in kinds
+
+    def test_acquire_rendering_has_lock_and_index(self, trace):
+        doc = json.loads(trace.to_json())
+        acq = next(e for e in doc["events"] if e["kind"] == "AcquireEvent")
+        assert "lock" in acq and "index" in acq and "held" in acq
+
+
+class TestNullTrace:
+    def test_discards_events(self):
+        nt = NullTrace()
+        nt.append(BeginEvent(0, None))
+        assert len(nt) == 0
+
+    def test_run_with_record_trace_false(self):
+        result = run_program(two_lock_program, RandomStrategy(3), record_trace=False)
+        assert len(result.trace) == 0
+        assert result.steps > 0  # the run still happened

@@ -1,0 +1,140 @@
+"""Unit tests for the deterministic identity model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.ids import (
+    ExecIndex,
+    LockId,
+    OccurrenceCounter,
+    ThreadId,
+    auto_site,
+)
+
+
+class TestThreadId:
+    def test_root(self):
+        root = ThreadId.root()
+        assert root.is_root
+        assert root.parent is None
+        assert root.depth == 0
+        assert root.pretty() == "main"
+
+    def test_child_identity_is_structural(self):
+        root = ThreadId.root()
+        a = ThreadId(root, "f.py:1", 0)
+        b = ThreadId(root, "f.py:1", 0)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_seq_distinguishes_siblings(self):
+        root = ThreadId.root()
+        a = ThreadId(root, "f.py:1", 0)
+        b = ThreadId(root, "f.py:1", 1)
+        assert a != b
+
+    def test_name_excluded_from_identity(self):
+        root = ThreadId.root()
+        a = ThreadId(root, "f.py:1", 0, name="x")
+        b = ThreadId(root, "f.py:1", 0, name="y")
+        assert a == b
+
+    def test_abstraction_collapses_seq(self):
+        """The DeadlockFuzzer weakness: same spawn site => same abstraction."""
+        root = ThreadId.root()
+        a = ThreadId(root, "f.py:1", 0)
+        b = ThreadId(root, "f.py:1", 1)
+        assert a.abstraction() == b.abstraction()
+
+    def test_abstraction_distinguishes_sites(self):
+        root = ThreadId.root()
+        a = ThreadId(root, "f.py:1", 0)
+        b = ThreadId(root, "f.py:2", 0)
+        assert a.abstraction() != b.abstraction()
+
+    def test_abstraction_is_full_chain(self):
+        root = ThreadId.root()
+        mid = ThreadId(root, "f.py:1", 0)
+        leaf = ThreadId(mid, "g.py:2", 0)
+        assert leaf.abstraction() == ("<root>", "f.py:1", "g.py:2")
+
+    def test_depth(self):
+        root = ThreadId.root()
+        mid = ThreadId(root, "f.py:1", 0)
+        leaf = ThreadId(mid, "g.py:2", 3)
+        assert mid.depth == 1
+        assert leaf.depth == 2
+
+    def test_pretty_unnamed_includes_lineage(self):
+        root = ThreadId.root()
+        child = ThreadId(root, "f.py:1", 2)
+        assert "f.py:1" in child.pretty()
+        assert "#2" in child.pretty()
+
+
+class TestLockId:
+    def test_identity(self):
+        t = ThreadId.root()
+        a = LockId(t, "f.py:9", 0)
+        b = LockId(t, "f.py:9", 0)
+        assert a == b
+
+    def test_abstraction_collapses_seq(self):
+        t = ThreadId.root()
+        a = LockId(t, "f.py:9", 0)
+        b = LockId(t, "f.py:9", 5)
+        assert a != b
+        assert a.abstraction() == b.abstraction()
+
+    def test_abstraction_includes_owner_chain(self):
+        root = ThreadId.root()
+        child = ThreadId(root, "f.py:1", 0)
+        lock = LockId(child, "g.py:3", 0)
+        assert lock.abstraction() == ("<root>", "f.py:1", "g.py:3")
+
+
+class TestExecIndex:
+    def test_equality(self):
+        t = ThreadId.root()
+        assert ExecIndex(t, "s", 1) == ExecIndex(t, "s", 1)
+        assert ExecIndex(t, "s", 1) != ExecIndex(t, "s", 2)
+
+    def test_matches_site(self):
+        t = ThreadId.root()
+        ix = ExecIndex(t, "file:12", 3)
+        assert ix.matches_site("file:12")
+        assert not ix.matches_site("file:13")
+
+
+class TestOccurrenceCounter:
+    def test_starts_at_one(self):
+        c = OccurrenceCounter()
+        assert c.next("a") == 1
+
+    def test_increments_per_key(self):
+        c = OccurrenceCounter()
+        assert [c.next("a"), c.next("a"), c.next("b"), c.next("a")] == [1, 2, 1, 3]
+
+    def test_peek_does_not_advance(self):
+        c = OccurrenceCounter()
+        c.next("a")
+        assert c.peek("a") == 1
+        assert c.peek("a") == 1
+        assert c.peek("missing") == 0
+
+
+def test_auto_site_names_caller():
+    site = auto_site()
+    assert site.startswith("test_ids.py:")
+
+
+def test_auto_site_depth_two_names_grandcaller():
+    def inner():
+        return auto_site(2)
+
+    site = inner()
+    assert site.startswith("test_ids.py:")
+    # The line number must be this function's call line, not inner()'s.
+    line = int(site.split(":")[1])
+    assert abs(line - test_auto_site_depth_two_names_grandcaller.__code__.co_firstlineno) < 10

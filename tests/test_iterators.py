@@ -1,0 +1,115 @@
+"""Fail-fast iterator tests (Java ``ConcurrentModificationException``
+semantics on the from-scratch structures)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.structures import (
+    ArrayList,
+    HashMap,
+    LinkedList,
+    Stack,
+    TreeMap,
+)
+from repro.workloads.structures.iterators import ConcurrentModificationError
+
+
+@pytest.fixture(params=[ArrayList, LinkedList, Stack])
+def filled_list(request):
+    lst = request.param()
+    for i in range(5):
+        lst.add(i)
+    return lst
+
+
+@pytest.fixture(params=[HashMap, TreeMap])
+def filled_map(request):
+    m = request.param()
+    for i in range(5):
+        m.put(i, i * 10)
+    return m
+
+
+class TestListIterators:
+    def test_full_iteration(self, filled_list):
+        assert list(filled_list.iterator()) == [0, 1, 2, 3, 4]
+
+    def test_empty_iteration(self):
+        assert list(ArrayList().iterator()) == []
+        assert list(LinkedList().iterator()) == []
+
+    def test_add_during_iteration_raises(self, filled_list):
+        it = filled_list.iterator()
+        next(it)
+        filled_list.add(99)
+        with pytest.raises(ConcurrentModificationError):
+            next(it)
+
+    def test_remove_during_iteration_raises(self, filled_list):
+        it = filled_list.iterator()
+        next(it)
+        filled_list.remove_at(0)
+        with pytest.raises(ConcurrentModificationError):
+            next(it)
+
+    def test_clear_during_iteration_raises(self, filled_list):
+        it = filled_list.iterator()
+        filled_list.clear()
+        with pytest.raises(ConcurrentModificationError):
+            next(it)
+
+    def test_set_is_not_structural(self, filled_list):
+        """Java: ``set`` replaces in place — iterators survive it."""
+        it = filled_list.iterator()
+        next(it)
+        filled_list.set(2, 222)
+        assert list(it) == [1, 222, 3, 4]
+
+    def test_two_independent_iterators(self, filled_list):
+        a, b = filled_list.iterator(), filled_list.iterator()
+        assert next(a) == 0
+        assert next(b) == 0
+        assert next(a) == 1
+
+    def test_exhausted_iterator_stays_exhausted(self, filled_list):
+        it = filled_list.iterator()
+        list(it)
+        with pytest.raises(StopIteration):
+            next(it)
+
+
+class TestMapIterators:
+    def test_full_iteration(self, filled_map):
+        assert dict(filled_map.iterator()) == {i: i * 10 for i in range(5)}
+
+    def test_put_new_key_during_iteration_raises(self, filled_map):
+        it = filled_map.iterator()
+        next(it)
+        filled_map.put(100, 1)
+        with pytest.raises(ConcurrentModificationError):
+            next(it)
+
+    def test_overwrite_is_not_structural(self, filled_map):
+        """Updating an existing key's value is not a structural change."""
+        it = filled_map.iterator()
+        next(it)
+        filled_map.put(2, -1)
+        list(it)  # must not raise
+
+    def test_remove_during_iteration_raises(self, filled_map):
+        it = filled_map.iterator()
+        filled_map.remove(3)
+        with pytest.raises(ConcurrentModificationError):
+            next(it)
+
+    def test_treemap_iterates_sorted(self):
+        m = TreeMap()
+        for k in (5, 1, 3):
+            m.put(k, None)
+        assert [k for k, _ in m.iterator()] == [1, 3, 5]
+
+    def test_remove_missing_key_not_structural(self, filled_map):
+        it = filled_map.iterator()
+        filled_map.remove(999)
+        list(it)  # must not raise

@@ -1,0 +1,101 @@
+"""Tests for the multi-run coverage experiment and the DOT exporters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.detector import ExtendedDetector
+from repro.core.generator import Generator
+from repro.core.pipeline import run_detection
+from repro.core.pruner import Pruner
+from repro.experiments.multirun import coverage_for, render_coverage, run_coverage
+from repro.experiments.runner import ExperimentSettings
+from repro.util.dot import lock_graph_dot, sync_graph_dot
+from repro.workloads import get_benchmark
+from repro.workloads.figures import fig4_program
+
+
+class TestCoverage:
+    def test_monotone_nondecreasing(self):
+        row = coverage_for(get_benchmark("HashMap"), runs=4)
+        assert row.cumulative_defects == sorted(row.cumulative_defects)
+        assert row.cumulative_cycles == sorted(row.cumulative_cycles)
+
+    def test_hashmap_saturates_immediately(self):
+        """The map harness exposes all defects in any complete run."""
+        row = coverage_for(get_benchmark("HashMap"), runs=4)
+        assert row.cumulative_defects[-1] == 3
+        assert row.saturated_after == 1
+
+    def test_cache4j_stays_zero(self):
+        row = coverage_for(get_benchmark("cache4j"), runs=3)
+        assert row.cumulative_defects == [0, 0, 0]
+        assert row.saturated_after == 1
+
+    def test_run_coverage_multiple(self):
+        rows = run_coverage(["cache4j", "HashMap"], ExperimentSettings(), runs=2)
+        assert [r.benchmark for r in rows] == ["cache4j", "HashMap"]
+
+    def test_render(self):
+        rows = run_coverage(["HashMap"], runs=2)
+        text = render_coverage(rows)
+        assert "run1" in text and "saturated@" in text
+
+
+class TestDot:
+    def _detection(self):
+        run = run_detection(fig4_program, 0)
+        return ExtendedDetector().analyze(run.trace)
+
+    def test_lock_graph_dot(self):
+        detection = self._detection()
+        text = lock_graph_dot(detection.relation, detection.cycles)
+        assert text.startswith("digraph LockGraph")
+        assert text.rstrip().endswith("}")
+        # Cycle edges highlighted.
+        assert "firebrick" in text
+        # Thread-labelled edges: both l1->l2 (t1) and l2->l1 (t3) exist.
+        assert '"l1" -> "l2"' in text
+        assert '"l2" -> "l1"' in text
+
+    def test_sync_graph_dot(self):
+        detection = self._detection()
+        survivors = Pruner(detection.vclocks).prune(detection.cycles).survivors
+        gen = Generator(detection.relation).run(survivors)
+        (dec,) = gen.decisions
+        text = sync_graph_dot(dec.gs)
+        assert text.startswith("digraph Gs")
+        assert text.count("->") == dec.gs.num_edges()
+        assert "type-D" in text and "type-C" in text and "type-P" in text
+        assert "subgraph cluster_0" in text  # per-thread clusters
+
+    def test_dot_quoting(self):
+        detection = self._detection()
+        text = lock_graph_dot(detection.relation)
+        assert '""' not in text  # every name quoted non-trivially
+
+
+class TestCliDotCoverage:
+    def test_cli_dot_lock_graph(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "g.dot"
+        assert main(["dot", "HashMap", "--out", str(out)]) == 0
+        assert out.read_text().startswith("digraph LockGraph")
+
+    def test_cli_dot_gs(self, capsys):
+        from repro.cli import main
+
+        assert main(["dot", "HashMap", "--cycle", "0"]) == 0
+        assert "digraph Gs" in capsys.readouterr().out
+
+    def test_cli_dot_bad_cycle_index(self, capsys):
+        from repro.cli import main
+
+        assert main(["dot", "HashMap", "--cycle", "99"]) == 1
+
+    def test_cli_coverage(self, capsys):
+        from repro.cli import main
+
+        assert main(["coverage", "--benchmarks", "cache4j", "--runs", "2"]) == 0
+        assert "coverage" in capsys.readouterr().out

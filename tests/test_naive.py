@@ -1,0 +1,136 @@
+"""Naive lock-order-graph detector tests: the precision spectrum
+
+    naive ⊇ iGoodLock ⊇ WOLF survivors
+
+that the paper's introduction motivates."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.baselines.naive import (
+    LockGraphEdge,
+    NaiveLockGraphDetector,
+    build_lock_graph,
+)
+from repro.core.detector import ExtendedDetector
+from repro.core.pipeline import run_detection
+from repro.core.pruner import Pruner
+from repro.workloads.figures import fig4_program
+from tests.conftest import ordered_program, two_lock_program
+from tests.randprog import build_program, program_specs
+
+SLOW = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestLockGraph:
+    def test_abba_graph_edges(self):
+        run = run_detection(two_lock_program, 0)
+        graph = build_lock_graph(run.trace)
+        rendered = {
+            (e.held.name, e.wanted.name, e.thread.pretty()) for e in graph.edges
+        }
+        assert ("A", "B", "t1") in rendered
+        assert ("B", "A", "t2") in rendered
+
+    def test_abba_one_cycle(self):
+        run = run_detection(two_lock_program, 0)
+        cycles = NaiveLockGraphDetector().analyze(run.trace)
+        assert len(cycles) == 1
+        (cycle,) = cycles
+        assert len(cycle.edges) == 2
+        assert len(set(cycle.threads)) == 2
+
+    def test_ordered_program_clean(self):
+        run = run_detection(ordered_program, 0)
+        assert NaiveLockGraphDetector().analyze(run.trace) == []
+
+    def test_same_thread_cycle_excluded(self):
+        """Edge labels must be pairwise distinct threads (§1)."""
+
+        def program(rt):
+            a, b = rt.new_lock(name="A"), rt.new_lock(name="B")
+            # One thread nests both ways: a lock-graph 2-cycle with the
+            # same label on both edges — not a deadlock.
+            with a.at("x:1"):
+                with b.at("x:2"):
+                    pass
+            with b.at("x:3"):
+                with a.at("x:4"):
+                    pass
+
+        run = run_detection(program, 0)
+        assert NaiveLockGraphDetector().analyze(run.trace) == []
+
+    def test_guard_lock_fools_naive_but_not_igoodlock(self):
+        """The defining imprecision: a gate lock wrapping both nestings
+        removes the deadlock, but the lock graph still has the cycle."""
+
+        def program(rt):
+            g = rt.new_lock(name="G")
+            a, b = rt.new_lock(name="A"), rt.new_lock(name="B")
+
+            def t1():
+                with g.at("g:1"):
+                    with a.at("a:1"):
+                        with b.at("b:1"):
+                            pass
+
+            def t2():
+                with g.at("g:2"):
+                    with b.at("b:2"):
+                        with a.at("a:2"):
+                            pass
+
+            h1 = rt.spawn(t1, site="s:1")
+            h2 = rt.spawn(t2, site="s:2")
+            h1.join()
+            h2.join()
+
+        run = run_detection(program, 0)
+        naive = NaiveLockGraphDetector().analyze(run.trace)
+        igoodlock = ExtendedDetector().analyze(run.trace)
+        assert any({l.name for l in c.locks} >= {"A", "B"} for c in naive)
+        assert igoodlock.cycles == []  # guard-aware
+
+    def test_fig4_collapses_dynamic_occurrences(self):
+        """iGoodLock reports theta_1 AND theta_2 (distinct dynamic
+        contexts); the naive graph collapses them into one l1/l2 cycle."""
+        run = run_detection(fig4_program, 0)
+        naive = NaiveLockGraphDetector().analyze(run.trace)
+        pairs = [frozenset(l.name for l in c.locks) for c in naive]
+        assert pairs.count(frozenset({"l1", "l2"})) == 1
+        ext = ExtendedDetector().analyze(run.trace)
+        assert len([c for c in ext.cycles]) == 2
+
+    def test_cycle_pretty(self):
+        run = run_detection(two_lock_program, 0)
+        (cycle,) = NaiveLockGraphDetector().analyze(run.trace)
+        assert "-->" in cycle.pretty()
+
+    def test_duplicate_edges_deduped(self):
+        graph = build_lock_graph(run_detection(two_lock_program, 0).trace)
+        n = len(graph.edges)
+        for e in list(graph.edges):
+            graph.add(e)
+        assert len(graph.edges) == n
+
+
+@given(program_specs())
+@SLOW
+def test_naive_superset_of_igoodlock(spec):
+    """Every iGoodLock cycle projects onto a naive lock-graph cycle: the
+    precision spectrum's containment direction."""
+    program = build_program(spec)
+    run = run_detection(program, 0, tries=5)
+    detection = ExtendedDetector(max_length=3).analyze(run.trace)
+    naive = NaiveLockGraphDetector(max_length=3).analyze(run.trace)
+    naive_lock_sets = {frozenset(c.locks) for c in naive}
+    for cycle in detection.cycles:
+        contended = frozenset(cycle.locks)
+        assert any(contended <= ls for ls in naive_lock_sets), cycle.pretty()

@@ -1,0 +1,217 @@
+"""Property-based tests of the analysis pipeline over random programs.
+
+These are the deep invariants:
+
+* the runtime is deterministic given a seed;
+* cycle detection matches a brute-force enumeration of the cycle
+  definition (paper §3.1);
+* the Pruner is *empirically sound*: a pruned cycle's deadlock never
+  manifests under many random schedules;
+* a Generator-eliminated (cyclic-``Gs``) cycle likewise never manifests;
+* for straight-line programs, Generator survivors are reproducible by the
+  Replayer.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, permutations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.detector import ExtendedDetector, find_cycles
+from repro.core.generator import Generator, GeneratorVerdict
+from repro.core.pipeline import run_detection
+from repro.core.pruner import Pruner
+from repro.core.replayer import Replayer
+from repro.runtime.sim.result import RunStatus
+from repro.runtime.sim.runtime import run_program
+from repro.runtime.sim.strategy import RandomStrategy
+from tests.randprog import build_program, program_specs
+
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def brute_force_cycles(rel, max_length=3):
+    """Enumerate cycles straight from the definition (paper §3.1)."""
+    found = set()
+    entries = rel.entries
+    for size in (2, max_length):
+        for combo in combinations(entries, size):
+            for perm in permutations(combo):
+                # Canonical rotation: smallest step first.
+                if perm[0].step != min(e.step for e in perm):
+                    continue
+                threads = [e.thread for e in perm]
+                if len(set(threads)) != len(threads):
+                    continue
+                ok = all(
+                    perm[i].lock in perm[(i + 1) % len(perm)].lockset
+                    for i in range(len(perm))
+                )
+                if not ok:
+                    continue
+                disjoint = all(
+                    not (set(a.lockset) & set(b.lockset))
+                    for a, b in combinations(perm, 2)
+                )
+                if disjoint:
+                    found.add(tuple(id(e) for e in perm))
+    return found
+
+
+@given(program_specs())
+@SLOW
+def test_vector_clock_S_schedule_independent(spec):
+    """The S components encode start structure, which is control-flow
+    determined — every completed schedule must agree on them.
+
+    (The J components are intentionally excluded: main joins its handles
+    in completion-dependent order, so its join *timestamps* legitimately
+    vary between schedules — only the S side carries the Pruner's
+    "thread started after" reasoning for these programs.)"""
+    from repro.core.vclock import compute_vector_clocks
+
+    program = build_program(spec)
+    snapshots = []
+    for seed in (0, 7, 23, 41, 99):
+        result = run_program(program, RandomStrategy(seed))
+        if result.status is not RunStatus.COMPLETED:
+            continue  # truncated traces see fewer start/join events
+        st = compute_vector_clocks(result.trace)
+        threads = sorted(result.trace.threads(), key=lambda t: t.pretty())
+        snapshots.append(
+            {
+                (a.pretty(), b.pretty()): st.V(a, b).S
+                for a in threads
+                for b in threads
+                if a != b
+            }
+        )
+    for snap in snapshots[1:]:
+        assert snap == snapshots[0]
+
+
+@given(program_specs())
+@SLOW
+def test_runtime_deterministic(spec):
+    program = build_program(spec)
+    a = run_program(program, RandomStrategy(11))
+    b = run_program(program, RandomStrategy(11))
+    a.raise_errors()
+    assert [repr(e) for e in a.trace] == [repr(e) for e in b.trace]
+    assert a.status == b.status
+
+
+@given(program_specs())
+@SLOW
+def test_detector_matches_brute_force(spec):
+    program = build_program(spec)
+    run = run_detection(program, 0, tries=5)
+    detection = ExtendedDetector(max_length=3).analyze(run.trace)
+    got = {tuple(id(e) for e in c.entries) for c in detection.cycles}
+    expected = brute_force_cycles(detection.relation, max_length=3)
+    assert got == expected
+
+
+@given(program_specs())
+@SLOW
+def test_mutual_exclusion_invariant(spec):
+    """No trace ever shows a lock granted to two threads at once."""
+    program = build_program(spec)
+    result = run_program(program, RandomStrategy(5))
+    from repro.runtime.events import AcquireEvent, ReleaseEvent
+
+    held = {}
+    for ev in result.trace:
+        if isinstance(ev, AcquireEvent) and not ev.reentrant:
+            assert ev.lock not in held
+            held[ev.lock] = ev.thread
+        elif isinstance(ev, ReleaseEvent) and not ev.reentrant:
+            assert held.pop(ev.lock) == ev.thread
+
+
+@given(program_specs(), st.integers(0, 10_000))
+@SLOW
+def test_pruner_empirically_sound(spec, probe_seed):
+    """If the Pruner kills a cycle, no random schedule may deadlock at
+    exactly that cycle's sites."""
+    program = build_program(spec)
+    run = run_detection(program, 0, tries=5)
+    detection = ExtendedDetector(max_length=3).analyze(run.trace)
+    pruned = Pruner(detection.vclocks).prune(detection.cycles).false_positives
+    if not pruned:
+        return
+    forbidden = {c.sites for c in pruned}
+    for k in range(15):
+        result = run_program(program, RandomStrategy(probe_seed + k))
+        if result.status is RunStatus.DEADLOCK:
+            assert result.deadlock.sites not in forbidden
+
+
+@given(program_specs(), st.integers(0, 10_000))
+@SLOW
+def test_generator_empirically_sound(spec, probe_seed):
+    """A cyclic-Gs cycle's site set never manifests as a deadlock."""
+    program = build_program(spec)
+    run = run_detection(program, 0, tries=5)
+    detection = ExtendedDetector(max_length=3).analyze(run.trace)
+    survivors = Pruner(detection.vclocks).prune(detection.cycles).survivors
+    gen = Generator(detection.relation).run(survivors)
+    infeasible = {
+        d.cycle.sites
+        for d in gen.decisions
+        if d.verdict is GeneratorVerdict.FALSE
+    }
+    feasible = {
+        d.cycle.sites
+        for d in gen.decisions
+        if d.verdict is GeneratorVerdict.UNKNOWN
+    }
+    # A site set backed by any feasible cycle can legitimately deadlock.
+    forbidden = infeasible - feasible
+    if not forbidden:
+        return
+    for k in range(15):
+        result = run_program(program, RandomStrategy(probe_seed + k))
+        if result.status is RunStatus.DEADLOCK:
+            assert result.deadlock.sites not in forbidden
+
+
+@given(program_specs())
+@SLOW
+def test_replayer_never_wedges_and_reproduces_sole_cycles(spec):
+    """Two replay invariants on straight-line programs:
+
+    1. a replay attempt never wedges (no STUCK / STEP_LIMIT): the
+       Replayer's skipped-vertex and forced-release rules guarantee
+       progress;
+    2. when the trace contains exactly one cycle (no interference from
+       other potential deadlocks), the survivor reproduces reliably.
+
+    With several overlapping cycles a replay can legitimately deadlock at
+    a *different* cycle's sites (the paper's hit rate < 1, §4.2), so full
+    reproduction is only asserted for sole-cycle programs.
+    """
+    program = build_program(spec)
+    run = run_detection(program, 0, tries=5)
+    if run.status is not RunStatus.COMPLETED:
+        return  # truncated trace: feasibility of survivors not guaranteed
+    detection = ExtendedDetector(max_length=3).analyze(run.trace)
+    survivors = Pruner(detection.vclocks).prune(detection.cycles).survivors
+    gen = Generator(detection.relation).run(survivors)
+    replayer = Replayer(program, seed=0)
+    for dec in gen.decisions:
+        if dec.verdict is not GeneratorVerdict.UNKNOWN:
+            continue
+        outcome = replayer.replay(dec, attempts=5, stop_on_hit=True)
+        for status in outcome.statuses:
+            assert status in (RunStatus.DEADLOCK, RunStatus.COMPLETED), (
+                f"replay wedged with {status} for {dec.cycle.pretty()}"
+            )
+        if len(detection.cycles) == 1:
+            assert outcome.reproduced, dec.cycle.pretty()

@@ -1,0 +1,193 @@
+"""Hypothesis model-based tests: every structure against its Python
+reference (list / dict), plus structural invariants (AVL balance, hash
+load factor, linked-order consistency)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.workloads.structures import (
+    ArrayList,
+    HashMap,
+    LinkedHashMap,
+    LinkedList,
+    Stack,
+    TreeMap,
+)
+
+keys = st.integers(-50, 50)
+values = st.integers()
+
+
+# -- list vs list model -------------------------------------------------------
+
+
+class ListMachine(RuleBasedStateMachine):
+    impl_cls = ArrayList
+
+    def __init__(self):
+        super().__init__()
+        self.impl = self.impl_cls()
+        self.model = []
+
+    @rule(v=values)
+    def add(self, v):
+        self.impl.add(v)
+        self.model.append(v)
+
+    @rule(v=values, data=st.data())
+    def insert(self, v, data):
+        i = data.draw(st.integers(0, len(self.model)))
+        self.impl.insert(i, v)
+        self.model.insert(i, v)
+
+    @rule(data=st.data())
+    def remove_at(self, data):
+        if not self.model:
+            return
+        i = data.draw(st.integers(0, len(self.model) - 1))
+        assert self.impl.remove_at(i) == self.model.pop(i)
+
+    @rule(v=values)
+    def remove_value(self, v):
+        expected = v in self.model
+        if expected:
+            self.model.remove(v)
+        assert self.impl.remove_value(v) == expected
+
+    @rule(v=values, data=st.data())
+    def set(self, v, data):
+        if not self.model:
+            return
+        i = data.draw(st.integers(0, len(self.model) - 1))
+        old = self.model[i]
+        assert self.impl.set(i, v) == old
+        self.model[i] = v
+
+    @rule(v=values)
+    def contains(self, v):
+        assert self.impl.contains(v) == (v in self.model)
+
+    @invariant()
+    def same_contents(self):
+        assert self.impl.to_array() == self.model
+        assert self.impl.size() == len(self.model)
+
+
+class ArrayListMachine(ListMachine):
+    impl_cls = ArrayList
+
+
+class LinkedListMachine(ListMachine):
+    impl_cls = LinkedList
+
+
+class StackMachine(ListMachine):
+    impl_cls = Stack
+
+
+TestArrayListModel = ArrayListMachine.TestCase
+TestLinkedListModel = LinkedListMachine.TestCase
+TestStackModel = StackMachine.TestCase
+
+
+# -- maps vs dict model --------------------------------------------------------
+
+
+class MapMachine(RuleBasedStateMachine):
+    impl_cls = HashMap
+    ordered = False
+
+    def __init__(self):
+        super().__init__()
+        self.impl = self.impl_cls()
+        self.model = {}
+
+    @rule(k=keys, v=values)
+    def put(self, k, v):
+        assert self.impl.put(k, v) == self.model.get(k)
+        self.model[k] = v
+
+    @rule(k=keys)
+    def remove(self, k):
+        assert self.impl.remove(k) == self.model.pop(k, None)
+
+    @rule(k=keys)
+    def get(self, k):
+        assert self.impl.get(k) == self.model.get(k)
+
+    @rule(k=keys)
+    def contains(self, k):
+        assert self.impl.contains_key(k) == (k in self.model)
+
+    @invariant()
+    def same_contents(self):
+        assert self.impl.size() == len(self.model)
+        assert dict(self.impl.entries()) == self.model
+
+    @invariant()
+    def iteration_order(self):
+        if self.ordered:
+            assert [k for k, _ in self.impl.entries()] == sorted(self.model)
+
+
+class HashMapMachine(MapMachine):
+    impl_cls = HashMap
+
+
+class TreeMapMachine(MapMachine):
+    impl_cls = TreeMap
+    ordered = True
+
+    @invariant()
+    def avl_invariants(self):
+        self.impl.check_invariants()
+
+
+class LinkedHashMapMachine(MapMachine):
+    impl_cls = LinkedHashMap
+
+    @invariant()
+    def insertion_order_consistent(self):
+        # Keys iterate in first-insertion order: a subsequence check
+        # against the model's dict order (Python dicts preserve insertion
+        # too, but ours re-inserts keep position, matching dict semantics).
+        assert [k for k, _ in self.impl.entries()] == list(self.model)
+
+
+TestHashMapModel = HashMapMachine.TestCase
+TestTreeMapModel = TreeMapMachine.TestCase
+TestLinkedHashMapModel = LinkedHashMapMachine.TestCase
+
+
+# -- targeted properties ----------------------------------------------------------
+
+
+@given(st.lists(st.integers()))
+@settings(max_examples=60, deadline=None)
+def test_stack_lifo_property(xs):
+    s = Stack()
+    for x in xs:
+        s.push(x)
+    out = [s.pop() for _ in range(len(xs))]
+    assert out == list(reversed(xs))
+
+
+@given(st.lists(keys, unique=True))
+@settings(max_examples=60, deadline=None)
+def test_treemap_sorted_iteration(ks):
+    m = TreeMap()
+    for k in ks:
+        m.put(k, None)
+    assert [k for k, _ in m.entries()] == sorted(ks)
+
+
+@given(st.lists(st.tuples(keys, values)))
+@settings(max_examples=60, deadline=None)
+def test_hashmap_load_factor_respected(pairs):
+    m = HashMap(initial_capacity=2)
+    for k, v in pairs:
+        m.put(k, v)
+    assert m.size() <= 0.75 * m.capacity or m.size() == 0

@@ -1,0 +1,98 @@
+"""Pruner tests: paper Figure 4 (theta'_1 pruned) and Figure 1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.detector import ExtendedDetector
+from repro.core.pipeline import run_detection
+from repro.core.pruner import Pruner
+from repro.workloads.figures import (
+    FIG1_SITES,
+    FIG4_THETA1_SITES,
+    FIG4_THETA2_SITES,
+    fig1_program,
+    fig4_program,
+)
+from tests.conftest import two_lock_program
+
+
+def analyze(program, seed=0):
+    run = run_detection(program, seed)
+    detection = ExtendedDetector().analyze(run.trace)
+    pruner = Pruner(detection.vclocks)
+    return detection, pruner.prune(detection.cycles)
+
+
+class TestFigure4:
+    def test_theta1_pruned_theta2_kept(self):
+        detection, result = analyze(fig4_program)
+        pruned = {c.sites for c in result.false_positives}
+        kept = {c.sites for c in result.survivors}
+        assert pruned == {FIG4_THETA1_SITES}
+        assert kept == {FIG4_THETA2_SITES}
+
+    def test_prune_reason_is_start_order(self):
+        _, result = analyze(fig4_program)
+        (decision,) = [d for d in result.decisions if d.pruned]
+        assert "starts only after" in decision.reason
+        assert decision.witness is not None
+
+    def test_witness_matches_paper(self):
+        """V3(1).S = 2 > eta'_2.tau = 1 (paper §3.3)."""
+        detection, result = analyze(fig4_program)
+        (decision,) = [d for d in result.decisions if d.pruned]
+        ei, ej = decision.witness
+        assert ei.thread.pretty() == "t3"
+        assert ej.thread.pretty() == "main"
+        assert ej.tau == 1
+        assert detection.vclocks.V(ei.thread, ej.thread).S == 2
+
+
+class TestFigure1:
+    def test_threadcache_cycle_pruned(self):
+        detection, result = analyze(fig1_program)
+        assert len(detection.cycles) == 1
+        (cycle,) = detection.cycles
+        assert cycle.sites == FIG1_SITES
+        assert result.survivors == []
+        assert len(result.false_positives) == 1
+
+
+class TestJoinPruning:
+    def test_join_ordered_cycle_pruned(self):
+        """t1's nesting happens entirely after t2 was joined: the inverse
+        nesting can never overlap."""
+
+        def program(rt):
+            a, b = rt.new_lock(name="A"), rt.new_lock(name="B")
+
+            def t2():
+                with b.at("j:b2"):
+                    with a.at("j:a2"):
+                        pass
+
+            h = rt.spawn(t2, name="t2", site="s:2")
+            h.join()
+            with a.at("j:a1"):
+                with b.at("j:b1"):
+                    pass
+
+        detection, result = analyze(program)
+        assert len(detection.cycles) == 1
+        assert result.survivors == []
+        (decision,) = [d for d in result.decisions if d.pruned]
+        assert "joined before" in decision.reason
+
+
+class TestNoFalsePruning:
+    def test_concurrent_cycle_survives(self):
+        detection, result = analyze(two_lock_program)
+        assert len(result.survivors) == 1
+        assert result.false_positives == []
+
+    def test_pruned_plus_survivors_partition(self):
+        detection, result = analyze(fig4_program)
+        assert len(result.false_positives) + len(result.survivors) == len(
+            detection.cycles
+        )

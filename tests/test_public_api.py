@@ -1,0 +1,91 @@
+"""Public-API smoke tests: the README's documented surface must work."""
+
+from __future__ import annotations
+
+import pytest
+
+
+class TestTopLevel:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_lazy_wolf_import(self):
+        import repro
+
+        assert repro.Wolf is not None
+
+    def test_unknown_attribute(self):
+        import repro
+
+        with pytest.raises(AttributeError):
+            repro.no_such_thing
+
+    def test_readme_quickstart(self):
+        """The literal README snippet."""
+        from repro import Wolf
+        from repro.workloads.philosophers import make_philosophers
+
+        report = Wolf(seed=1, max_cycle_length=3, replay_attempts=10).analyze(
+            make_philosophers(3), name="philosophers"
+        )
+        assert "confirmed" in report.summary()
+
+    def test_all_exports_resolve(self):
+        import repro.baselines as b
+        import repro.core as c
+        import repro.experiments as e
+        import repro.runtime as r
+        import repro.util as u
+
+        for mod in (b, c, e, r, u):
+            for name in mod.__all__:
+                assert getattr(mod, name) is not None, f"{mod.__name__}.{name}"
+
+
+class TestReportMarkdown:
+    def test_generate_markdown_subset(self):
+        from repro.experiments.report_md import generate_markdown
+        from repro.experiments.runner import ExperimentSettings
+
+        text = generate_markdown(
+            ["HashMap"], ExperimentSettings(replay_attempts=3), fig8_runs=4
+        )
+        assert "## Table 1" in text
+        assert "## Figure 8" in text
+        assert "HashMap | 3 / 3" in text  # paper/ours detected column
+
+    def test_cli_reproduce_to_file(self, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "exp.md"
+        rc = main(
+            [
+                "reproduce",
+                "--benchmarks",
+                "cache4j",
+                "--runs",
+                "1",
+                "--out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        assert "## Table 2" in out.read_text()
+
+
+class TestRegistryExtras:
+    @pytest.mark.parametrize(
+        "name", ["fig1", "fig2", "fig4", "fig9", "philosophers", "pipeline", "buffers"]
+    )
+    def test_extras_resolvable(self, name):
+        from repro.workloads import get_benchmark
+
+        b = get_benchmark(name)
+        assert b.name == name
+
+    def test_extras_not_in_tables(self):
+        from repro.workloads import BENCHMARKS
+
+        assert all(not b.name.startswith("fig") for b in BENCHMARKS)

@@ -1,0 +1,78 @@
+"""Tests for DeterministicRNG and table formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.fmt import percent, render_table
+from repro.util.rng import DeterministicRNG
+
+
+class TestRNG:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRNG(42)
+        b = DeterministicRNG(42)
+        assert [a.randrange(100) for _ in range(20)] == [
+            b.randrange(100) for _ in range(20)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRNG(1)
+        b = DeterministicRNG(2)
+        assert [a.randrange(10**9) for _ in range(4)] != [
+            b.randrange(10**9) for _ in range(4)
+        ]
+
+    def test_fork_is_deterministic(self):
+        assert DeterministicRNG(7).fork("x").seed == DeterministicRNG(7).fork("x").seed
+
+    def test_fork_labels_independent(self):
+        assert DeterministicRNG(7).fork("x").seed != DeterministicRNG(7).fork("y").seed
+
+    def test_fork_seeds_differ_from_parent(self):
+        assert DeterministicRNG(7).fork("x").seed != 7
+
+    def test_choice_empty_raises(self):
+        with pytest.raises(IndexError):
+            DeterministicRNG(0).choice([])
+
+    def test_choice_single(self):
+        assert DeterministicRNG(0).choice(["only"]) == "only"
+
+    def test_shuffle_permutes(self):
+        rng = DeterministicRNG(3)
+        xs = list(range(20))
+        ys = list(xs)
+        rng.shuffle(ys)
+        assert sorted(ys) == xs
+
+    def test_sample(self):
+        rng = DeterministicRNG(3)
+        s = rng.sample(range(10), 4)
+        assert len(s) == 4 and len(set(s)) == 4
+
+
+class TestFmt:
+    def test_percent(self):
+        assert percent(1, 4) == "1 (25.0%)"
+
+    def test_percent_zero_whole(self):
+        assert percent(0, 0) == "0 (0.0%)"
+
+    def test_render_table_alignment(self):
+        out = render_table(["name", "n"], [["a", 1], ["bb", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert lines[-1].endswith("22")
+
+    def test_render_table_title(self):
+        out = render_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_render_table_none_becomes_dash(self):
+        out = render_table(["x"], [[None]])
+        assert "-" in out.splitlines()[-1]
+
+    def test_render_table_floats_two_decimals(self):
+        out = render_table(["x"], [[1.234]])
+        assert "1.23" in out

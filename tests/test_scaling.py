@@ -1,0 +1,39 @@
+"""Scaling-driver tests (small points only)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scaling import (
+    make_scaled_workload,
+    measure_point,
+    render_scaling,
+    run_scaling,
+)
+from repro.runtime.sim.result import RunStatus
+from repro.runtime.sim.runtime import run_program
+from repro.runtime.sim.strategy import RandomStrategy
+
+
+class TestScaledWorkload:
+    def test_workload_runs(self):
+        program = make_scaled_workload(2, 4, 5)
+        result = run_program(program, RandomStrategy(0, stickiness=0.9))
+        result.raise_errors()
+        assert result.status in (RunStatus.COMPLETED, RunStatus.DEADLOCK)
+
+    def test_event_count_scales_with_iters(self):
+        small = measure_point(2, 5, seed=0)
+        large = measure_point(2, 20, seed=0)
+        assert large.events > 2 * small.events
+
+    def test_inverter_seeds_cycles(self):
+        row = measure_point(3, 20, seed=0)
+        assert row.cycles >= 1
+
+    def test_render(self):
+        rows = run_scaling(points=[(2, 5), (2, 10)])
+        text = render_scaling(rows)
+        assert "Scaling" in text and "avg |Vs|" in text
+        # title + underline + header + separator + one row per point
+        assert len(text.splitlines()) == 4 + 2

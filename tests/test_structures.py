@@ -1,0 +1,348 @@
+"""Unit tests for the from-scratch data structures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.structures import (
+    ArrayList,
+    HashMap,
+    IdentityHashMap,
+    LinkedHashMap,
+    LinkedList,
+    Stack,
+    TreeMap,
+    WeakHashMap,
+    WeakRegistry,
+)
+
+
+@pytest.fixture(params=[ArrayList, LinkedList, Stack])
+def list_cls(request):
+    return request.param
+
+
+@pytest.fixture(params=[HashMap, TreeMap, LinkedHashMap, WeakHashMap])
+def map_cls(request):
+    return request.param
+
+
+class TestListCommon:
+    def test_add_and_size(self, list_cls):
+        lst = list_cls()
+        assert lst.is_empty()
+        for i in range(5):
+            assert lst.add(i)
+        assert lst.size() == 5
+        assert lst.to_array() == [0, 1, 2, 3, 4]
+
+    def test_get_set(self, list_cls):
+        lst = list_cls()
+        lst.add("a")
+        lst.add("b")
+        assert lst.get(1) == "b"
+        assert lst.set(1, "c") == "b"
+        assert lst.get(1) == "c"
+
+    def test_get_out_of_range(self, list_cls):
+        lst = list_cls()
+        lst.add("x")
+        with pytest.raises(IndexError):
+            lst.get(1)
+        with pytest.raises(IndexError):
+            lst.get(-1)
+
+    def test_insert(self, list_cls):
+        lst = list_cls()
+        for v in (1, 3):
+            lst.add(v)
+        lst.insert(1, 2)
+        assert lst.to_array() == [1, 2, 3]
+        lst.insert(0, 0)
+        lst.insert(4, 4)
+        assert lst.to_array() == [0, 1, 2, 3, 4]
+
+    def test_insert_out_of_range(self, list_cls):
+        with pytest.raises(IndexError):
+            list_cls().insert(1, "x")
+
+    def test_remove_at(self, list_cls):
+        lst = list_cls()
+        for v in "abc":
+            lst.add(v)
+        assert lst.remove_at(1) == "b"
+        assert lst.to_array() == ["a", "c"]
+
+    def test_remove_value(self, list_cls):
+        lst = list_cls()
+        for v in ("x", "y", "x"):
+            lst.add(v)
+        assert lst.remove_value("x")
+        assert lst.to_array() == ["y", "x"]
+        assert not lst.remove_value("z")
+
+    def test_contains_and_index_of(self, list_cls):
+        lst = list_cls()
+        lst.add("k")
+        assert lst.contains("k")
+        assert not lst.contains("q")
+        assert lst.index_of("k") == 0
+        assert lst.index_of("q") == -1
+
+    def test_clear(self, list_cls):
+        lst = list_cls()
+        lst.add(1)
+        lst.clear()
+        assert lst.size() == 0
+        assert lst.to_array() == []
+
+    def test_iter_and_len(self, list_cls):
+        lst = list_cls()
+        for i in range(3):
+            lst.add(i)
+        assert list(lst) == [0, 1, 2]
+        assert len(lst) == 3
+
+
+class TestArrayListGrowth:
+    def test_grows_past_initial_capacity(self):
+        lst = ArrayList(initial_capacity=2)
+        for i in range(50):
+            lst.add(i)
+        assert lst.size() == 50
+        assert lst.to_array() == list(range(50))
+        assert lst.capacity >= 50
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            ArrayList(initial_capacity=0)
+
+
+class TestLinkedListEnds:
+    def test_add_first_poll_first(self):
+        lst = LinkedList()
+        lst.add("b")
+        lst.add_first("a")
+        assert lst.peek_first() == "a"
+        assert lst.poll_first() == "a"
+        assert lst.to_array() == ["b"]
+
+    def test_empty_peek_raises(self):
+        with pytest.raises(IndexError):
+            LinkedList().peek_first()
+        with pytest.raises(IndexError):
+            LinkedList().poll_first()
+
+    def test_node_walk_from_nearer_end(self):
+        lst = LinkedList()
+        for i in range(10):
+            lst.add(i)
+        assert lst.get(9) == 9
+        assert lst.get(0) == 0
+        assert lst.get(5) == 5
+
+
+class TestStack:
+    def test_push_pop_lifo(self):
+        s = Stack()
+        for v in (1, 2, 3):
+            s.push(v)
+        assert s.pop() == 3
+        assert s.peek() == 2
+        assert s.pop() == 2
+        assert s.pop() == 1
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(IndexError):
+            Stack().pop()
+        with pytest.raises(IndexError):
+            Stack().peek()
+
+    def test_search_distance_from_top(self):
+        s = Stack()
+        for v in ("a", "b", "c"):
+            s.push(v)
+        assert s.search("c") == 1
+        assert s.search("a") == 3
+        assert s.search("zz") == -1
+
+
+class TestMapCommon:
+    def test_put_get(self, map_cls):
+        m = map_cls()
+        assert m.put("k", 1) is None
+        assert m.get("k") == 1
+        assert m.put("k", 2) == 1
+        assert m.get("k") == 2
+        assert m.size() == 1
+
+    def test_get_missing(self, map_cls):
+        assert map_cls().get("nope") is None
+
+    def test_remove(self, map_cls):
+        m = map_cls()
+        m.put("k", 1)
+        assert m.remove("k") == 1
+        assert m.remove("k") is None
+        assert m.size() == 0
+
+    def test_contains_key(self, map_cls):
+        m = map_cls()
+        m.put("k", 1)
+        assert m.contains_key("k")
+        assert not m.contains_key("x")
+
+    def test_entries_keys_values(self, map_cls):
+        m = map_cls()
+        for i in range(5):
+            m.put(f"k{i}", i)
+        assert sorted(m.keys()) == [f"k{i}" for i in range(5)]
+        assert sorted(m.values()) == list(range(5))
+        assert len(m.entries()) == 5
+
+    def test_clear(self, map_cls):
+        m = map_cls()
+        m.put("a", 1)
+        m.clear()
+        assert m.is_empty()
+        assert m.entries() == []
+
+
+class TestHashMapInternals:
+    def test_resize_preserves_entries(self):
+        m = HashMap(initial_capacity=2)
+        for i in range(100):
+            m.put(i, i * 10)
+        assert m.size() == 100
+        assert m.capacity > 2
+        for i in range(100):
+            assert m.get(i) == i * 10
+
+    def test_collision_chains(self):
+        class Collider:
+            def __init__(self, tag):
+                self.tag = tag
+
+            def __hash__(self):
+                return 7
+
+            def __eq__(self, other):
+                return isinstance(other, Collider) and self.tag == other.tag
+
+        m = HashMap()
+        keys = [Collider(i) for i in range(10)]
+        for i, k in enumerate(keys):
+            m.put(k, i)
+        assert m.size() == 10
+        for i, k in enumerate(keys):
+            assert m.get(k) == i
+        assert m.remove(keys[5]) == 5
+        assert m.get(keys[5]) is None
+        assert m.size() == 9
+
+
+class TestTreeMap:
+    def test_sorted_iteration(self):
+        m = TreeMap()
+        for k in (5, 1, 9, 3, 7):
+            m.put(k, str(k))
+        assert [k for k, _ in m.entries()] == [1, 3, 5, 7, 9]
+
+    def test_first_last(self):
+        m = TreeMap()
+        for k in (5, 1, 9):
+            m.put(k, None)
+        assert m.first_key() == 1
+        assert m.last_key() == 9
+
+    def test_first_on_empty_raises(self):
+        with pytest.raises(KeyError):
+            TreeMap().first_key()
+        with pytest.raises(KeyError):
+            TreeMap().last_key()
+
+    def test_invariants_after_mixed_ops(self):
+        m = TreeMap()
+        for k in range(64):
+            m.put((k * 37) % 64, k)
+            m.check_invariants()
+        for k in range(0, 64, 3):
+            m.remove(k)
+            m.check_invariants()
+
+    def test_height_logarithmic(self):
+        m = TreeMap()
+        for k in range(1024):  # sorted insertion: the AVL worst case
+            m.put(k, k)
+        assert m.height() <= 15  # ~1.44 * log2(1024)
+
+
+class TestLinkedHashMap:
+    def test_insertion_order(self):
+        m = LinkedHashMap()
+        for k in ("c", "a", "b"):
+            m.put(k, k)
+        assert [k for k, _ in m.entries()] == ["c", "a", "b"]
+
+    def test_reinsert_keeps_position(self):
+        m = LinkedHashMap()
+        for k in ("a", "b", "c"):
+            m.put(k, 1)
+        m.put("a", 2)
+        assert [k for k, _ in m.entries()] == ["a", "b", "c"]
+
+    def test_remove_unlinks(self):
+        m = LinkedHashMap()
+        for k in ("a", "b", "c"):
+            m.put(k, 1)
+        m.remove("b")
+        assert [k for k, _ in m.entries()] == ["a", "c"]
+
+    def test_access_order_lru(self):
+        m = LinkedHashMap(access_order=True)
+        for k in ("a", "b", "c"):
+            m.put(k, 1)
+        m.get("a")
+        assert m.eldest_key() == "b"
+        assert [k for k, _ in m.entries()] == ["b", "c", "a"]
+
+    def test_eldest_on_empty_raises(self):
+        with pytest.raises(KeyError):
+            LinkedHashMap().eldest_key()
+
+
+class TestWeakHashMap:
+    def test_collected_key_expunged(self):
+        reg = WeakRegistry()
+        m = WeakHashMap(registry=reg)
+        m.put("a", 1)
+        m.put("b", 2)
+        reg.collect("a")
+        assert m.size() == 1
+        assert m.get("a") is None
+        assert m.get("b") == 2
+
+    def test_put_collected_key_raises(self):
+        reg = WeakRegistry()
+        m = WeakHashMap(registry=reg)
+        reg.collect("gone")
+        with pytest.raises(KeyError):
+            m.put("gone", 1)
+
+    def test_registry_drain(self):
+        reg = WeakRegistry()
+        reg.collect("x")
+        assert reg.drain() == {"x"}
+        assert reg.drain() == set()
+
+
+class TestIdentityHashMap:
+    def test_identity_not_equality(self):
+        m = IdentityHashMap()
+        k1 = [1]
+        k2 = [1]  # equal but not identical
+        m.put(k1, "one")
+        assert m.get(k1) == "one"
+        assert m.get(k2) is None
+        m.put(k2, "two")
+        assert m.size() == 2

@@ -1,0 +1,144 @@
+"""Synchronization dependency graph tests: exact edges of the paper's
+Figure 7(a) and the cyclic Gs of Figure 7(b)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.detector import ExtendedDetector
+from repro.core.generator import Generator, GeneratorVerdict
+from repro.core.pipeline import run_detection
+from repro.core.pruner import Pruner
+from repro.core.syncgraph import EdgeKind, build_sync_graph
+from repro.workloads.figures import (
+    FIG2_THETA1,
+    FIG2_THETA23,
+    FIG2_THETA4,
+    FIG4_THETA2_SITES,
+    fig2_program,
+    fig4_program,
+)
+
+
+def fig4_gs():
+    run = run_detection(fig4_program, 0)
+    detection = ExtendedDetector().analyze(run.trace)
+    theta2 = next(c for c in detection.cycles if c.sites == FIG4_THETA2_SITES)
+    return build_sync_graph(theta2, detection.relation)
+
+
+def edges_by_sites(gs, kind=None):
+    out = set()
+    for (u, v), k in gs.edge_kinds.items():
+        if kind is None or k is kind:
+            out.add((u.index.site, v.index.site))
+    return out
+
+
+class TestFigure7a:
+    """The paper's exact edge lists for theta'_2's Gs."""
+
+    def test_type_d_edges(self):
+        gs = fig4_gs()
+        assert edges_by_sites(gs, EdgeKind.D) == {("18", "33"), ("32", "19")}
+
+    def test_type_c_edges(self):
+        gs = fig4_gs()
+        assert edges_by_sites(gs, EdgeKind.C) == {
+            ("16", "31"),
+            ("12", "32"),
+            ("11", "33"),
+        }
+
+    def test_type_p_edges(self):
+        gs = fig4_gs()
+        assert edges_by_sites(gs, EdgeKind.P) == {
+            ("11", "12"),
+            ("12", "16"),
+            ("16", "18"),
+            ("18", "19"),
+            ("31", "32"),
+            ("32", "33"),
+        }
+
+    def test_vertex_count(self):
+        """Nodes 11,12,16,18,19 (t1) and 31,32,33 (t3): eight vertices."""
+        gs = fig4_gs()
+        assert gs.num_vertices() == 8
+
+    def test_acyclic(self):
+        gs = fig4_gs()
+        assert not gs.is_cyclic()
+
+    def test_by_index_covers_vertices(self):
+        gs = fig4_gs()
+        assert len(gs.by_index) == gs.num_vertices()
+
+    def test_pretty_renders_all_edges(self):
+        gs = fig4_gs()
+        text = gs.pretty()
+        assert text.count("->") == gs.num_edges()
+
+
+class TestFigure7b:
+    """Figure 2's theta_4 (get x get) must yield a cyclic Gs."""
+
+    def _decisions(self):
+        run = run_detection(fig2_program, 0)
+        detection = ExtendedDetector().analyze(run.trace)
+        survivors = Pruner(detection.vclocks).prune(detection.cycles).survivors
+        return Generator(detection.relation).run(survivors)
+
+    def test_four_cycles_from_fig2(self):
+        run = run_detection(fig2_program, 0)
+        detection = ExtendedDetector().analyze(run.trace)
+        assert len(detection.cycles) == 4
+        assert {c.sites for c in detection.cycles} == {
+            FIG2_THETA1,
+            FIG2_THETA23,
+            FIG2_THETA4,
+        }
+
+    def test_theta4_cyclic_gs(self):
+        gen = self._decisions()
+        theta4 = [d for d in gen.decisions if d.cycle.sites == FIG2_THETA4]
+        assert len(theta4) == 1
+        assert theta4[0].verdict is GeneratorVerdict.FALSE
+        assert theta4[0].gs_cycle is not None
+
+    def test_theta123_acyclic(self):
+        gen = self._decisions()
+        for d in gen.decisions:
+            if d.cycle.sites in (FIG2_THETA1, FIG2_THETA23):
+                assert d.verdict is GeneratorVerdict.UNKNOWN
+
+    def test_gs_cycle_follows_paper_shape(self):
+        """Fig 7(b): the ordering cycle runs through both threads' outer
+        acquisitions and their interim size probes."""
+        gen = self._decisions()
+        (theta4,) = [d for d in gen.decisions if d.cycle.sites == FIG2_THETA4]
+        cyc_sites = {v.index.site for v in theta4.gs_cycle}
+        from repro.workloads.collections_sync import SITE_MAP_EQUALS, SITE_MAP_SIZE
+
+        assert SITE_MAP_EQUALS in cyc_sites
+        assert SITE_MAP_SIZE in cyc_sites
+
+
+class TestGsInvariants:
+    def test_type_d_first_wins_dedup(self):
+        """An edge required by both D and C rules keeps kind D."""
+        gs = fig4_gs()
+        for (u, v), kind in gs.edge_kinds.items():
+            # (32, 19) is both the deadlock condition and a context edge.
+            if (u.index.site, v.index.site) == ("32", "19"):
+                assert kind is EdgeKind.D
+
+    def test_no_self_edges(self):
+        gs = fig4_gs()
+        for u, v in gs.graph.edges():
+            assert u != v
+
+    def test_vertices_carry_thread(self):
+        gs = fig4_gs()
+        threads = {v.thread.pretty() for v in gs.graph.nodes()}
+        assert threads == {"main", "t3"}

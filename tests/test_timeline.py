@@ -1,0 +1,60 @@
+"""Timeline renderer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.sim.runtime import run_program
+from repro.runtime.sim.strategy import RandomStrategy
+from repro.util.timeline import render_timeline
+from repro.workloads.boundedbuffer import pipeline_program
+from repro.workloads.figures import fig4_program
+from tests.conftest import two_lock_program
+
+
+class TestTimeline:
+    def test_one_row_per_event(self):
+        result = run_program(two_lock_program, RandomStrategy(3))
+        text = render_timeline(result.trace)
+        # header + separator + one row per event
+        assert len(text.splitlines()) == 2 + len(result.trace)
+
+    def test_lanes_are_thread_columns(self):
+        result = run_program(two_lock_program, RandomStrategy(3))
+        lines = render_timeline(result.trace).splitlines()
+        assert lines[0].split()[:2] == ["step", "main"]
+        assert "t1" in lines[0] and "t2" in lines[0]
+
+    def test_event_vocabulary(self):
+        result = run_program(fig4_program, RandomStrategy(0))
+        text = render_timeline(result.trace)
+        for token in ("begin", "acq", "rel", "spawn"):
+            assert token in text
+
+    def test_block_rows_visible(self):
+        for seed in range(20):
+            result = run_program(two_lock_program, RandomStrategy(seed))
+            if result.status.value == "deadlock":
+                assert "BLOCK on" in render_timeline(result.trace)
+                return
+        pytest.fail("no deadlocking run found")
+
+    def test_wait_notify_rows(self):
+        result = run_program(pipeline_program, RandomStrategy(0))
+        text = render_timeline(result.trace)
+        # The pipeline always waits at least once under this seed, or at
+        # minimum notifies.
+        assert ("wait " in text) or ("notify" in text)
+
+    def test_max_steps_truncation(self):
+        result = run_program(fig4_program, RandomStrategy(0))
+        text = render_timeline(result.trace, max_steps=5)
+        assert "more events" in text
+        assert len(text.splitlines()) == 2 + 5 + 1
+
+    def test_cli_timeline(self, capsys):
+        from repro.cli import main
+
+        assert main(["timeline", "HashMap", "--max-steps", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "step" in out and "status:" in out

@@ -1,0 +1,155 @@
+"""Vector clock tests, anchored on the paper's Figure 6 exact values."""
+
+from __future__ import annotations
+
+from repro.core.vclock import BOT, SJ, compute_vector_clocks
+from repro.runtime.sim.runtime import run_program
+from repro.runtime.sim.strategy import RandomStrategy
+from repro.workloads.figures import fig4_program
+from repro.util.ids import ThreadId
+
+
+def fig4_state(seed=0):
+    result = run_program(fig4_program, RandomStrategy(seed), name="fig4")
+    assert result.status.value in ("completed", "deadlock")
+    st = compute_vector_clocks(result.trace)
+    by_name = {t.pretty(): t for t in result.trace.threads()}
+    return st, by_name
+
+
+class TestFigure6:
+    """Paper Figure 6: V1 = <⊥,⊥,⊥>, V2 = <(2,⊥),⊥,⊥>,
+    V3 = <(2,⊥),(2,⊥),⊥>; tau1=2, tau2=2, tau3=1 at the end."""
+
+    def test_tau_values(self):
+        st, by = fig4_state()
+        assert st.tau[by["main"]] == 2  # t1: bumped by t2.start()
+        assert st.tau[by["t2"]] == 2  # bumped by t3.start()
+        assert st.tau[by["t3"]] == 1
+
+    def test_v1_all_bottom(self):
+        st, by = fig4_state()
+        t1 = by["main"]
+        for other in (by["t2"], by["t3"]):
+            assert st.V(t1, other) == SJ(BOT, BOT)
+
+    def test_v2_sees_t1_start(self):
+        st, by = fig4_state()
+        assert st.V(by["t2"], by["main"]) == SJ(2, BOT)
+        assert st.V(by["t2"], by["t3"]) == SJ(BOT, BOT)
+
+    def test_v3_inherits_transitively(self):
+        """t2 starts t3, yet t3 knows t1's pre-start epoch too."""
+        st, by = fig4_state()
+        assert st.V(by["t3"], by["main"]) == SJ(2, BOT)
+        assert st.V(by["t3"], by["t2"]) == SJ(2, BOT)
+
+    def test_acquire_taus(self):
+        """eta'_1..eta'_2 at tau=1; eta'_6..eta'_8 at tau=2 (Figure 5)."""
+        st, by = fig4_state()
+        result = run_program(fig4_program, RandomStrategy(0), name="fig4")
+        from repro.runtime.events import AcquireEvent
+
+        sites = {}
+        for ev in result.trace:
+            if isinstance(ev, AcquireEvent):
+                sites[ev.index.site] = st.acquire_tau[ev.step]
+        assert sites["11"] == 1
+        assert sites["12"] == 1
+        assert sites["16"] == 2
+        assert sites["18"] == 2
+        assert sites["19"] == 2
+        assert sites["31"] == 1
+        assert sites["32"] == 1
+        assert sites["33"] == 1
+
+    def test_independent_of_schedule(self):
+        """Vector clocks depend on start/join structure, not interleaving."""
+        baseline = None
+        for seed in range(6):
+            st, by = fig4_state(seed)
+            snapshot = {
+                (a, b): st.V(by[a], by[b])
+                for a in ("main", "t2", "t3")
+                for b in ("main", "t2", "t3")
+                if a != b and a in by and b in by
+            }
+            if baseline is None:
+                baseline = snapshot
+            else:
+                assert snapshot == baseline
+
+
+class TestJoinHandling:
+    def _joined_program(self, rt):
+        lock = rt.new_lock(name="L")
+
+        def child():
+            with lock.at("c:1"):
+                pass
+
+        h = rt.spawn(child, name="child", site="s:c")
+        h.join()
+        with lock.at("m:1"):
+            pass
+
+    def test_join_sets_J(self):
+        result = run_program(self._joined_program, RandomStrategy(0))
+        st = compute_vector_clocks(result.trace)
+        by = {t.pretty(): t for t in result.trace.threads()}
+        v = st.V(by["main"], by["child"])
+        # After the join, main's timestamp became 3 (1 start + 1 join... the
+        # start bumps to 2, the join to 3) and ops at tau >= 3 are
+        # join-ordered after the child.
+        assert v.J == 3
+        assert st.tau[by["main"]] == 3
+
+    def test_join_transitivity(self):
+        """main joins A; A had joined B; so main knows B is joined too."""
+
+        def program(rt):
+            def b_body():
+                pass
+
+            def a_body():
+                hb = rt.spawn(b_body, name="B", site="s:b")
+                hb.join()
+
+            ha = rt.spawn(a_body, name="A", site="s:a")
+            ha.join()
+
+        result = run_program(program, RandomStrategy(0))
+        st = compute_vector_clocks(result.trace)
+        by = {t.pretty(): t for t in result.trace.threads()}
+        assert st.V(by["main"], by["A"]).J is not BOT
+        assert st.V(by["main"], by["B"]).J is not BOT
+
+    def test_child_inherits_parent_joins(self):
+        """Algorithm 1 line 17: a child started after t' joined can never
+        overlap t'."""
+
+        def program(rt):
+            def early():
+                pass
+
+            def late():
+                pass
+
+            h = rt.spawn(early, name="early", site="s:e")
+            h.join()
+            h2 = rt.spawn(late, name="late", site="s:l")
+            h2.join()
+
+        result = run_program(program, RandomStrategy(0))
+        st = compute_vector_clocks(result.trace)
+        by = {t.pretty(): t for t in result.trace.threads()}
+        v = st.V(by["late"], by["early"])
+        assert v.J == 1  # everything "late" does is after "early" joined
+
+
+class TestSJ:
+    def test_pretty_bottom(self):
+        assert SJ().pretty() == "(⊥,⊥)"
+
+    def test_pretty_values(self):
+        assert SJ(2, 3).pretty() == "(2,3)"
