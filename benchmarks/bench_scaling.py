@@ -1,5 +1,7 @@
 """Scalability benchmarks: analysis stages on graded synthetic workloads
-(DESIGN.md §6; backs the paper's "scalable algorithm" claim)."""
+(DESIGN.md §6; backs the paper's "scalable algorithm" claim), plus the
+workers sweep measuring the process-pool fan-out of the whole pipeline
+(`WolfConfig.workers`) against the serial baseline."""
 
 from __future__ import annotations
 
@@ -7,11 +9,20 @@ import pytest
 
 from repro.core.detector import ExtendedDetector
 from repro.core.generator import Generator
-from repro.core.pipeline import run_detection
+from repro.core.pipeline import Wolf, WolfConfig, run_detection
 from repro.core.pruner import Pruner
 from repro.experiments.scaling import make_scaled_workload
 
 POINTS = [(2, 40), (4, 80), (8, 160)]
+
+#: Workers sweep: multi-seed workload (8 seeds — each an independent
+#: detection run) on a graded program sized so analysis dominates the
+#: worker-pool startup cost.
+SWEEP_WORKLOAD = (4, 6, 40)  # threads, locks, iters
+SWEEP_SEEDS = list(range(8))
+SWEEP_WORKERS = [1, 2, 4]
+
+_sweep_serial_wall: dict = {}
 
 
 @pytest.fixture(scope="module")
@@ -48,4 +59,51 @@ def test_gs_scaling(benchmark, detections, point):
     benchmark.extra_info.update(
         graphs=len(gen.decisions),
         avg_vertices=round(sum(sizes) / len(sizes), 1) if sizes else 0,
+    )
+
+
+@pytest.mark.parametrize("workers", SWEEP_WORKERS, ids=[f"w{w}" for w in SWEEP_WORKERS])
+def test_workers_sweep(benchmark, workers):
+    """Full pipeline, 8 detection seeds, fanned out over `workers`
+    processes.  Reports wall time per worker count plus the speedup over
+    the serial (`workers=1`) run of the same sweep; cycle classifications
+    are asserted identical to serial regardless of worker count."""
+    program = make_scaled_workload(*SWEEP_WORKLOAD)
+
+    def run():
+        cfg = WolfConfig(
+            detect_seeds=SWEEP_SEEDS,
+            replay_attempts=2,
+            max_cycle_length=3,
+            max_steps=500_000,
+            workers=workers,
+        )
+        return Wolf(config=cfg).analyze(program, name="workers-sweep")
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    wall = report.timings["wall"]
+    if workers == 1:
+        _sweep_serial_wall["wall"] = wall
+        _sweep_serial_wall["classes"] = [
+            c.classification for c in report.cycle_reports
+        ]
+    else:
+        serial_classes = _sweep_serial_wall.get("classes")
+        if serial_classes is not None:  # w1 ran earlier in this session
+            assert [
+                c.classification for c in report.cycle_reports
+            ] == serial_classes, (
+                "parallel run must classify cycles identically to serial"
+            )
+    serial_wall = _sweep_serial_wall.get("wall")
+    benchmark.extra_info.update(
+        workers=report.workers,
+        seeds=len(SWEEP_SEEDS),
+        cycles=report.n_cycles,
+        wall_s=round(wall, 3),
+        aggregate_s=round(report.aggregate_s, 3),
+        overlap=round(report.speedup, 2) if report.speedup else None,
+        speedup_vs_serial=(
+            round(serial_wall / wall, 2) if serial_wall else None
+        ),
     )

@@ -23,7 +23,7 @@ The deliberate imprecision (paper §2, §4.2, Figure 9):
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.core.detector import BaseDetector, PotentialDeadlock

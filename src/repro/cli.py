@@ -26,6 +26,16 @@ from repro.experiments.table2 import render_table2, run_table2
 from repro.workloads.registry import BENCHMARKS, get_benchmark
 
 
+def _add_workers(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for detection/replay fan-out (default: 1, serial)",
+    )
+
+
 def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=None, help="detection seed")
     p.add_argument(
@@ -38,12 +48,14 @@ def _add_common(p: argparse.ArgumentParser) -> None:
         metavar="NAME",
         help="subset of benchmarks (default: all)",
     )
+    _add_workers(p)
 
 
 def _settings(args: argparse.Namespace) -> ExperimentSettings:
     return ExperimentSettings(
         seed=getattr(args, "seed", None),
         replay_attempts=getattr(args, "attempts", None),
+        workers=getattr(args, "workers", 1) or 1,
     )
 
 
@@ -60,6 +72,7 @@ def cmd_detect(args: argparse.Namespace) -> int:
         seed=args.seed if args.seed is not None else b.detect_seed,
         replay_attempts=args.attempts or b.replay_attempts,
         max_cycle_length=b.max_cycle_length,
+        workers=getattr(args, "workers", 1) or 1,
     )
     report = Wolf(config=cfg).analyze(b.program, name=b.name)
     print(report.summary())
@@ -155,6 +168,7 @@ def cmd_immunize(args: argparse.Namespace) -> int:
         seed=seed,
         replay_attempts=args.attempts or b.replay_attempts,
         max_cycle_length=b.max_cycle_length,
+        workers=getattr(args, "workers", 1) or 1,
     )
     report = Wolf(config=cfg).analyze(b.program, name=b.name)
     patterns = patterns_from_report(report)
@@ -328,6 +342,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("benchmark")
     p.add_argument("--seed", type=int, default=None)
     p.add_argument("--attempts", type=int, default=None)
+    _add_workers(p)
     p.add_argument("-v", "--verbose", action="store_true")
     p.add_argument(
         "--rank",
@@ -381,6 +396,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=None)
     p.add_argument("--attempts", type=int, default=None)
     p.add_argument("--runs", type=int, default=20, help="immunized re-runs")
+    _add_workers(p)
     p.set_defaults(func=cmd_immunize)
 
     p = sub.add_parser(

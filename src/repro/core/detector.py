@@ -16,7 +16,7 @@ cycle.  :class:`ExtendedDetector` additionally computes the timestamps and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.lockdep import LockDepEntry, LockDependencyRelation, build_lockdep

@@ -1,0 +1,249 @@
+"""Parallel execution layer for the WOLF pipeline.
+
+WOLF's stages are embarrassingly parallel: detection runs are independent
+per seed, and each surviving cycle's replay attempts are independent of
+every other cycle's (paper §4 runs many seeds and many replays per cycle).
+This module fans both out onto a :class:`~concurrent.futures.ProcessPoolExecutor`
+while keeping the pipeline's output *deterministic*:
+
+* tasks are built in the serial pipeline's order and results are merged
+  back **positionally**, so cycle reports come back in the same order and
+  with identical classifications regardless of completion order;
+* ``skip_confirmed_defects`` deduplication is resolved at merge time in
+  :mod:`repro.core.pipeline` (never inside workers), so there is no race
+  on the confirmed-key set;
+* replay seeds derive from ``(detection seed, cycle sites, attempt)``
+  alone (:class:`~repro.core.replayer.Replayer`), so a replay outcome does
+  not depend on which other replays ran, or where.
+
+Worker processes are started with the ``spawn`` method by default: the
+simulated runtime parks real OS threads, and forking a threaded parent is
+a portability hazard.  ``spawn`` requires the program object to be
+picklable; :func:`make_engine` probes that and falls back to the
+same-process :class:`SerialEngine` (also used for ``workers=1``) when the
+program — e.g. a locally-defined closure — cannot be shipped to workers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar, Union
+
+from repro.core.detector import DetectionResult, ExtendedDetector
+from repro.core.generator import Generator, GeneratorDecision, GeneratorResult
+from repro.core.pruner import Pruner, PruneResult
+from repro.core.replayer import Replayer, ReplayOutcome
+from repro.runtime.sim.runtime import Program
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+# ---------------------------------------------------------------------------
+# Task descriptions (picklable work units) and their module-level runners.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DetectTask:
+    """One detection run plus its trace-side analysis stages.
+
+    Detection, pruning and ``Gs`` construction all depend only on the
+    seed's own trace, so the whole chain runs inside one worker — only the
+    (value-object) results cross the process boundary.
+    """
+
+    program: Program
+    seed: int
+    name: str
+    stickiness: float
+    tries: int
+    max_cycle_length: int
+    max_cycles: int
+    max_steps: int
+    step_timeout: float
+
+
+@dataclass
+class DetectStageResult:
+    """Everything one seed's detect→prune→generate chain produced."""
+
+    seed: int
+    detection: DetectionResult
+    prune: PruneResult
+    gen: GeneratorResult
+    #: Task-seconds per stage, measured inside the (possibly remote)
+    #: worker — the pipeline sums these into aggregate stage times.
+    timings: Dict[str, float] = field(default_factory=dict)
+
+
+def run_detect_task(task: DetectTask) -> DetectStageResult:
+    """Module-level worker entry point (must be importable for ``spawn``)."""
+    # Imported here: pipeline.py imports this module at the top level.
+    from repro.core.pipeline import run_detection
+
+    timings: Dict[str, float] = {}
+    t0 = time.perf_counter()
+    run = run_detection(
+        task.program,
+        task.seed,
+        name=task.name,
+        stickiness=task.stickiness,
+        tries=task.tries,
+        max_steps=task.max_steps,
+        step_timeout=task.step_timeout,
+    )
+    detector = ExtendedDetector(
+        max_length=task.max_cycle_length, max_cycles=task.max_cycles
+    )
+    detection = detector.analyze(run.trace)
+    timings["detect"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    prune = Pruner(detection.vclocks).prune(detection.cycles)
+    timings["prune"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    gen = Generator(detection.relation).run(prune.survivors)
+    timings["generate"] = time.perf_counter() - t0
+
+    return DetectStageResult(
+        seed=task.seed, detection=detection, prune=prune, gen=gen, timings=timings
+    )
+
+
+@dataclass(frozen=True)
+class ReplayTask:
+    """All replay attempts for one Generator survivor."""
+
+    program: Program
+    name: str
+    #: The detection seed the cycle came from — replay seeds derive from
+    #: it exactly as in the serial pipeline.
+    seed: int
+    decision: GeneratorDecision
+    attempts: int
+    max_steps: int
+    step_timeout: float
+
+
+def run_replay_task(task: ReplayTask) -> ReplayOutcome:
+    """Module-level worker entry point (must be importable for ``spawn``)."""
+    replayer = Replayer(
+        task.program,
+        name=task.name,
+        attempts=task.attempts,
+        seed=task.seed,
+        max_steps=task.max_steps,
+        step_timeout=task.step_timeout,
+    )
+    return replayer.replay(task.decision)
+
+
+# ---------------------------------------------------------------------------
+# Execution engines
+# ---------------------------------------------------------------------------
+
+
+class SerialEngine:
+    """Same-process execution: the ``workers=1`` path and the fallback for
+    programs that cannot be shipped to worker processes.
+
+    ``map`` evaluates strictly in task order, which is what makes the
+    ``workers=1`` pipeline bit-identical to the historical serial one.
+    """
+
+    #: Parallel engines replay every candidate eagerly; the pipeline keys
+    #: its lazy skip-confirmed path off this flag.
+    parallel = False
+    workers = 1
+
+    def __init__(self, fallback_reason: str = "") -> None:
+        #: Why a requested process pool degraded to serial ("" when serial
+        #: was requested outright).
+        self.fallback_reason = fallback_reason
+
+    def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> List[R]:
+        return [fn(t) for t in tasks]
+
+    def close(self) -> None:
+        pass
+
+
+class ProcessEngine:
+    """Fan tasks out over a lazily-created :class:`ProcessPoolExecutor`.
+
+    Results are returned in task order (``Executor.map`` semantics), never
+    completion order; a worker exception propagates to the caller exactly
+    like the serial path's would.  The pool is reused across stages of one
+    ``Wolf.analyze`` call and torn down by :meth:`close`.
+    """
+
+    parallel = True
+    fallback_reason = ""
+
+    def __init__(self, workers: int, mp_context: str = "spawn") -> None:
+        self.workers = workers
+        self._ctx = multiprocessing.get_context(mp_context)
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=self._ctx
+            )
+        return self._pool
+
+    def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> List[R]:
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        return list(self._ensure_pool().map(fn, tasks))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+ExecutionEngine = Union[SerialEngine, ProcessEngine]
+
+
+def is_picklable(obj) -> bool:
+    """Can ``obj`` cross a process boundary?  (Closures and locally-defined
+    functions cannot; module-level functions and plain classes can.)"""
+    try:
+        pickle.dumps(obj)
+    except Exception:
+        return False
+    return True
+
+
+def make_engine(
+    workers: int, program: Program, *, mp_context: str = "spawn"
+) -> ExecutionEngine:
+    """Choose the execution engine for one pipeline run.
+
+    Returns a :class:`ProcessEngine` when ``workers > 1`` and ``program``
+    can be pickled to workers; otherwise a :class:`SerialEngine` whose
+    ``fallback_reason`` says why (empty when serial was simply requested).
+    """
+    if workers <= 1:
+        return SerialEngine()
+    if not is_picklable(program):
+        return SerialEngine(
+            fallback_reason=(
+                "program is not picklable (closure or locally-defined "
+                "callable); running in-process"
+            )
+        )
+    try:
+        return ProcessEngine(workers, mp_context=mp_context)
+    except ValueError:
+        return SerialEngine(
+            fallback_reason=f"multiprocessing context {mp_context!r} unavailable"
+        )

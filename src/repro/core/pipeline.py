@@ -10,22 +10,34 @@
 4. **Generator** — build ``Gs`` per survivor; cyclic ``Gs`` ⇒ false;
 5. **Replayer** — re-execute per survivor following ``Gs``; a hit confirms
    the defect, exhaustion of attempts leaves it unknown.
+
+With ``workers > 1`` the per-seed detection chains and the per-cycle
+replay attempts fan out across a process pool
+(:mod:`repro.core.parallel`); results are merged back in the serial
+pipeline's order, so classifications and report ordering are identical to
+a ``workers=1`` run regardless of completion order.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Set, Union
 
-from repro.core.detector import ExtendedDetector
-from repro.core.generator import Generator, GeneratorVerdict
-from repro.core.pruner import Pruner
-from repro.core.replayer import Replayer
+from repro.core.generator import GeneratorVerdict
+from repro.core.parallel import (
+    DetectTask,
+    ReplayTask,
+    make_engine,
+    run_detect_task,
+    run_replay_task,
+)
+from repro.core.replayer import ReplayOutcome
 from repro.core.report import Classification, CycleReport, WolfReport
 from repro.runtime.sim.result import RunResult, RunStatus
 from repro.runtime.sim.runtime import Program, run_program
 from repro.runtime.sim.strategy import RandomStrategy
+from repro.util.ids import Site
 from repro.util.rng import DeterministicRNG
 
 
@@ -47,8 +59,9 @@ def run_detection(
     as-is — a manifested deadlock is still evidence, just with less
     lookahead.
     """
-    last: RunResult = None  # type: ignore[assignment]
-    for attempt in range(max(1, tries)):
+    if tries < 1:
+        raise ValueError(f"tries must be >= 1, got {tries}")
+    for attempt in range(tries):
         run_seed = (
             seed if attempt == 0 else DeterministicRNG(seed).fork(f"detect:{attempt}").seed
         )
@@ -88,6 +101,15 @@ class WolfConfig:
     #: When True, skip replaying cycles whose source-location defect is
     #: already confirmed (§4.3: one reproduction per location suffices).
     skip_confirmed_defects: bool = False
+    #: Process-pool fan-out across detection seeds and replay candidates.
+    #: ``1`` runs everything in-process, bit-identical to the historical
+    #: serial pipeline; ``>1`` requires a picklable program (the pipeline
+    #: falls back to serial otherwise — see :mod:`repro.core.parallel`).
+    workers: int = 1
+    #: Multiprocessing start method for the worker pool.  ``spawn`` is the
+    #: portable default: the simulated runtime parks real OS threads, and
+    #: forking a threaded parent is unsafe on some platforms.
+    mp_context: str = "spawn"
 
     def seeds(self) -> List[int]:
         return list(self.detect_seeds) if self.detect_seeds else [self.seed]
@@ -103,97 +125,136 @@ class Wolf:
 
     def analyze(self, program: Program, *, name: str = "") -> WolfReport:
         cfg = self.config
+        wall0 = time.perf_counter()
         report = WolfReport(
             program=name or getattr(program, "__name__", "program"),
             seeds=cfg.seeds(),
         )
         timings = {"detect": 0.0, "prune": 0.0, "generate": 0.0, "replay": 0.0}
-        confirmed_keys = set()
+        engine = make_engine(cfg.workers, program, mp_context=cfg.mp_context)
+        report.workers = engine.workers
 
-        for seed in cfg.seeds():
-            t0 = time.perf_counter()
-            run = run_detection(
-                program,
-                seed,
-                name=report.program,
-                stickiness=cfg.detect_stickiness,
-                tries=cfg.detect_tries,
-                max_steps=cfg.max_steps,
-                step_timeout=cfg.step_timeout,
-            )
-            detector = ExtendedDetector(
-                max_length=cfg.max_cycle_length, max_cycles=cfg.max_cycles
-            )
-            detection = detector.analyze(run.trace)
-            report.detections.append(detection)
-            timings["detect"] += time.perf_counter() - t0
+        try:
+            detect_tasks = [
+                DetectTask(
+                    program=program,
+                    seed=seed,
+                    name=report.program,
+                    stickiness=cfg.detect_stickiness,
+                    tries=cfg.detect_tries,
+                    max_cycle_length=cfg.max_cycle_length,
+                    max_cycles=cfg.max_cycles,
+                    max_steps=cfg.max_steps,
+                    step_timeout=cfg.step_timeout,
+                )
+                for seed in cfg.seeds()
+            ]
+            stage_results = engine.map(run_detect_task, detect_tasks)
 
-            t0 = time.perf_counter()
-            pruner = Pruner(detection.vclocks)
-            prune = pruner.prune(detection.cycles)
-            timings["prune"] += time.perf_counter() - t0
-
-            for dec in prune.decisions:
-                if dec.pruned:
-                    report.cycle_reports.append(
-                        CycleReport(
-                            cycle=dec.cycle,
-                            classification=Classification.FALSE_PRUNER,
-                            prune=dec,
+            # Merge in seed order: pruned/false reports become CycleReports
+            # immediately; Generator survivors become positional slots to be
+            # filled once their replays resolve.
+            slots: List[Union[CycleReport, int]] = []
+            candidates: List[ReplayTask] = []
+            for res in stage_results:
+                report.detections.append(res.detection)
+                for stage, seconds in res.timings.items():
+                    timings[stage] += seconds
+                for dec in res.prune.decisions:
+                    if dec.pruned:
+                        slots.append(
+                            CycleReport(
+                                cycle=dec.cycle,
+                                classification=Classification.FALSE_PRUNER,
+                                prune=dec,
+                            )
+                        )
+                for dec in res.gen.decisions:
+                    if dec.verdict is GeneratorVerdict.FALSE:
+                        slots.append(
+                            CycleReport(
+                                cycle=dec.cycle,
+                                classification=Classification.FALSE_GENERATOR,
+                                generator=dec,
+                            )
+                        )
+                        continue
+                    slots.append(len(candidates))
+                    candidates.append(
+                        ReplayTask(
+                            program=program,
+                            name=report.program,
+                            seed=res.seed,
+                            decision=dec,
+                            attempts=cfg.replay_attempts,
+                            max_steps=cfg.max_steps,
+                            step_timeout=cfg.step_timeout,
                         )
                     )
 
-            t0 = time.perf_counter()
-            generator = Generator(detection.relation)
-            gen = generator.run(prune.survivors)
-            timings["generate"] += time.perf_counter() - t0
+            outcomes = self._resolve_replays(engine, candidates)
+        finally:
+            engine.close()
 
-            replayer = Replayer(
-                program,
-                name=report.program,
-                attempts=cfg.replay_attempts,
-                seed=seed,
-                max_steps=cfg.max_steps,
-                step_timeout=cfg.step_timeout,
-            )
-            for dec in gen.decisions:
-                if dec.verdict is GeneratorVerdict.FALSE:
-                    report.cycle_reports.append(
-                        CycleReport(
-                            cycle=dec.cycle,
-                            classification=Classification.FALSE_GENERATOR,
-                            generator=dec,
-                        )
-                    )
-                    continue
-                if (
-                    cfg.skip_confirmed_defects
-                    and dec.cycle.defect_key in confirmed_keys
-                ):
-                    report.cycle_reports.append(
-                        CycleReport(
-                            cycle=dec.cycle,
-                            classification=Classification.CONFIRMED,
-                            generator=dec,
-                        )
-                    )
-                    continue
-                t0 = time.perf_counter()
-                outcome = replayer.replay(dec)
-                timings["replay"] += time.perf_counter() - t0
-                if outcome.reproduced:
-                    confirmed_keys.add(dec.cycle.defect_key)
-                    classification = Classification.CONFIRMED
-                else:
-                    classification = Classification.UNKNOWN
+        for slot in slots:
+            if isinstance(slot, CycleReport):
+                report.cycle_reports.append(slot)
+                continue
+            task, outcome = candidates[slot], outcomes[slot]
+            if outcome is None:
+                # Skipped: an earlier-in-order cycle already confirmed this
+                # defect (skip_confirmed_defects), exactly as in serial mode.
                 report.cycle_reports.append(
                     CycleReport(
-                        cycle=dec.cycle,
-                        classification=classification,
-                        generator=dec,
-                        replay=outcome,
+                        cycle=task.decision.cycle,
+                        classification=Classification.CONFIRMED,
+                        generator=task.decision,
                     )
                 )
+                continue
+            timings["replay"] += outcome.wall_time_s
+            report.cycle_reports.append(
+                CycleReport(
+                    cycle=task.decision.cycle,
+                    classification=(
+                        Classification.CONFIRMED
+                        if outcome.reproduced
+                        else Classification.UNKNOWN
+                    ),
+                    generator=task.decision,
+                    replay=outcome,
+                )
+            )
 
+        timings["wall"] = time.perf_counter() - wall0
         report.timings = timings
         return report
+
+    def _resolve_replays(self, engine, candidates: List[ReplayTask]):
+        """Run replays and apply ``skip_confirmed_defects`` deterministically.
+
+        Candidates are walked in the serial pipeline's order; a candidate
+        whose defect key an earlier candidate already confirmed resolves to
+        ``None`` (skipped).  Replay outcomes depend only on the candidate's
+        own seeds, so the parallel engine can compute them all eagerly and
+        let this walk discard the skipped ones — same classifications, no
+        race on the confirmed-key set.  The serial engine replays lazily,
+        doing no work for skipped candidates (the historical behavior).
+        """
+        cfg = self.config
+        eager = None
+        if engine.parallel and candidates:
+            eager = engine.map(run_replay_task, candidates)
+
+        confirmed_keys: Set[FrozenSet[Site]] = set()
+        outcomes: List[Optional[ReplayOutcome]] = []
+        for i, task in enumerate(candidates):
+            key = task.decision.cycle.defect_key
+            if cfg.skip_confirmed_defects and key in confirmed_keys:
+                outcomes.append(None)
+                continue
+            outcome = eager[i] if eager is not None else run_replay_task(task)
+            if outcome.reproduced:
+                confirmed_keys.add(key)
+            outcomes.append(outcome)
+        return outcomes

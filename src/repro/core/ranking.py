@@ -19,7 +19,7 @@ lowest".  This module implements that report mode:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.core.report import Classification, DefectReport, WolfReport
 

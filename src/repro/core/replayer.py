@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Set
+from typing import List, Optional, Set
 
 from repro.core.generator import GeneratorDecision
 from repro.core.syncgraph import SyncGraph
@@ -113,6 +113,11 @@ class ReplayOutcome:
     statuses: List[RunStatus] = field(default_factory=list)
     hit_run: Optional[RunResult] = None
     wall_time_s: float = 0.0
+    #: CPU seconds of the process that ran the attempts.  Replays spend
+    #: much of their wall time parked on scheduler events; the gap between
+    #: this and ``wall_time_s`` shows how much, which matters when replays
+    #: fan out across worker processes (``WolfConfig.workers``).
+    cpu_time_s: float = 0.0
 
     @property
     def hit_rate(self) -> float:
@@ -175,12 +180,18 @@ class Replayer:
         """
         n = attempts if attempts is not None else self.attempts
         t0 = time.perf_counter()
+        c0 = time.process_time()
         statuses: List[RunStatus] = []
         hits = 0
         hit_run: Optional[RunResult] = None
         made = 0
         for k in range(n):
-            rng = DeterministicRNG(self.seed).fork(f"replay:{decision.cycle.sites}:{k}")
+            # Sorted: formatting the raw frozenset would bake the process's
+            # hash seed into the replay seed, which breaks determinism
+            # across interpreter launches and worker processes.
+            rng = DeterministicRNG(self.seed).fork(
+                f"replay:{sorted(decision.cycle.sites)}:{k}"
+            )
             result = self.run_once(decision, seed=rng.seed)
             made += 1
             statuses.append(result.status)
@@ -198,4 +209,5 @@ class Replayer:
             statuses=statuses,
             hit_run=hit_run,
             wall_time_s=time.perf_counter() - t0,
+            cpu_time_s=time.process_time() - c0,
         )

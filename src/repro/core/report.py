@@ -94,8 +94,13 @@ class WolfReport:
     seeds: List[int]
     detections: List[DetectionResult] = field(default_factory=list)
     cycle_reports: List[CycleReport] = field(default_factory=list)
-    #: wall-clock seconds per stage
+    #: Aggregate task-seconds per stage (summed across workers, so with
+    #: ``workers > 1`` the stage values can exceed wall time), plus a
+    #: ``"wall"`` key holding the whole pipeline's wall-clock seconds.
     timings: Dict[str, float] = field(default_factory=dict)
+    #: Effective worker-process count the pipeline ran with (1 = serial,
+    #: including the fallback for un-picklable programs).
+    workers: int = 1
 
     # -- aggregation --------------------------------------------------------
 
@@ -127,6 +132,26 @@ class WolfReport:
     def avg_gs_vertices(self) -> Optional[float]:
         sizes = [c.gs_vertices for c in self.cycle_reports if c.gs_vertices]
         return sum(sizes) / len(sizes) if sizes else None
+
+    # -- timing ---------------------------------------------------------------
+
+    @property
+    def aggregate_s(self) -> float:
+        """Total task-seconds across all stages and workers."""
+        return sum(v for k, v in self.timings.items() if k != "wall")
+
+    @property
+    def wall_s(self) -> Optional[float]:
+        return self.timings.get("wall")
+
+    @property
+    def speedup(self) -> Optional[float]:
+        """Aggregate-over-wall ratio: >1 means the pipeline overlapped
+        stage work across workers (observable parallelism)."""
+        wall = self.wall_s
+        if not wall:
+            return None
+        return self.aggregate_s / wall
 
     # -- presentation ---------------------------------------------------------
 
@@ -166,6 +191,7 @@ class WolfReport:
                     for d in self.defects
                 ],
                 "timings": self.timings,
+                "workers": self.workers,
             },
             indent=2,
         )
@@ -189,6 +215,12 @@ class WolfReport:
             f"    confirmed : {percent(self.count_defects(Classification.CONFIRMED), nd)}",
             f"    unknown   : {percent(self.count_defects(Classification.UNKNOWN), nd)}",
         ]
+        if self.wall_s:
+            lines.append(
+                f"  timing : {self.wall_s:.2f}s wall, "
+                f"{self.aggregate_s:.2f}s aggregate "
+                f"({self.speedup:.1f}x overlap, {self.workers} worker(s))"
+            )
         for d in self.defects:
             lines.append(f"  - {d.pretty()}")
         return "\n".join(lines)

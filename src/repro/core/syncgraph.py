@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.core.detector import PotentialDeadlock
 from repro.core.lockdep import LockDepEntry, LockDependencyRelation

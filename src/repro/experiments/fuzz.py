@@ -24,7 +24,6 @@ from repro.core.pipeline import run_detection
 from repro.core.pruner import Pruner
 from repro.core.replayer import Replayer
 from repro.runtime.sim.explore import explore_deadlocks
-from repro.runtime.sim.result import RunStatus
 from repro.util.fmt import render_table
 from repro.workloads.randomgen import build_program, random_spec
 

@@ -14,7 +14,6 @@ from typing import Optional
 
 from repro.core.detector import ExtendedDetector
 from repro.core.report import WolfReport
-from repro.runtime.sim.result import RunStatus
 from repro.runtime.sim.runtime import Program, run_program
 from repro.runtime.sim.strategy import RandomStrategy
 

@@ -21,6 +21,10 @@ class ExperimentSettings:
     replay_attempts: Optional[int] = None  # None: per-benchmark default
     max_cycles: int = 10_000
     max_steps: int = 200_000
+    #: Worker processes for the WOLF pipeline (1 = serial; see
+    #: :mod:`repro.core.parallel`).  The DeadlockFuzzer baseline always
+    #: runs serially, as the original tool does.
+    workers: int = 1
 
     def seed_for(self, b: Benchmark) -> int:
         return self.seed if self.seed is not None else b.detect_seed
@@ -40,6 +44,7 @@ def run_wolf(b: Benchmark, settings: ExperimentSettings) -> WolfReport:
         max_cycle_length=b.max_cycle_length,
         max_cycles=settings.max_cycles,
         max_steps=settings.max_steps,
+        workers=settings.workers,
     )
     return Wolf(config=cfg).analyze(b.program, name=b.name)
 

@@ -27,13 +27,23 @@ from repro.runtime.sim.runtime import Program, SimRuntime
 from repro.util.fmt import render_table
 
 
-def make_scaled_workload(
-    n_threads: int, n_locks: int, iters: int
-) -> Program:
+class ScaledWorkload:
     """Graded contention workload: threads cycle over ordered lock pairs
-    (deadlock-free bulk) plus one inverted pair seeding real cycles."""
+    (deadlock-free bulk) plus one inverted pair seeding real cycles.
 
-    def program(rt: SimRuntime) -> None:
+    A plain class with integer state rather than a closure so instances
+    are picklable — the parallel engine (``WolfConfig.workers``) ships the
+    program object to worker processes.
+    """
+
+    def __init__(self, n_threads: int, n_locks: int, iters: int) -> None:
+        self.n_threads = n_threads
+        self.n_locks = n_locks
+        self.iters = iters
+        self.__name__ = f"scaled_{n_threads}t_{n_locks}l_{iters}i"
+
+    def __call__(self, rt: SimRuntime) -> None:
+        n_locks, iters = self.n_locks, self.iters
         locks = [
             rt.new_lock(name=f"L{i}", site="scale:locks") for i in range(n_locks)
         ]
@@ -54,14 +64,18 @@ def make_scaled_workload(
 
         handles = [
             rt.spawn(lambda j=i: worker(j), name=f"w{i}", site="scale:spawn")
-            for i in range(n_threads)
+            for i in range(self.n_threads)
         ]
         handles.append(rt.spawn(inverter, name="inv", site="scale:spawn_inv"))
         for h in handles:
             h.join()
 
-    program.__name__ = f"scaled_{n_threads}t_{n_locks}l_{iters}i"
-    return program
+
+def make_scaled_workload(
+    n_threads: int, n_locks: int, iters: int
+) -> Program:
+    """Factory kept for callers that predate :class:`ScaledWorkload`."""
+    return ScaledWorkload(n_threads, n_locks, iters)
 
 
 @dataclass

@@ -16,8 +16,7 @@ from __future__ import annotations
 
 import contextlib
 import threading
-import time
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.runtime.events import (
     AcquireEvent,

@@ -15,7 +15,7 @@ keep files compact.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.runtime.events import (
     AcquireEvent,

@@ -22,7 +22,7 @@ sites must not deadlock in ANY schedule.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 from repro.runtime.sim.result import RunResult, RunStatus

@@ -15,7 +15,7 @@ condition variables and these workloads exercise them:
 
 from __future__ import annotations
 
-from typing import Any, List, Optional
+from typing import Any, List
 
 from repro.runtime.sim.runtime import SimRuntime
 

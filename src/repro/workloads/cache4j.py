@@ -10,7 +10,7 @@ trivially acyclic.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Optional
 
 from repro.runtime.sim.runtime import SimRuntime
 from repro.workloads.structures import HashMap, LinkedHashMap

@@ -91,7 +91,6 @@ def fig2_program(rt: SimRuntime) -> None:
 
 
 from repro.workloads.collections_sync import (  # noqa: E402  (site table)
-    SITE_MAP_EQUALS,
     SITE_MAP_GET,
     SITE_MAP_SIZE,
 )

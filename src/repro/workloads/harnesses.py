@@ -24,12 +24,20 @@ from repro.workloads.collections_sync import SynchronizedList, SynchronizedMap
 from repro.workloads.structures import LIST_TYPES, MAP_TYPES
 
 
-def make_list_harness(list_cls: Type) -> Callable[[SimRuntime], None]:
-    """Two synchronized lists, two symmetric workers."""
+class ListHarnessProgram:
+    """Two synchronized lists, two symmetric workers.
 
-    def program(rt: SimRuntime) -> None:
-        sl1 = SynchronizedList(rt, list_cls(), "SL1")
-        sl2 = SynchronizedList(rt, list_cls(), "SL2")
+    A picklable class (the element type is a module-level class) so the
+    parallel engine can ship harness programs to worker processes.
+    """
+
+    def __init__(self, list_cls: Type) -> None:
+        self.list_cls = list_cls
+        self.__name__ = f"list_harness_{list_cls.__name__}"
+
+    def __call__(self, rt: SimRuntime) -> None:
+        sl1 = SynchronizedList(rt, self.list_cls(), "SL1")
+        sl2 = SynchronizedList(rt, self.list_cls(), "SL2")
         sl1.add("a")
         sl2.add("b")
 
@@ -50,16 +58,24 @@ def make_list_harness(list_cls: Type) -> Callable[[SimRuntime], None]:
         for h in handles:
             h.join()
 
-    program.__name__ = f"list_harness_{list_cls.__name__}"
-    return program
+
+def make_list_harness(list_cls: Type) -> Callable[[SimRuntime], None]:
+    return ListHarnessProgram(list_cls)
 
 
-def make_map_harness(map_cls: Type) -> Callable[[SimRuntime], None]:
-    """Two synchronized maps compared in opposite directions (Figure 2)."""
+class MapHarnessProgram:
+    """Two synchronized maps compared in opposite directions (Figure 2).
 
-    def program(rt: SimRuntime) -> None:
-        sm1 = SynchronizedMap(rt, map_cls(), "SM1")
-        sm2 = SynchronizedMap(rt, map_cls(), "SM2")
+    Picklable for the same reason as :class:`ListHarnessProgram`.
+    """
+
+    def __init__(self, map_cls: Type) -> None:
+        self.map_cls = map_cls
+        self.__name__ = f"map_harness_{map_cls.__name__}"
+
+    def __call__(self, rt: SimRuntime) -> None:
+        sm1 = SynchronizedMap(rt, self.map_cls(), "SM1")
+        sm2 = SynchronizedMap(rt, self.map_cls(), "SM2")
         sm1.put("key", "v1")
         sm2.put("key", "v2")
 
@@ -78,8 +94,9 @@ def make_map_harness(map_cls: Type) -> Callable[[SimRuntime], None]:
         for h in handles:
             h.join()
 
-    program.__name__ = f"map_harness_{map_cls.__name__}"
-    return program
+
+def make_map_harness(map_cls: Type) -> Callable[[SimRuntime], None]:
+    return MapHarnessProgram(map_cls)
 
 
 def list_harness(name: str) -> Callable[[SimRuntime], None]:

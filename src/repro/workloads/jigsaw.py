@@ -28,7 +28,6 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.runtime.sim.runtime import SimRuntime
-from repro.workloads.structures import HashMap
 
 
 class Resource:

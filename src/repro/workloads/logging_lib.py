@@ -16,7 +16,7 @@ reproduced by WOLF in the paper (Table 1: 2 defects, both true):
 
 from __future__ import annotations
 
-from typing import Any, List, Optional
+from typing import List, Optional
 
 from repro.runtime.sim.runtime import SimRuntime
 

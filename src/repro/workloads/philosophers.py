@@ -9,17 +9,27 @@ program — handy as a true-negative check.
 
 from __future__ import annotations
 
-from typing import Callable
 
 from repro.runtime.sim.runtime import SimRuntime
 
 
-def make_philosophers(n: int = 3, *, ordered: bool = False, meals: int = 1):
-    """Build a philosophers program with ``n`` seats."""
-    if n < 2:
-        raise ValueError("need at least two philosophers")
+class PhilosophersProgram:
+    """A philosophers program with ``n`` seats.
 
-    def program(rt: SimRuntime) -> None:
+    A module-level class (not a closure) so instances pickle and the
+    parallel pipeline can ship them to worker processes.
+    """
+
+    def __init__(self, n: int = 3, *, ordered: bool = False, meals: int = 1):
+        if n < 2:
+            raise ValueError("need at least two philosophers")
+        self.n = n
+        self.ordered = ordered
+        self.meals = meals
+        self.__name__ = f"philosophers_{n}{'_ordered' if ordered else ''}"
+
+    def __call__(self, rt: SimRuntime) -> None:
+        n, ordered, meals = self.n, self.ordered, self.meals
         forks = [rt.new_lock(name=f"fork{i}", site="Table.java:1") for i in range(n)]
 
         def philosopher(i: int) -> None:
@@ -38,8 +48,10 @@ def make_philosophers(n: int = 3, *, ordered: bool = False, meals: int = 1):
         for h in handles:
             h.join()
 
-    program.__name__ = f"philosophers_{n}{'_ordered' if ordered else ''}"
-    return program
+
+def make_philosophers(n: int = 3, *, ordered: bool = False, meals: int = 1):
+    """Build a philosophers program with ``n`` seats."""
+    return PhilosophersProgram(n, ordered=ordered, meals=meals)
 
 
 #: Default 3-seat instance used by the quickstart and tests.

@@ -13,8 +13,8 @@ programs deterministically.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
 
 from repro.runtime.sim.runtime import Program, SimRuntime
 from repro.util.rng import DeterministicRNG

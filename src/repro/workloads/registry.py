@@ -7,8 +7,8 @@ trace), and per-benchmark analysis knobs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from dataclasses import dataclass
+from typing import Dict, List
 
 from repro.runtime.sim.runtime import Program
 from repro.workloads.cache4j import cache4j_program

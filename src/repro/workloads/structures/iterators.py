@@ -10,7 +10,7 @@ lock around iteration manually.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator, List
+from typing import Any, Callable, Iterator
 
 
 class ConcurrentModificationError(RuntimeError):

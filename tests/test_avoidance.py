@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import json
 
-import pytest
 
 from repro.core.avoidance import (
     AvoidancePattern,
@@ -122,8 +121,6 @@ class TestImmunityVsSearch:
     def test_search_confirms_immunity_on_abba(self):
         """Ground truth: under immunity, bounded-exhaustive exploration
         must find no schedule reaching the confirmed pattern."""
-        from repro.runtime.sim.explore import explore_runs
-
         patterns, _ = confirmed_patterns(two_lock_program, "abba")
         confirmed_sites = {frozenset(p.wanted_sites) for p in patterns}
 

@@ -4,7 +4,6 @@ tests)."""
 
 from __future__ import annotations
 
-import pytest
 
 from repro.runtime.sim.result import RunStatus
 from repro.runtime.sim.runtime import run_program

@@ -4,7 +4,6 @@ reliably; DeadlockFuzzer's abstractions pause the wrong thread."""
 
 from __future__ import annotations
 
-import pytest
 
 from repro.baselines.deadlockfuzzer import (
     DeadlockFuzzer,

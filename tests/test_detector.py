@@ -2,10 +2,8 @@
 
 from __future__ import annotations
 
-import pytest
 
-from repro.core.detector import BaseDetector, ExtendedDetector, find_cycles
-from repro.core.lockdep import build_lockdep
+from repro.core.detector import BaseDetector, ExtendedDetector
 from repro.core.pipeline import run_detection
 from repro.runtime.sim.runtime import run_program
 from repro.runtime.sim.strategy import RandomStrategy

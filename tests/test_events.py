@@ -6,15 +6,7 @@ import json
 
 import pytest
 
-from repro.runtime.events import (
-    AcquireEvent,
-    BeginEvent,
-    BlockEvent,
-    NullTrace,
-    ReleaseEvent,
-    SpawnEvent,
-    Trace,
-)
+from repro.runtime.events import AcquireEvent, BeginEvent, NullTrace, SpawnEvent, Trace
 from repro.runtime.sim.runtime import run_program
 from repro.runtime.sim.strategy import RandomStrategy
 from tests.conftest import two_lock_program

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import math
 
-import pytest
 
 from repro.experiments.fig8 import render_fig8, run_fig8
 from repro.experiments.fig10 import render_fig10, run_fig10

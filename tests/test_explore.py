@@ -7,7 +7,6 @@ any explored schedule, while confirmed ones must show up as reachable.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.detector import ExtendedDetector
 from repro.core.generator import Generator, GeneratorVerdict
@@ -18,7 +17,6 @@ from repro.runtime.sim.explore import (
     explore_deadlocks,
     explore_runs,
 )
-from repro.runtime.sim.result import RunStatus
 from repro.workloads.figures import (
     FIG2_THETA1,
     FIG2_THETA23,

@@ -51,9 +51,10 @@ class TestReduction:
         magic = ExtendedDetector(magic_reduce=True).analyze(run.trace)
         # Separate analyze() calls build fresh entry objects: compare by
         # the entries' structural identity.
-        key = lambda det: {
-            tuple((e.index, e.lock) for e in c.entries) for c in det.cycles
-        }
+        def key(det):
+            return {
+                tuple((e.index, e.lock) for e in c.entries) for c in det.cycles
+            }
         assert key(plain) == key(magic)
 
     def test_magic_base_detector(self):

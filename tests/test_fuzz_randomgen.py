@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments.fuzz import FuzzStats, fuzz_once, run_fuzz
 from repro.runtime.sim.result import RunStatus

@@ -7,7 +7,7 @@ import pytest
 from repro.core.lockdep import build_lockdep
 from repro.runtime.events import AcquireEvent
 from repro.runtime.sim.runtime import run_program
-from repro.runtime.sim.strategy import FixedOrderStrategy, RandomStrategy
+from repro.runtime.sim.strategy import RandomStrategy
 from tests.conftest import two_lock_program
 
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.detector import ExtendedDetector
 from repro.core.generator import Generator

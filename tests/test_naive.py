@@ -6,17 +6,11 @@ that the paper's introduction motivates."""
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 
-from repro.baselines.naive import (
-    LockGraphEdge,
-    NaiveLockGraphDetector,
-    build_lock_graph,
-)
+from repro.baselines.naive import NaiveLockGraphDetector, build_lock_graph
 from repro.core.detector import ExtendedDetector
 from repro.core.pipeline import run_detection
-from repro.core.pruner import Pruner
 from repro.workloads.figures import fig4_program
 from tests.conftest import ordered_program, two_lock_program
 from tests.randprog import build_program, program_specs

@@ -13,16 +13,10 @@ import time
 import pytest
 
 from repro.core.detector import ExtendedDetector
-from repro.core.generator import Generator
 from repro.core.pruner import Pruner
 from repro.core.syncgraph import build_sync_graph
 from repro.runtime.events import AcquireEvent, BeginEvent, SpawnEvent
-from repro.runtime.nativert import (
-    DeadlockAborted,
-    NativeReplayer,
-    NativeRuntime,
-    patch_threading,
-)
+from repro.runtime.nativert import NativeReplayer, NativeRuntime, patch_threading
 
 
 class TestTraceRecording:

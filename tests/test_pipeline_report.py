@@ -2,11 +2,10 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.pipeline import Wolf, WolfConfig, run_detection
 from repro.core.report import Classification as C
-from repro.core.report import CycleReport, DefectReport, WolfReport
+from repro.core.report import CycleReport, DefectReport
 from repro.runtime.sim.result import RunStatus
 from repro.workloads.figures import (
     FIG2_THETA1,
@@ -97,8 +96,16 @@ class TestWolfPipeline:
 
     def test_timings_populated(self):
         report = Wolf(seed=0).analyze(fig4_program, name="fig4")
-        assert set(report.timings) == {"detect", "prune", "generate", "replay"}
+        assert set(report.timings) == {
+            "detect",
+            "prune",
+            "generate",
+            "replay",
+            "wall",
+        }
         assert report.timings["detect"] > 0
+        # Serial: no stage work overlaps, so wall bounds the aggregate.
+        assert report.timings["wall"] >= report.timings["replay"]
 
     def test_multiple_detect_seeds(self):
         cfg = WolfConfig(detect_seeds=[0, 1])

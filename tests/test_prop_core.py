@@ -19,7 +19,7 @@ from itertools import combinations, permutations
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.core.detector import ExtendedDetector, find_cycles
+from repro.core.detector import ExtendedDetector
 from repro.core.generator import Generator, GeneratorVerdict
 from repro.core.pipeline import run_detection
 from repro.core.pruner import Pruner

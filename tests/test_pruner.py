@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.detector import ExtendedDetector
 from repro.core.pipeline import run_detection
 from repro.core.pruner import Pruner

@@ -3,7 +3,6 @@ Figure 7(a) and the cyclic Gs of Figure 7(b)."""
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.detector import ExtendedDetector
 from repro.core.generator import Generator, GeneratorVerdict

@@ -6,7 +6,6 @@ from repro.core.vclock import BOT, SJ, compute_vector_clocks
 from repro.runtime.sim.runtime import run_program
 from repro.runtime.sim.strategy import RandomStrategy
 from repro.workloads.figures import fig4_program
-from repro.util.ids import ThreadId
 
 
 def fig4_state(seed=0):

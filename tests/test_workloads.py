@@ -9,11 +9,8 @@ from repro.core.pipeline import Wolf, WolfConfig
 from repro.core.report import Classification as C
 from repro.runtime.sim.result import RunStatus
 from repro.runtime.sim.runtime import run_program
-from repro.runtime.sim.strategy import RandomStrategy
 from repro.workloads import BENCHMARKS, get_benchmark
-from repro.workloads.cache4j import SynchronizedCache, cache4j_program
-from repro.workloads.logging_lib import logging_program
-from repro.workloads.jigsaw import jigsaw_program
+from repro.workloads.cache4j import SynchronizedCache
 from repro.workloads.philosophers import make_philosophers
 
 
