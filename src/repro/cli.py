@@ -34,6 +34,22 @@ def _add_workers(p: argparse.ArgumentParser) -> None:
         metavar="N",
         help="worker processes for detection/replay fan-out (default: 1, serial)",
     )
+    p.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task wall-clock deadline; a blown deadline is recorded as "
+        "a timeout fault instead of stalling the run (default: unbounded)",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retries (deterministic exponential backoff) before a failing "
+        "detection/replay task is quarantined as a fault (default: 2)",
+    )
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -52,10 +68,13 @@ def _add_common(p: argparse.ArgumentParser) -> None:
 
 
 def _settings(args: argparse.Namespace) -> ExperimentSettings:
+    retries = getattr(args, "retries", None)
     return ExperimentSettings(
         seed=getattr(args, "seed", None),
         replay_attempts=getattr(args, "attempts", None),
         workers=getattr(args, "workers", 1) or 1,
+        task_timeout=getattr(args, "task_timeout", None),
+        task_retries=retries if retries is not None else 2,
     )
 
 
@@ -66,6 +85,14 @@ def cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _supervision_kw(args: argparse.Namespace) -> dict:
+    kw = {"task_timeout": getattr(args, "task_timeout", None)}
+    retries = getattr(args, "retries", None)
+    if retries is not None:
+        kw["task_retries"] = retries
+    return kw
+
+
 def cmd_detect(args: argparse.Namespace) -> int:
     b = get_benchmark(args.benchmark)
     cfg = WolfConfig(
@@ -73,6 +100,7 @@ def cmd_detect(args: argparse.Namespace) -> int:
         replay_attempts=args.attempts or b.replay_attempts,
         max_cycle_length=b.max_cycle_length,
         workers=getattr(args, "workers", 1) or 1,
+        **_supervision_kw(args),
     )
     report = Wolf(config=cfg).analyze(b.program, name=b.name)
     print(report.summary())
@@ -169,6 +197,7 @@ def cmd_immunize(args: argparse.Namespace) -> int:
         replay_attempts=args.attempts or b.replay_attempts,
         max_cycle_length=b.max_cycle_length,
         workers=getattr(args, "workers", 1) or 1,
+        **_supervision_kw(args),
     )
     report = Wolf(config=cfg).analyze(b.program, name=b.name)
     patterns = patterns_from_report(report)

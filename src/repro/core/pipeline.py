@@ -28,12 +28,13 @@ from repro.core.generator import GeneratorVerdict
 from repro.core.parallel import (
     DetectTask,
     ReplayTask,
+    SupervisionPolicy,
+    TaskOutcome,
     make_engine,
     run_detect_task,
     run_replay_task,
 )
-from repro.core.replayer import ReplayOutcome
-from repro.core.report import Classification, CycleReport, WolfReport
+from repro.core.report import Classification, CycleReport, FaultRecord, WolfReport
 from repro.runtime.sim.result import RunResult, RunStatus
 from repro.runtime.sim.runtime import Program, run_program
 from repro.runtime.sim.strategy import RandomStrategy
@@ -61,6 +62,10 @@ def run_detection(
     """
     if tries < 1:
         raise ValueError(f"tries must be >= 1, got {tries}")
+    if max_steps < 1:
+        raise ValueError(f"max_steps must be >= 1, got {max_steps}")
+    if step_timeout <= 0:
+        raise ValueError(f"step_timeout must be > 0, got {step_timeout}")
     for attempt in range(tries):
         run_seed = (
             seed if attempt == 0 else DeterministicRNG(seed).fork(f"detect:{attempt}").seed
@@ -110,6 +115,41 @@ class WolfConfig:
     #: portable default: the simulated runtime parks real OS threads, and
     #: forking a threaded parent is unsafe on some platforms.
     mp_context: str = "spawn"
+    #: Per-task wall-clock deadline in seconds for detection/replay tasks
+    #: (``None`` = unbounded).  A task that blows the deadline is recorded
+    #: as a ``timeout`` fault instead of stalling the campaign.
+    task_timeout: Optional[float] = None
+    #: Retries (with deterministic exponential backoff) before a failing
+    #: task is quarantined as a ``WolfReport.faults`` entry.
+    task_retries: int = 2
+    #: First backoff sleep between retries; doubles per retry.
+    retry_backoff_s: float = 0.05
+    #: Worker-pool breakages tolerated before the engine degrades to
+    #: in-process execution (see :mod:`repro.core.parallel`).
+    max_pool_breakages: int = 2
+
+    def __post_init__(self) -> None:
+        if self.replay_attempts < 1:
+            raise ValueError(
+                f"replay_attempts must be >= 1, got {self.replay_attempts}"
+            )
+        if self.max_steps < 1:
+            raise ValueError(f"max_steps must be >= 1, got {self.max_steps}")
+        if self.step_timeout <= 0:
+            raise ValueError(f"step_timeout must be > 0, got {self.step_timeout}")
+        if self.detect_tries < 1:
+            raise ValueError(f"detect_tries must be >= 1, got {self.detect_tries}")
+        # SupervisionPolicy re-validates, but fail at construction with the
+        # offending value rather than deep inside analyze().
+        self.supervision()
+
+    def supervision(self) -> SupervisionPolicy:
+        return SupervisionPolicy(
+            task_timeout=self.task_timeout,
+            retries=self.task_retries,
+            backoff_base_s=self.retry_backoff_s,
+            max_pool_breakages=self.max_pool_breakages,
+        )
 
     def seeds(self) -> List[int]:
         return list(self.detect_seeds) if self.detect_seeds else [self.seed]
@@ -131,10 +171,14 @@ class Wolf:
             seeds=cfg.seeds(),
         )
         timings = {"detect": 0.0, "prune": 0.0, "generate": 0.0, "replay": 0.0}
+        policy = cfg.supervision()
         engine = make_engine(cfg.workers, program, mp_context=cfg.mp_context)
         report.workers = engine.workers
 
-        try:
+        # The with-statement guarantees teardown (cancelling queued futures
+        # and killing workers on the exception/KeyboardInterrupt path), so
+        # an interrupted run never leaks spawn workers.
+        with engine:
             detect_tasks = [
                 DetectTask(
                     program=program,
@@ -149,14 +193,23 @@ class Wolf:
                 )
                 for seed in cfg.seeds()
             ]
-            stage_results = engine.map(run_detect_task, detect_tasks)
+            detect_outcomes = engine.map_supervised(
+                run_detect_task, detect_tasks, policy
+            )
 
-            # Merge in seed order: pruned/false reports become CycleReports
-            # immediately; Generator survivors become positional slots to be
-            # filled once their replays resolve.
+            # Merge in seed order: a failed seed becomes a fault record (it
+            # contributes no cycles); pruned/false reports become
+            # CycleReports immediately; Generator survivors become
+            # positional slots to be filled once their replays resolve.
             slots: List[Union[CycleReport, int]] = []
             candidates: List[ReplayTask] = []
-            for res in stage_results:
+            for task, out in zip(detect_tasks, detect_outcomes):
+                if not out.ok:
+                    report.faults.append(
+                        self._fault("detect", f"seed:{task.seed}", out)
+                    )
+                    continue
+                res = out.value
                 report.detections.append(res.detection)
                 for stage, seconds in res.timings.items():
                     timings[stage] += seconds
@@ -192,16 +245,15 @@ class Wolf:
                         )
                     )
 
-            outcomes = self._resolve_replays(engine, candidates)
-        finally:
-            engine.close()
+            outcomes = self._resolve_replays(engine, candidates, policy)
 
+        report.fallback_reason = engine.fallback_reason
         for slot in slots:
             if isinstance(slot, CycleReport):
                 report.cycle_reports.append(slot)
                 continue
-            task, outcome = candidates[slot], outcomes[slot]
-            if outcome is None:
+            task, out = candidates[slot], outcomes[slot]
+            if out is None:
                 # Skipped: an earlier-in-order cycle already confirmed this
                 # defect (skip_confirmed_defects), exactly as in serial mode.
                 report.cycle_reports.append(
@@ -212,6 +264,20 @@ class Wolf:
                     )
                 )
                 continue
+            if not out.ok:
+                # The replay task itself failed (not "replay didn't hit"):
+                # record the fault and leave the cycle for manual review.
+                key = ",".join(sorted(task.decision.cycle.sites))
+                report.faults.append(self._fault("replay", f"cycle:{key}", out))
+                report.cycle_reports.append(
+                    CycleReport(
+                        cycle=task.decision.cycle,
+                        classification=Classification.UNKNOWN,
+                        generator=task.decision,
+                    )
+                )
+                continue
+            outcome = out.value
             timings["replay"] += outcome.wall_time_s
             report.cycle_reports.append(
                 CycleReport(
@@ -230,7 +296,24 @@ class Wolf:
         report.timings = timings
         return report
 
-    def _resolve_replays(self, engine, candidates: List[ReplayTask]):
+    @staticmethod
+    def _fault(kind: str, key: str, out: TaskOutcome) -> FaultRecord:
+        return FaultRecord(
+            kind=kind,
+            key=key,
+            failure=out.status.value,
+            error_type=out.error_type,
+            message=out.message,
+            retries=out.retries,
+            elapsed_s=out.elapsed_s,
+        )
+
+    def _resolve_replays(
+        self,
+        engine,
+        candidates: List[ReplayTask],
+        policy: SupervisionPolicy,
+    ) -> List[Optional[TaskOutcome]]:
         """Run replays and apply ``skip_confirmed_defects`` deterministically.
 
         Candidates are walked in the serial pipeline's order; a candidate
@@ -240,21 +323,27 @@ class Wolf:
         let this walk discard the skipped ones — same classifications, no
         race on the confirmed-key set.  The serial engine replays lazily,
         doing no work for skipped candidates (the historical behavior).
+        A *failed* replay task never confirms its defect key, identically
+        under both engines.
         """
         cfg = self.config
         eager = None
         if engine.parallel and candidates:
-            eager = engine.map(run_replay_task, candidates)
+            eager = engine.map_supervised(run_replay_task, candidates, policy)
 
         confirmed_keys: Set[FrozenSet[Site]] = set()
-        outcomes: List[Optional[ReplayOutcome]] = []
+        outcomes: List[Optional[TaskOutcome]] = []
         for i, task in enumerate(candidates):
             key = task.decision.cycle.defect_key
             if cfg.skip_confirmed_defects and key in confirmed_keys:
                 outcomes.append(None)
                 continue
-            outcome = eager[i] if eager is not None else run_replay_task(task)
-            if outcome.reproduced:
+            out = (
+                eager[i]
+                if eager is not None
+                else engine.map_supervised(run_replay_task, [task], policy)[0]
+            )
+            if out.ok and out.value.reproduced:
                 confirmed_keys.add(key)
-            outcomes.append(outcome)
+            outcomes.append(out)
         return outcomes

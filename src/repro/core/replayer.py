@@ -112,6 +112,12 @@ class ReplayOutcome:
     hits: int
     statuses: List[RunStatus] = field(default_factory=list)
     hit_run: Optional[RunResult] = None
+    #: Total forced releases across all attempts: times the replay
+    #: scheduler hit Algorithm 4's "release a random paused thread" safety
+    #: valve (the paper's "very rarely" path).  A high count means the
+    #: schedule diverged from the recorded trace — useful for diagnosing
+    #: why an attempt missed, and surfaced in the markdown report.
+    forced_releases: int = 0
     wall_time_s: float = 0.0
     #: CPU seconds of the process that ran the attempts.  Replays spend
     #: much of their wall time parked on scheduler events; the gap between
@@ -147,6 +153,12 @@ class Replayer:
         max_steps: int = 200_000,
         step_timeout: float = 30.0,
     ) -> None:
+        if attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {attempts}")
+        if max_steps < 1:
+            raise ValueError(f"max_steps must be >= 1, got {max_steps}")
+        if step_timeout <= 0:
+            raise ValueError(f"step_timeout must be > 0, got {step_timeout}")
         self.program = program
         self.name = name
         self.attempts = attempts
@@ -155,8 +167,12 @@ class Replayer:
         self.step_timeout = step_timeout
 
     def run_once(self, decision: GeneratorDecision, seed: int) -> RunResult:
+        result, _ = self._run_attempt(decision, seed)
+        return result
+
+    def _run_attempt(self, decision: GeneratorDecision, seed: int):
         strategy = WolfReplayStrategy(decision.gs, seed=seed)
-        return run_program(
+        result = run_program(
             self.program,
             strategy,
             seed=seed,
@@ -164,6 +180,7 @@ class Replayer:
             max_steps=self.max_steps,
             step_timeout=self.step_timeout,
         )
+        return result, strategy
 
     def replay(
         self,
@@ -179,10 +196,13 @@ class Replayer:
         paper Figure 8).
         """
         n = attempts if attempts is not None else self.attempts
+        if n < 1:
+            raise ValueError(f"attempts must be >= 1, got {n}")
         t0 = time.perf_counter()
         c0 = time.process_time()
         statuses: List[RunStatus] = []
         hits = 0
+        forced = 0
         hit_run: Optional[RunResult] = None
         made = 0
         for k in range(n):
@@ -192,8 +212,9 @@ class Replayer:
             rng = DeterministicRNG(self.seed).fork(
                 f"replay:{sorted(decision.cycle.sites)}:{k}"
             )
-            result = self.run_once(decision, seed=rng.seed)
+            result, strategy = self._run_attempt(decision, seed=rng.seed)
             made += 1
+            forced += strategy.forced_releases
             statuses.append(result.status)
             if is_hit(result, decision.gs):
                 hits += 1
@@ -208,6 +229,7 @@ class Replayer:
             hits=hits,
             statuses=statuses,
             hit_run=hit_run,
+            forced_releases=forced,
             wall_time_s=time.perf_counter() - t0,
             cpu_time_s=time.process_time() - c0,
         )

@@ -56,6 +56,36 @@ class CycleReport:
 
 
 @dataclass
+class FaultRecord:
+    """One supervised task that failed for good (retries exhausted).
+
+    The pipeline records the fault and keeps going: a failed detection
+    seed contributes no cycles, a failed replay leaves its cycle
+    ``UNKNOWN`` — the report always arrives (see
+    :mod:`repro.core.parallel`).
+    """
+
+    #: Which pipeline stage failed: ``"detect"`` or ``"replay"``.
+    kind: str
+    #: Stable identity of the work unit: ``"seed:N"`` for detection,
+    #: ``"cycle:<sorted sites>"`` for replay.
+    key: str
+    #: Failure class: ``"error"`` / ``"timeout"`` / ``"crashed"``.
+    failure: str
+    error_type: str = ""
+    message: str = ""
+    #: Retries consumed before quarantine.
+    retries: int = 0
+    elapsed_s: float = 0.0
+
+    def pretty(self) -> str:
+        return (
+            f"[{self.failure}] {self.kind} {self.key}: {self.error_type} "
+            f"(after {self.retries} retr{'y' if self.retries == 1 else 'ies'})"
+        )
+
+
+@dataclass
 class DefectReport:
     """All cycles sharing one set of deadlocking source locations."""
 
@@ -101,6 +131,13 @@ class WolfReport:
     #: Effective worker-process count the pipeline ran with (1 = serial,
     #: including the fallback for un-picklable programs).
     workers: int = 1
+    #: Tasks that failed past their retry budget (quarantined), recorded
+    #: instead of aborting the run.
+    faults: List[FaultRecord] = field(default_factory=list)
+    #: Why the execution engine ran (or finished) in-process despite
+    #: ``workers > 1`` — un-picklable program, or repeated pool breakage
+    #: mid-run ("" when nothing degraded).
+    fallback_reason: str = ""
 
     # -- aggregation --------------------------------------------------------
 
@@ -127,6 +164,15 @@ class WolfReport:
     @property
     def n_defects(self) -> int:
         return len(self.defects)
+
+    @property
+    def n_faults(self) -> int:
+        return len(self.faults)
+
+    def count_faults(self, failure: Optional[str] = None) -> int:
+        if failure is None:
+            return len(self.faults)
+        return sum(1 for f in self.faults if f.failure == failure)
 
     @property
     def avg_gs_vertices(self) -> Optional[float]:
@@ -172,6 +218,7 @@ class WolfReport:
                     "attempts": cr.replay.attempts,
                     "hits": cr.replay.hits,
                     "hit_rate": cr.replay.hit_rate,
+                    "forced_releases": cr.replay.forced_releases,
                 }
             if cr.prune is not None and cr.prune.pruned:
                 d["prune_reason"] = cr.prune.reason
@@ -190,8 +237,20 @@ class WolfReport:
                     }
                     for d in self.defects
                 ],
+                "faults": [
+                    {
+                        "kind": f.kind,
+                        "key": f.key,
+                        "failure": f.failure,
+                        "error_type": f.error_type,
+                        "retries": f.retries,
+                        "elapsed_s": f.elapsed_s,
+                    }
+                    for f in self.faults
+                ],
                 "timings": self.timings,
                 "workers": self.workers,
+                "fallback_reason": self.fallback_reason,
             },
             indent=2,
         )
@@ -215,6 +274,17 @@ class WolfReport:
             f"    confirmed : {percent(self.count_defects(Classification.CONFIRMED), nd)}",
             f"    unknown   : {percent(self.count_defects(Classification.UNKNOWN), nd)}",
         ]
+        if self.faults:
+            lines.append(
+                f"  faults (tasks lost to errors/timeouts/crashes) : "
+                f"{self.count_faults('error')} error, "
+                f"{self.count_faults('timeout')} timeout, "
+                f"{self.count_faults('crashed')} crashed"
+            )
+            for f in self.faults:
+                lines.append(f"    - {f.pretty()}")
+        if self.fallback_reason:
+            lines.append(f"  degraded : {self.fallback_reason}")
         if self.wall_s:
             lines.append(
                 f"  timing : {self.wall_s:.2f}s wall, "

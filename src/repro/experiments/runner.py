@@ -25,6 +25,11 @@ class ExperimentSettings:
     #: :mod:`repro.core.parallel`).  The DeadlockFuzzer baseline always
     #: runs serially, as the original tool does.
     workers: int = 1
+    #: Per-task deadline for the WOLF pipeline's supervised execution
+    #: (None = unbounded); blown deadlines become report faults.
+    task_timeout: Optional[float] = None
+    #: Retries before a failing detection/replay task is quarantined.
+    task_retries: int = 2
 
     def seed_for(self, b: Benchmark) -> int:
         return self.seed if self.seed is not None else b.detect_seed
@@ -45,6 +50,8 @@ def run_wolf(b: Benchmark, settings: ExperimentSettings) -> WolfReport:
         max_cycles=settings.max_cycles,
         max_steps=settings.max_steps,
         workers=settings.workers,
+        task_timeout=settings.task_timeout,
+        task_retries=settings.task_retries,
     )
     return Wolf(config=cfg).analyze(b.program, name=b.name)
 

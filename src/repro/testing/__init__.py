@@ -1,0 +1,13 @@
+"""Test-support utilities shipped with the package.
+
+:mod:`repro.testing.chaos` is the fault-injection harness: deterministic
+hostile workloads and task functions that drive every path of the
+supervision layer (:mod:`repro.core.parallel`) in tests and CI.
+"""
+
+from repro.testing.chaos import (  # noqa: F401
+    ChaosError,
+    ChaosProgram,
+    ChaosTarget,
+    SimulatedWorkerCrash,
+)
