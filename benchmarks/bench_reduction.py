@@ -33,7 +33,7 @@ def skewed_program(n_noise_threads: int = 6, iters: int = 40):
                     pass
 
         def noisy(k):
-            for i in range(iters):
+            for _ in range(iters):
                 with noise[k].at(f"sk:n{k}"):
                     pass
 

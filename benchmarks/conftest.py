@@ -32,7 +32,7 @@ def print_collected_tables():
     yield
     if _collected:
         print("\n")
-        for title, text in _collected:
+        for _title, text in _collected:
             print(text)
             print()
 

@@ -1,0 +1,51 @@
+"""Static analysis and trace sanitization (execution-independent oracles).
+
+WOLF's dynamic pipeline only reports cycles the recorded schedule
+happened to exercise.  This package pairs it with two cross-checks:
+
+* :mod:`repro.analysis.locksets` / :mod:`repro.analysis.lockgraph` — a
+  sound-leaning **static lock-order analyzer** in the spirit of Kroening
+  et al. (Sound Static Deadlock Analysis for C/Pthreads) and Garcia &
+  Laneve (Deadlock detection of Java Bytecode): it walks workload ASTs
+  (never importing or executing them), extracts per-function lockset
+  summaries with alias-conservative lock identity, builds an
+  interprocedural lock-order graph and enumerates its cycles as *static
+  candidate deadlocks* with source locations;
+* :mod:`repro.analysis.sanitizer` — a **trace sanitizer** replaying a
+  recorded event list through the pipeline's well-formedness invariants
+  (balanced acquire/release, mutual exclusion, spawn/join order,
+  ``(S, J)`` clock preconditions, ``Gs`` edge typing), turning silent
+  trace corruption into structured :class:`SanitizerDiagnostic` records;
+* :mod:`repro.analysis.crossval` — the **cross-validation harness**
+  intersecting static candidates with dynamic cycles per workload and
+  classifying every candidate as static-only / dynamic-only /
+  confirmed-by-both (``wolf analyze``).
+"""
+
+from repro.analysis.crossval import CrossValReport, render_crossval, run_crossval
+from repro.analysis.lockgraph import (
+    StaticCycle,
+    StaticLockOrderGraph,
+    build_lock_order_graph,
+)
+from repro.analysis.locksets import CorpusSummary, analyze_corpus, analyze_source
+from repro.analysis.sanitizer import (
+    SanitizerDiagnostic,
+    check_sync_graph,
+    sanitize_trace,
+)
+
+__all__ = [
+    "CorpusSummary",
+    "CrossValReport",
+    "SanitizerDiagnostic",
+    "StaticCycle",
+    "StaticLockOrderGraph",
+    "analyze_corpus",
+    "analyze_source",
+    "build_lock_order_graph",
+    "check_sync_graph",
+    "render_crossval",
+    "run_crossval",
+    "sanitize_trace",
+]

@@ -1,0 +1,258 @@
+"""Cross-validation: static candidate deadlocks vs dynamic cycles (pass 3).
+
+For every registry workload this harness
+
+* runs one detection pass (``run_detection`` + ``ExtendedDetector``) and
+  collects the dynamic defect keys — the per-cycle sets of deadlocking
+  acquisition sites;
+* analyzes the workload corpus statically (once, AST-only) and restricts
+  the static cycles to the modules the benchmark's program can reach (its
+  defining module plus the transitive corpus-import closure);
+* intersects the two: a dynamic defect is **confirmed-by-both** when some
+  static cycle's site patterns cover every site in its key; uncovered
+  dynamic defects are **dynamic-only** (the static abstraction missed an
+  order, e.g. through an unanalyzable alias); static cycles covering no
+  dynamic defect are **static-only** (the schedule never exercised them —
+  exactly the recall gap the static pass exists to expose);
+* optionally (``sanitize=True``) runs the trace sanitizer over the
+  detection trace and attaches its diagnostics.
+
+The result renders to deterministic markdown (:func:`render_crossval`):
+no timings, no timestamps — two runs are byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.lockgraph import (
+    StaticCycle,
+    StaticLockOrderGraph,
+    build_lock_order_graph,
+)
+from repro.analysis.locksets import CorpusSummary, analyze_corpus, site_matches
+from repro.analysis.sanitizer import SanitizerDiagnostic, sanitize_trace
+
+#: A dynamic defect key, sorted for deterministic rendering.
+DefectKey = Tuple[str, ...]
+
+
+@dataclass
+class BenchmarkCrossVal:
+    """Cross-validation verdicts for one workload."""
+
+    name: str
+    seed: int
+    dynamic_keys: List[DefectKey] = field(default_factory=list)
+    static_cycles: List[StaticCycle] = field(default_factory=list)
+    #: (dynamic key, static cycle that covers it) — confirmed-by-both.
+    confirmed: List[Tuple[DefectKey, StaticCycle]] = field(default_factory=list)
+    dynamic_only: List[DefectKey] = field(default_factory=list)
+    static_only: List[StaticCycle] = field(default_factory=list)
+    diagnostics: List[SanitizerDiagnostic] = field(default_factory=list)
+
+
+@dataclass
+class CrossValReport:
+    """The full matrix plus the shared static artifacts."""
+
+    benchmarks: List[BenchmarkCrossVal] = field(default_factory=list)
+    corpus_files: int = 0
+    graph: StaticLockOrderGraph = field(default_factory=StaticLockOrderGraph)
+    all_cycles: List[StaticCycle] = field(default_factory=list)
+    sanitized: bool = False
+
+    @property
+    def n_diagnostics(self) -> int:
+        return sum(len(b.diagnostics) for b in self.benchmarks)
+
+    @property
+    def n_confirmed(self) -> int:
+        return sum(len(b.confirmed) for b in self.benchmarks)
+
+
+def covers(cycle: StaticCycle, key: FrozenSet[str]) -> bool:
+    """True when every dynamic site in ``key`` matches one of the static
+    cycle's site patterns."""
+    return all(
+        any(site_matches(pattern, site) for pattern in cycle.sites)
+        for site in key
+    )
+
+
+def _module_stem(program: object) -> str:
+    module = getattr(program, "__module__", None)
+    if not isinstance(module, str):
+        module = type(program).__module__
+    return module.rsplit(".", 1)[-1]
+
+
+def _import_closure(corpus: CorpusSummary, stem: str) -> Set[str]:
+    closure: Set[str] = set()
+    work = [stem]
+    while work:
+        mod = work.pop()
+        if mod in closure:
+            continue
+        closure.add(mod)
+        work.extend(corpus.imports.get(mod, []))
+    return closure
+
+
+def _cycle_modules(cycle: StaticCycle) -> Set[str]:
+    return {e.function.split(".", 1)[0] for e in cycle.edges}
+
+
+def static_candidates_for(
+    corpus: CorpusSummary, cycles: Sequence[StaticCycle], program: object
+) -> List[StaticCycle]:
+    """Static cycles whose witness edges all live in modules reachable
+    from the program's defining module (AST import closure — the program
+    itself is never imported by the analysis; its module name is just the
+    filter key)."""
+    closure = _import_closure(corpus, _module_stem(program))
+    return [c for c in cycles if _cycle_modules(c) <= closure]
+
+
+def run_crossval(
+    names: Optional[Sequence[str]] = None,
+    *,
+    seed: Optional[int] = None,
+    sanitize: bool = False,
+    max_cycles_per_benchmark: int = 64,
+) -> CrossValReport:
+    """Cross-validate ``names`` (default: the full registry)."""
+    # Imported lazily: the analysis package itself must not drag in the
+    # workload modules (the static side never imports workload code).
+    from repro.core.detector import ExtendedDetector
+    from repro.core.pipeline import run_detection
+    from repro.workloads.registry import all_benchmarks, get_benchmark
+
+    benchmarks = (
+        [get_benchmark(n) for n in names] if names else all_benchmarks()
+    )
+
+    corpus_dir = _workloads_dir()
+    files = sorted(corpus_dir.glob("*.py"))
+    corpus = analyze_corpus(files)
+    graph = build_lock_order_graph(corpus)
+    max_len = max((b.max_cycle_length for b in benchmarks), default=3)
+    all_cycles = graph.enumerate_cycles(max_length=max(max_len, 3))
+
+    report = CrossValReport(
+        corpus_files=len(files),
+        graph=graph,
+        all_cycles=all_cycles,
+        sanitized=sanitize,
+    )
+    for b in benchmarks:
+        run_seed = b.detect_seed if seed is None else seed
+        run = run_detection(b.program, run_seed, name=b.name)
+        detection = ExtendedDetector(max_length=b.max_cycle_length).analyze(
+            run.trace
+        )
+        row = BenchmarkCrossVal(name=b.name, seed=run_seed)
+        row.dynamic_keys = sorted(
+            tuple(sorted(k)) for k in detection.defect_keys()
+        )
+        row.static_cycles = static_candidates_for(
+            corpus, all_cycles, b.program
+        )[:max_cycles_per_benchmark]
+        used: Set[int] = set()
+        for key in row.dynamic_keys:
+            match = next(
+                (
+                    (i, c)
+                    for i, c in enumerate(row.static_cycles)
+                    if covers(c, frozenset(key))
+                ),
+                None,
+            )
+            if match is None:
+                row.dynamic_only.append(key)
+            else:
+                used.add(match[0])
+                row.confirmed.append((key, match[1]))
+        row.static_only = [
+            c for i, c in enumerate(row.static_cycles) if i not in used
+        ]
+        if sanitize:
+            row.diagnostics = sanitize_trace(run.trace)
+        report.benchmarks.append(row)
+    return report
+
+
+def _workloads_dir() -> Path:
+    import repro.workloads as workloads
+
+    return Path(workloads.__file__).resolve().parent
+
+
+def _fmt_key(key: DefectKey) -> str:
+    return "{" + ", ".join(key) + "}"
+
+
+def render_crossval(report: CrossValReport) -> str:
+    """Deterministic markdown for the cross-validation matrix."""
+    out: List[str] = []
+    out.append("# Cross-validation — static lock-order analysis vs dynamic detection")
+    out.append("")
+    g = report.graph
+    out.append(
+        f"Static corpus: {report.corpus_files} files, {len(g.tokens)} lock "
+        f"tokens, {len(g.edges)} order edges, {len(report.all_cycles)} "
+        "candidate cycles (AST-only; workload code is never imported)."
+    )
+    out.append("")
+    header = (
+        "| Benchmark | Dynamic defects | Static candidates | Confirmed | "
+        "Dynamic-only | Static-only |"
+    )
+    rule = "|---|---|---|---|---|---|"
+    if report.sanitized:
+        header += " Sanitizer diagnostics |"
+        rule += "---|"
+    out.append(header)
+    out.append(rule)
+    for row in report.benchmarks:
+        line = (
+            f"| {row.name} | {len(row.dynamic_keys)} "
+            f"| {len(row.static_cycles)} | {len(row.confirmed)} "
+            f"| {len(row.dynamic_only)} | {len(row.static_only)} |"
+        )
+        if report.sanitized:
+            line += f" {len(row.diagnostics)} |"
+        out.append(line)
+    out.append("")
+    for row in report.benchmarks:
+        details: List[str] = []
+        for key, cycle in row.confirmed:
+            details.append(
+                f"- **confirmed** {_fmt_key(key)} ⇐ static {cycle.describe()}"
+            )
+        for key in row.dynamic_only:
+            details.append(
+                f"- **dynamic-only** {_fmt_key(key)} — no static cycle "
+                "covers these sites"
+            )
+        for cycle in row.static_only:
+            details.append(
+                f"- **static-only** {cycle.describe()} — not exercised by "
+                f"the recorded schedule (seed {row.seed})"
+            )
+        for diag in row.diagnostics:
+            details.append(f"- **sanitizer** {diag.pretty()}")
+        if details:
+            out.append(f"## {row.name}")
+            out.append("")
+            out.extend(details)
+            out.append("")
+    if report.sanitized:
+        out.append(
+            f"{report.n_diagnostics} sanitizer diagnostic(s) across all "
+            "detection traces."
+        )
+        out.append("")
+    return "\n".join(out)

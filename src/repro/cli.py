@@ -4,6 +4,9 @@ Commands:
 
 * ``wolf detect <benchmark>`` — run the full WOLF pipeline on a benchmark
   and print the classification report;
+* ``wolf analyze`` — static lock-order analysis of the workload corpus,
+  cross-validated against the dynamic detector (``--sanitize`` adds the
+  trace sanitizer and fails on any diagnostic);
 * ``wolf df <benchmark>`` — run the DeadlockFuzzer baseline;
 * ``wolf table1`` / ``wolf table2`` — regenerate the paper's tables;
 * ``wolf fig8`` / ``wolf fig10`` — regenerate the paper's figures;
@@ -100,6 +103,7 @@ def cmd_detect(args: argparse.Namespace) -> int:
         replay_attempts=args.attempts or b.replay_attempts,
         max_cycle_length=b.max_cycle_length,
         workers=getattr(args, "workers", 1) or 1,
+        sanitize=getattr(args, "sanitize", False),
         **_supervision_kw(args),
     )
     report = Wolf(config=cfg).analyze(b.program, name=b.name)
@@ -113,6 +117,35 @@ def cmd_detect(args: argparse.Namespace) -> int:
 
         print()
         print(render_ranking(rank_defects(report)))
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Static lock-order analysis + cross-validation (+ sanitizer)."""
+    from repro.analysis import render_crossval, run_crossval
+
+    rep = run_crossval(
+        args.benchmarks or None, seed=args.seed, sanitize=args.sanitize
+    )
+    text = render_crossval(rep)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    if args.dot:
+        from repro.util.dot import lock_order_dot
+
+        with open(args.dot, "w") as fh:
+            fh.write(lock_order_dot(rep.graph, rep.all_cycles))
+        print(f"wrote {args.dot}")
+    if rep.sanitized and rep.n_diagnostics:
+        print(
+            f"FAIL: {rep.n_diagnostics} sanitizer diagnostic(s)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -378,7 +411,39 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="rank defects most-actionable-first instead of hard filtering (§4.4)",
     )
+    p.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run the trace sanitizer and Gs typing checks during the pipeline",
+    )
     p.set_defaults(func=cmd_detect)
+
+    p = sub.add_parser(
+        "analyze",
+        help="static lock-order analysis cross-validated against the "
+        "dynamic detector",
+    )
+    p.add_argument(
+        "--benchmarks",
+        nargs="*",
+        default=None,
+        metavar="NAME",
+        help="subset of benchmarks (default: the whole registry incl. extras)",
+    )
+    p.add_argument("--seed", type=int, default=None, help="detection seed")
+    p.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="also sanitize every detection trace; exit 1 on any diagnostic",
+    )
+    p.add_argument("--out", default=None, help="output markdown file")
+    p.add_argument(
+        "--dot",
+        default=None,
+        metavar="FILE",
+        help="also export the static lock-order graph as DOT",
+    )
+    p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("trace", help="record a detection trace to a JSON file")
     p.add_argument("benchmark")

@@ -178,11 +178,10 @@ def find_cycles(
                     path.pop()
                     threads.discard(nxt.thread)
                     return False
-            if extendable:
-                if not extend(path, threads):
-                    path.pop()
-                    threads.discard(nxt.thread)
-                    return False
+            if extendable and not extend(path, threads):
+                path.pop()
+                threads.discard(nxt.thread)
+                return False
             path.pop()
             threads.discard(nxt.thread)
         return True

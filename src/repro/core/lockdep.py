@@ -44,7 +44,7 @@ class LockDepEntry:
         acquired it (paper's per-tuple function ``mu_i``)."""
         if lock == self.lock:
             return self.index
-        for held, idx in zip(self.lockset, self.context):
+        for held, idx in zip(self.lockset, self.context, strict=True):
             if held == lock:
                 return idx
         raise KeyError(f"{lock!r} not in lockset/lock of {self!r}")

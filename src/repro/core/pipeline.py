@@ -127,6 +127,10 @@ class WolfConfig:
     #: Worker-pool breakages tolerated before the engine degrades to
     #: in-process execution (see :mod:`repro.core.parallel`).
     max_pool_breakages: int = 2
+    #: Run the trace sanitizer over every detection trace and the ``Gs``
+    #: typing check over every generated graph; violations land in
+    #: ``WolfReport.sanitizer`` (see :mod:`repro.analysis.sanitizer`).
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.replay_attempts < 1:
@@ -203,7 +207,7 @@ class Wolf:
             # positional slots to be filled once their replays resolve.
             slots: List[Union[CycleReport, int]] = []
             candidates: List[ReplayTask] = []
-            for task, out in zip(detect_tasks, detect_outcomes):
+            for task, out in zip(detect_tasks, detect_outcomes, strict=True):
                 if not out.ok:
                     report.faults.append(
                         self._fault("detect", f"seed:{task.seed}", out)
@@ -213,6 +217,21 @@ class Wolf:
                 report.detections.append(res.detection)
                 for stage, seconds in res.timings.items():
                     timings[stage] += seconds
+                if cfg.sanitize:
+                    # Imported here: repro.analysis depends on core, so a
+                    # module-level import would be circular.
+                    from repro.analysis.sanitizer import (
+                        check_sync_graph,
+                        sanitize_trace,
+                    )
+
+                    t0 = time.perf_counter()
+                    report.sanitizer.extend(sanitize_trace(res.detection.trace))
+                    for dec in res.gen.decisions:
+                        report.sanitizer.extend(check_sync_graph(dec.gs))
+                    timings["sanitize"] = (
+                        timings.get("sanitize", 0.0) + time.perf_counter() - t0
+                    )
                 for dec in res.prune.decisions:
                     if dec.pruned:
                         slots.append(

@@ -11,7 +11,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.analysis.sanitizer import SanitizerDiagnostic
 
 from repro.core.detector import DetectionResult, PotentialDeadlock
 from repro.core.generator import GeneratorDecision
@@ -138,6 +141,9 @@ class WolfReport:
     #: ``workers > 1`` — un-picklable program, or repeated pool breakage
     #: mid-run ("" when nothing degraded).
     fallback_reason: str = ""
+    #: Trace/graph well-formedness violations found by the sanitizer
+    #: (populated only with ``WolfConfig.sanitize``; [] = clean).
+    sanitizer: List["SanitizerDiagnostic"] = field(default_factory=list)
 
     # -- aggregation --------------------------------------------------------
 
@@ -168,6 +174,10 @@ class WolfReport:
     @property
     def n_faults(self) -> int:
         return len(self.faults)
+
+    @property
+    def n_diagnostics(self) -> int:
+        return len(self.sanitizer)
 
     def count_faults(self, failure: Optional[str] = None) -> int:
         if failure is None:
@@ -248,6 +258,7 @@ class WolfReport:
                     }
                     for f in self.faults
                 ],
+                "sanitizer": [d.to_dict() for d in self.sanitizer],
                 "timings": self.timings,
                 "workers": self.workers,
                 "fallback_reason": self.fallback_reason,
@@ -283,6 +294,13 @@ class WolfReport:
             )
             for f in self.faults:
                 lines.append(f"    - {f.pretty()}")
+        if self.sanitizer:
+            lines.append(
+                f"  sanitizer diagnostics (trace/graph invariants) : "
+                f"{len(self.sanitizer)}"
+            )
+            for d in self.sanitizer:
+                lines.append(f"    - {d.pretty()}")
         if self.fallback_reason:
             lines.append(f"  degraded : {self.fallback_reason}")
         if self.wall_s:

@@ -172,7 +172,7 @@ def build_sync_graph(
     # deadlocking attempt.
     for e in theta:
         chain = relation.before(e) + [e]
-        for prev, nxt in zip(chain, chain[1:]):
+        for prev, nxt in zip(chain, chain[1:], strict=False):
             u = GsVertex(index=prev.index, lock=prev.lock)
             v = GsVertex(index=nxt.index, lock=nxt.lock)
             gs.add_edge(u, v, EdgeKind.P)

@@ -22,13 +22,13 @@ the trace in their real global order.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Final, Optional, Set
 
 from repro.runtime.events import AcquireEvent, BeginEvent, JoinEvent, SpawnEvent, Trace
 from repro.util.ids import ThreadId
 
 #: The paper's "bottom": thread not started / no ordering information.
-BOT = None
+BOT: Final = None
 
 
 @dataclass(frozen=True)
@@ -61,6 +61,14 @@ class VectorClockState:
     def _clock(self, t: ThreadId) -> Dict[ThreadId, SJ]:
         return self.clocks.setdefault(t, {})
 
+    def _bump(self, t: ThreadId) -> int:
+        """Increment ``tau_t`` (set on the thread's first event, so never
+        ⊥ here) and return the new value."""
+        current = self.tau[t]
+        assert current is not BOT
+        self.tau[t] = current + 1
+        return current + 1
+
 
 def compute_vector_clocks(trace: Trace) -> VectorClockState:
     """Run Algorithm 1's timestamp/vector-clock updates over a trace."""
@@ -79,12 +87,12 @@ def compute_vector_clocks(trace: Trace) -> VectorClockState:
 
         if isinstance(ev, SpawnEvent):
             c = ev.child
-            st.tau[t] = st.tau[t] + 1
+            tau_t = st._bump(t)
             st.tau[c] = 1
             vc = st._clock(c)
             vp = st._clock(t)
             # Peers are every thread either side has an opinion about.
-            peers = set(vp) | {t}
+            peers: Set[ThreadId] = set(vp) | {t}
             for i in peers:
                 prior = vc.get(i, SJ())
                 s, j = prior.S, prior.J
@@ -96,27 +104,29 @@ def compute_vector_clocks(trace: Trace) -> VectorClockState:
                 # and whatever the parent knows finished before it began,
                 # precede the child's entire execution.
                 if i == t:
-                    s = st.tau[t]
+                    s = tau_t
                 else:
                     s = vp.get(i, SJ()).S
                 vc[i] = SJ(s, j)
 
         elif isinstance(ev, JoinEvent):
             c = ev.target
-            st.tau[t] = st.tau[t] + 1
+            tau_t = st._bump(t)
             vp = st._clock(t)
             vt_child = st._clock(c)
-            peers = set(vt_child) | {c}
-            for i in peers:
+            join_peers: Set[ThreadId] = set(vt_child) | {c}
+            for i in join_peers:
                 # line 25: the joined thread itself, and transitively any
                 # thread it saw joined, are now wholly in t's past.
                 already = vp.get(i, SJ())
                 if i == c or (
                     vt_child.get(i, SJ()).J is not BOT and already.J is BOT
                 ):
-                    vp[i] = SJ(already.S, st.tau[t])
+                    vp[i] = SJ(already.S, tau_t)
 
         elif isinstance(ev, AcquireEvent):
-            st.acquire_tau[ev.step] = st.tau[t]
+            tau_now = st.tau[t]
+            assert tau_now is not BOT  # set on the thread's first event
+            st.acquire_tau[ev.step] = tau_now
 
     return st

@@ -179,6 +179,23 @@ class Trace:
                 return ev.thread
         return None
 
+    def end_steps(self) -> Dict[ThreadId, int]:
+        """Step of each thread's first :class:`EndEvent` (threads still
+        running — or deadlocked — at the end of the trace are absent)."""
+        out: Dict[ThreadId, int] = {}
+        for ev in self.events:
+            if isinstance(ev, EndEvent) and ev.thread not in out:
+                out[ev.thread] = ev.step
+        return out
+
+    def spawn_steps(self) -> Dict[ThreadId, int]:
+        """Step at which each thread was spawned (root threads absent)."""
+        out: Dict[ThreadId, int] = {}
+        for ev in self.events:
+            if isinstance(ev, SpawnEvent) and ev.child not in out:
+                out[ev.child] = ev.step
+        return out
+
     # -- serialization -------------------------------------------------------
 
     def to_json(self) -> str:

@@ -297,6 +297,13 @@ class InstrumentedLock:
             )
         self._depth -= 1
         reentrant = self._depth > 0
+        # Record *before* freeing the OS lock: a thread blocked in
+        # acquire() may otherwise grab the lock and record its
+        # AcquireEvent ahead of this ReleaseEvent, leaving a trace that
+        # violates mutual exclusion (flagged by the trace sanitizer).
+        rt._record(
+            ReleaseEvent, thread=state.tid, lock=self.lid, site=site, reentrant=reentrant
+        )
         if not reentrant:
             self._owner_ident = None
             for i in range(len(state.held) - 1, -1, -1):
@@ -304,9 +311,6 @@ class InstrumentedLock:
                     del state.held[i]
                     break
             self._inner.release()
-        rt._record(
-            ReleaseEvent, thread=state.tid, lock=self.lid, site=site, reentrant=reentrant
-        )
 
     def at(self, site: Site):
         return _Region(self, site)

@@ -8,11 +8,14 @@ viewer).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import TYPE_CHECKING, Dict, Iterable, List
 
 from repro.core.detector import PotentialDeadlock
 from repro.core.lockdep import LockDependencyRelation
 from repro.core.syncgraph import EdgeKind, SyncGraph
+
+if TYPE_CHECKING:  # pure typing: util must not depend on analysis at runtime
+    from repro.analysis.lockgraph import StaticCycle, StaticLockOrderGraph
 
 _EDGE_STYLE = {
     EdgeKind.D: 'color="firebrick", penwidth=2',
@@ -22,7 +25,17 @@ _EDGE_STYLE = {
 
 
 def _quote(s: str) -> str:
-    return '"' + s.replace('"', '\\"') + '"'
+    """Quote a DOT identifier/label: escape backslashes and quotes, and
+    turn literal newlines into DOT's ``\\n`` line breaks (site strings and
+    lock names are arbitrary workload text)."""
+    escaped = (
+        s.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\r\n", "\\n")
+        .replace("\n", "\\n")
+        .replace("\r", "\\n")
+    )
+    return '"' + escaped + '"'
 
 
 def sync_graph_dot(gs: SyncGraph) -> str:
@@ -36,7 +49,8 @@ def sync_graph_dot(gs: SyncGraph) -> str:
         lines.append(f"  subgraph cluster_{i} {{")
         lines.append(f"    label={_quote(tname)};")
         for v in vs:
-            label = f"{v.index.site} x{v.index.occ}\\n{v.lock.pretty()}"
+            # Real newline here: _quote renders it as DOT's line break.
+            label = f"{v.index.site} x{v.index.occ}\n{v.lock.pretty()}"
             lines.append(f"    {_quote(v.pretty())} [label={_quote(label)}];")
         lines.append("  }")
     for (u, v), kind in gs.edge_kinds.items():
@@ -76,5 +90,37 @@ def lock_graph_dot(
                 f"  {_quote(held.pretty())} -> {_quote(e.lock.pretty())} "
                 f"[{style}, label={_quote(e.thread.pretty())}];"
             )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def lock_order_dot(
+    graph: "StaticLockOrderGraph",
+    cycles: Iterable["StaticCycle"] = (),
+) -> str:
+    """Render the *static* lock-order graph: lock tokens as nodes, one
+    edge per distinct (src site, dst site) witness labelled with the
+    acquiring function; edges on enumerated static cycles are red."""
+    hot = set()
+    for c in cycles:
+        for e in c.edges:
+            hot.add(e.key())
+    lines: List[str] = ["digraph StaticLockOrder {", "  node [shape=ellipse];"]
+    for t in graph.tokens:
+        shape = "doublecircle" if t.many else "ellipse"
+        lines.append(
+            f"  {_quote(t.name)} [label={_quote(t.pretty())}, shape={shape}];"
+        )
+    for e in graph.edges:
+        style = (
+            'color="firebrick", penwidth=2'
+            if e.key() in hot
+            else 'color="gray30"'
+        )
+        label = f"{e.function}\n{e.src_site} -> {e.dst_site}"
+        lines.append(
+            f"  {_quote(e.src.name)} -> {_quote(e.dst.name)} "
+            f"[{style}, label={_quote(label)}];"
+        )
     lines.append("}")
     return "\n".join(lines)

@@ -72,7 +72,7 @@ def render_timeline(
     widths = [6] + [lane_width] * len(threads)
 
     def row(cells: List[str]) -> str:
-        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths, strict=True)).rstrip()
 
     out = [row(header), row(["-" * 4] + ["-" * (lane_width - 2)] * len(threads))]
     events = trace.events if max_steps is None else trace.events[:max_steps]

@@ -83,6 +83,12 @@ def _extras() -> List[Benchmark]:
     ]
 
 
+def all_benchmarks() -> List[Benchmark]:
+    """Table-1 rows plus the named extras, in registry order — the
+    iteration set for registry-wide tooling (``wolf analyze``)."""
+    return list(BENCHMARKS) + _extras()
+
+
 _BY_NAME: Dict[str, Benchmark] = {b.name: b for b in BENCHMARKS}
 
 

@@ -100,7 +100,7 @@ class TestAlgorithms:
         assert cycle is not None
         assert set(cycle) == {1, 2, 3}
         # Consecutive nodes (cyclically) must be edges.
-        for u, v in zip(cycle, cycle[1:] + cycle[:1]):
+        for u, v in zip(cycle, cycle[1:] + cycle[:1], strict=True):
             assert g.has_edge(u, v)
 
     def test_find_cycle_self_loop(self):
@@ -168,7 +168,7 @@ def test_found_cycle_is_a_real_cycle(edges):
     cycle = g.find_cycle()
     if cycle is None:
         return
-    for u, v in zip(cycle, cycle[1:] + cycle[:1]):
+    for u, v in zip(cycle, cycle[1:] + cycle[:1], strict=True):
         assert g.has_edge(u, v)
 
 

@@ -1,0 +1,391 @@
+"""Static lock-order analyzer tests: lockset extraction from source
+snippets, cycle enumeration, DOT export, and known-answer cross-validation
+against the dynamic detector.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import (
+    analyze_corpus,
+    analyze_source,
+    build_lock_order_graph,
+    render_crossval,
+    run_crossval,
+)
+from repro.analysis.locksets import site_matches
+from repro.util.dot import _quote, lock_order_dot
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def the_fn(corpus, suffix):
+    """The unique function summary whose qualname ends with ``suffix``."""
+    hits = [f for f in corpus.functions.values() if f.qualname.endswith(suffix)]
+    assert len(hits) == 1, [f.qualname for f in corpus.functions.values()]
+    return hits[0]
+
+
+class TestSiteMatches:
+    def test_literal(self):
+        assert site_matches("A.java:12", "A.java:12")
+        assert not site_matches("A.java:12", "A.java:13")
+
+    def test_star_hole(self):
+        assert site_matches("P.java:right*", "P.java:right2")
+        assert site_matches("P.java:*:tail", "P.java:mid:tail")
+        assert not site_matches("P.java:right*", "P.java:left2")
+
+    def test_star_matches_empty(self):
+        assert site_matches("s*", "s")
+
+    def test_multiple_holes_ordered(self):
+        assert site_matches("a*b*c", "aXbYc")
+        assert not site_matches("a*b*c", "acb")
+
+
+class TestLocksetExtraction:
+    def test_nested_with(self):
+        corpus = analyze_source(
+            """
+def program(rt):
+    a = rt.new_lock(name="A")
+    b = rt.new_lock(name="B")
+
+    def t1():
+        with a.at("F.java:1"):
+            with b.at("F.java:2"):
+                pass
+""",
+            module="m",
+        )
+        t1 = the_fn(corpus, "program.t1")
+        assert len(t1.acquires) == 2
+        outer, inner = t1.acquires
+        assert outer.held == ()
+        assert outer.site == "F.java:1"
+        assert inner.site == "F.java:2"
+        assert [tok.pretty() for tok, _ in inner.held] == ["A"]
+
+    def test_aliasing(self):
+        """``x = a`` then ``with x:`` resolves to the same token as ``a``."""
+        corpus = analyze_source(
+            """
+def program(rt):
+    a = rt.new_lock(name="A")
+    x = a
+
+    def t():
+        with x.at("F.java:1"):
+            with a.at("F.java:2"):
+                pass
+""",
+            module="m",
+        )
+        t = the_fn(corpus, "program.t")
+        # The inner ``with a`` is a reentrant re-acquisition of the same
+        # singleton token — recorded once, no nesting edge.
+        assert len(t.acquires) == 1
+        assert t.acquires[0].held == ()
+
+    def test_multi_item_with(self):
+        corpus = analyze_source(
+            """
+def program(rt):
+    a = rt.new_lock(name="A")
+    b = rt.new_lock(name="B")
+
+    def t():
+        with a.at("F.java:1"), b.at("F.java:2"):
+            pass
+""",
+            module="m",
+        )
+        t = the_fn(corpus, "program.t")
+        assert len(t.acquires) == 2
+        assert [tok.pretty() for tok, _ in t.acquires[1].held] == ["A"]
+
+    def test_explicit_acquire_release(self):
+        corpus = analyze_source(
+            """
+def program(rt):
+    a = rt.new_lock(name="A")
+    b = rt.new_lock(name="B")
+
+    def t():
+        a.acquire(site="L.java:1")
+        b.acquire(site="L.java:2")
+        b.release()
+        a.release()
+""",
+            module="m",
+        )
+        t = the_fn(corpus, "program.t")
+        assert len(t.acquires) == 2
+        assert [tok.pretty() for tok, _ in t.acquires[1].held] == ["A"]
+        assert t.acquires[1].site == "L.java:2"
+
+    def test_fstring_site_becomes_pattern(self):
+        corpus = analyze_source(
+            """
+def program(rt):
+    a = rt.new_lock(name="A")
+
+    def t(i):
+        with a.at(f"P.java:right{i}"):
+            pass
+""",
+            module="m",
+        )
+        t = the_fn(corpus, "program.t")
+        assert t.acquires[0].site == "P.java:right*"
+        assert site_matches(t.acquires[0].site, "P.java:right2")
+
+    def test_lock_list_is_many(self):
+        corpus = analyze_source(
+            """
+def program(rt):
+    locks = [rt.new_lock(name=f"l{i}") for i in range(3)]
+
+    def t(i):
+        x, y = locks[i], locks[(i + 1) % 3]
+        with x.at("W.java:x"):
+            with y.at("W.java:y"):
+                pass
+""",
+            module="m",
+        )
+        t = the_fn(corpus, "program.t")
+        # Both elements resolve to the same many-token; element accesses
+        # may alias distinct concrete locks so the nesting IS recorded.
+        assert len(t.acquires) == 2
+        inner = t.acquires[1]
+        assert inner.token.many
+        assert inner.held[0][0] == inner.token
+
+    def test_class_attr_lock(self):
+        corpus = analyze_source(
+            """
+class Box:
+    def __init__(self, rt):
+        self.mutex = rt.new_lock(name="mutex")
+
+    def poke(self, other: "Box"):
+        with self.mutex.at("Box.java:1"):
+            other.poke2()
+
+    def poke2(self):
+        with self.mutex.at("Box.java:2"):
+            pass
+""",
+            module="m",
+        )
+        assert "Box" in corpus.classes
+        cls = corpus.classes["Box"]
+        assert "mutex" in cls.attr_locks
+        # Instance-attribute locks may denote many concrete locks.
+        assert cls.attr_locks["mutex"].many
+        poke = the_fn(corpus, "Box.poke")
+        assert len(poke.acquires) == 1
+        # The ``other.poke2()`` call is recorded with mutex held and an
+        # annotation-narrowed receiver.
+        calls = [c for c in poke.calls if c.name == "poke2"]
+        assert calls and calls[0].receiver_class == "Box"
+        assert calls[0].held
+
+
+class TestCycleEnumeration:
+    def test_abba_cycle(self):
+        corpus = analyze_source(
+            """
+def program(rt):
+    a = rt.new_lock(name="A")
+    b = rt.new_lock(name="B")
+
+    def t1():
+        with a.at("F.java:1"):
+            with b.at("F.java:2"):
+                pass
+
+    def t2():
+        with b.at("F.java:3"):
+            with a.at("F.java:4"):
+                pass
+""",
+            module="m",
+        )
+        graph = build_lock_order_graph(corpus)
+        cycles = graph.enumerate_cycles(max_length=3)
+        assert len(cycles) == 1
+        cyc = cycles[0]
+        assert {t.pretty() for t in cyc.tokens} == {"A", "B"}
+        assert set(cyc.sites) == {"F.java:1", "F.java:2", "F.java:3", "F.java:4"}
+        assert "->" in cyc.describe()
+
+    def test_singleton_self_nesting_is_not_a_cycle(self):
+        """Nested acquisition of one singleton lock is reentrancy, not a
+        deadlock candidate."""
+        corpus = analyze_source(
+            """
+def program(rt):
+    a = rt.new_lock(name="A")
+
+    def t():
+        with a.at("F.java:1"):
+            with a.at("F.java:2"):
+                pass
+""",
+            module="m",
+        )
+        graph = build_lock_order_graph(corpus)
+        assert graph.enumerate_cycles(max_length=3) == []
+
+    def test_many_token_self_loop(self):
+        """Two elements of one lock list nested: distinct concrete locks
+        may be taken in opposite orders — a self-loop candidate."""
+        corpus = analyze_source(
+            """
+def program(rt):
+    locks = [rt.new_lock(name=f"l{i}") for i in range(3)]
+
+    def t(i):
+        x, y = locks[i], locks[(i + 1) % 3]
+        with x.at("W.java:x"):
+            with y.at("W.java:y"):
+                pass
+""",
+            module="m",
+        )
+        graph = build_lock_order_graph(corpus)
+        cycles = graph.enumerate_cycles(max_length=3)
+        assert len(cycles) == 1
+        assert "two instances" in cycles[0].describe()
+
+    def test_interprocedural_cycle(self):
+        """The B-acquisition reached only through a helper call still
+        closes the cycle (may_acquire fixpoint)."""
+        corpus = analyze_source(
+            """
+def program(rt):
+    a = rt.new_lock(name="A")
+    b = rt.new_lock(name="B")
+
+    def grab_b():
+        with b.at("F.java:9"):
+            pass
+
+    def t1():
+        with a.at("F.java:1"):
+            grab_b()
+
+    def t2():
+        with b.at("F.java:3"):
+            with a.at("F.java:4"):
+                pass
+""",
+            module="m",
+        )
+        graph = build_lock_order_graph(corpus)
+        cycles = graph.enumerate_cycles(max_length=3)
+        assert len(cycles) == 1
+        assert "F.java:9" in cycles[0].sites
+
+
+class TestDotExport:
+    def test_quote_escaping(self):
+        assert _quote('a"b') == '"a\\"b"'
+        assert _quote("a\nb") == '"a\\nb"'
+        assert _quote("a\\b") == '"a\\\\b"'
+        assert _quote("a\r\nb") == '"a\\nb"'
+
+    def test_lock_order_dot(self):
+        corpus = analyze_source(
+            """
+def program(rt):
+    a = rt.new_lock(name="A")
+    b = rt.new_lock(name="B")
+
+    def t1():
+        with a.at("F.java:1"):
+            with b.at("F.java:2"):
+                pass
+
+    def t2():
+        with b.at("F.java:3"):
+            with a.at("F.java:4"):
+                pass
+""",
+            module="m",
+        )
+        graph = build_lock_order_graph(corpus)
+        cycles = graph.enumerate_cycles(max_length=3)
+        dot = lock_order_dot(graph, cycles)
+        assert dot.startswith("digraph StaticLockOrder {")
+        assert dot.endswith("}")
+        # Both cycle edges are highlighted.
+        assert dot.count("firebrick") == 2
+        # Edge labels embed function + site pair with escaped newline.
+        assert "F.java:1 -> F.java:2" in dot
+        assert "\\n" in dot
+
+
+class TestCrossValidation:
+    def test_philosophers_confirmed(self):
+        """Known answer: the philosophers defect is found dynamically AND
+        statically, with matching source sites."""
+        rep = run_crossval(["philosophers"], sanitize=True)
+        row = rep.benchmarks[0]
+        assert row.name == "philosophers"
+        assert row.diagnostics == []
+        assert len(row.confirmed) >= 1
+        key, cycle = row.confirmed[0]
+        # Every dynamic site is matched by a static site pattern.
+        assert any(s.startswith("Philosopher.java:right") for s in key)
+        assert any(site_matches(p, s) for s in key for p in cycle.sites)
+        assert row.dynamic_only == []
+
+    def test_structures_confirmed(self):
+        rep = run_crossval(["ArrayList"], sanitize=True)
+        row = rep.benchmarks[0]
+        assert len(row.confirmed) >= 1
+        assert row.diagnostics == []
+
+    def test_render_deterministic(self):
+        """Byte-identical report across two full runs (sorted corpus,
+        sorted tokens/edges, no timings in the analysis artifacts)."""
+        names = ["philosophers", "fig4"]
+        a = render_crossval(run_crossval(names, sanitize=True))
+        b = render_crossval(run_crossval(names, sanitize=True))
+        assert a == b
+        assert "Confirmed" in a
+
+    def test_ast_only_no_workload_imports(self):
+        """analyze_corpus never imports (let alone executes) workload
+        modules — checked in a fresh interpreter."""
+        code = (
+            "import sys, pathlib\n"
+            "import repro\n"
+            "from repro.analysis import analyze_corpus, build_lock_order_graph\n"
+            "wl = pathlib.Path(repro.__file__).parent / 'workloads'\n"
+            "corpus = analyze_corpus([wl])\n"
+            "graph = build_lock_order_graph(corpus)\n"
+            "bad = [m for m in sys.modules if m.startswith('repro.workloads')]\n"
+            "assert not bad, bad\n"
+            "assert corpus.functions and graph.edges\n"
+        )
+        env = dict(os.environ, PYTHONPATH=str(SRC))
+        proc = subprocess.run(
+            [sys.executable, "-c", code], env=env, capture_output=True, text=True
+        )
+        assert proc.returncode == 0, proc.stderr
+
+    def test_corpus_over_real_workloads(self):
+        wl = SRC / "repro" / "workloads"
+        corpus = analyze_corpus([wl])
+        graph = build_lock_order_graph(corpus)
+        assert len(graph.tokens) > 5
+        assert graph.enumerate_cycles(max_length=3)
