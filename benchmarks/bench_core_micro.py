@@ -2,19 +2,52 @@
 
 These measure the costs behind Table 1's slowdown column: runtime event
 throughput, ``D_sigma`` construction, vector clocks, cycle detection and
-``Gs`` construction.
+``Gs`` construction — plus batch-vs-streaming engine and JSON-vs-binary
+trace-format comparisons.
+
+Run under pytest-benchmark for statistical timings, or directly —
+
+    python benchmarks/bench_core_micro.py --events 120000 --out BENCH_core.json
+
+— to emit the machine-readable comparison (used by the CI perf-smoke job):
+a >=100k-event synthetic stream is recorded and analyzed end-to-end both
+ways (batch engine + JSON file vs streaming engine + binary file), with
+wall times, peak memory (tracemalloc) and file sizes, asserting both
+engines find identical cycles.
 """
 
 from __future__ import annotations
+
+import argparse
+import io
+import json
+import sys
+import time
+import tracemalloc
+from typing import Iterator, List, Tuple
 
 import pytest
 
 from repro.core.detector import ExtendedDetector, find_cycles
 from repro.core.lockdep import build_lockdep
+from repro.core.streaming import StreamingDetector
 from repro.core.syncgraph import build_sync_graph
 from repro.core.vclock import compute_vector_clocks
+from repro.runtime.events import (
+    AcquireEvent,
+    BeginEvent,
+    EndEvent,
+    JoinEvent,
+    ReleaseEvent,
+    SpawnEvent,
+    Trace,
+    TraceEvent,
+)
+from repro.runtime.serialize import dump_trace, load_trace
 from repro.runtime.sim.runtime import run_program
 from repro.runtime.sim.strategy import RandomStrategy
+from repro.runtime.tracefile import TraceFileReader, TraceFileWriter, write_trace
+from repro.util.ids import ExecIndex, LockId, ThreadId
 
 
 def heavy_program(n_threads: int = 4, n_locks: int = 6, iters: int = 25):
@@ -99,3 +132,324 @@ def test_sync_graph_construction(benchmark):
     gs = benchmark(build_sync_graph, cycle, detection.relation)
     assert gs.num_vertices() > 0
     benchmark.extra_info["vertices"] = gs.num_vertices()
+
+
+# ---------------------------------------------------------------------------
+# Engine comparison: batch (three passes) vs streaming (one fused pass)
+# ---------------------------------------------------------------------------
+
+
+def test_batch_engine(benchmark, heavy_trace):
+    detector = ExtendedDetector(max_length=3)
+    detection = benchmark(detector.analyze, heavy_trace)
+    benchmark.extra_info["cycles"] = len(detection.cycles)
+
+
+def test_streaming_engine(benchmark, heavy_trace):
+    def run():
+        return StreamingDetector(max_length=3).analyze(heavy_trace)
+
+    detection = benchmark(run)
+    benchmark.extra_info["cycles"] = len(detection.cycles)
+    ref = ExtendedDetector(max_length=3).analyze(heavy_trace)
+    assert [tuple(e.step for e in c.entries) for c in detection.cycles] == [
+        tuple(e.step for e in c.entries) for c in ref.cycles
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Trace format comparison: JSON machine format vs compact binary
+# ---------------------------------------------------------------------------
+
+
+def test_json_dump(benchmark, heavy_trace):
+    text = benchmark(dump_trace, heavy_trace)
+    benchmark.extra_info["bytes"] = len(text)
+
+
+def test_json_load(benchmark, heavy_trace):
+    text = dump_trace(heavy_trace)
+    trace = benchmark(load_trace, text)
+    assert len(trace) == len(heavy_trace)
+
+
+def test_binary_write(benchmark, heavy_trace):
+    def run():
+        buf = io.BytesIO()
+        return write_trace(heavy_trace, buf)
+
+    n = benchmark(run)
+    benchmark.extra_info["bytes"] = n
+
+
+def test_binary_read(benchmark, heavy_trace):
+    buf = io.BytesIO()
+    write_trace(heavy_trace, buf)
+    payload = buf.getvalue()
+
+    def run():
+        with TraceFileReader(io.BytesIO(payload)) as r:
+            return sum(1 for _ in r)
+
+    n = benchmark(run)
+    assert n == len(heavy_trace)
+
+
+# ---------------------------------------------------------------------------
+# Macro comparison + BENCH_core.json emitter (CI perf smoke)
+# ---------------------------------------------------------------------------
+
+
+def synthetic_events(
+    n_events: int,
+    n_threads: int = 8,
+    n_locks: int = 16,
+    nested_every: int = 100,
+) -> Iterator[TraceEvent]:
+    """Yield a consistent synchronization stream of >= ``n_events`` events.
+
+    Most iterations acquire a single lock (empty lockset => no ``D_sigma``
+    holder-list growth); every ``nested_every``-th iteration takes a
+    strictly ordered lock pair, and threads 0/1 invert one pair on their
+    first nested iteration — so the detectors have exactly one 2-cycle to
+    find and the cycle search stays output-bounded as the stream grows.
+    Iterations are emitted atomically round-robin, so no two threads ever
+    hold a lock simultaneously: the stream is a valid execution.
+    """
+    root = ThreadId.root()
+    threads = [
+        ThreadId(root, "syn:spawn", i, name=f"w{i}") for i in range(n_threads)
+    ]
+    locks = [LockId(root, "syn:lock", i, name=f"L{i}") for i in range(n_locks)]
+    step = 0
+
+    def nxt() -> int:
+        nonlocal step
+        step += 1
+        return step - 1
+
+    yield BeginEvent(nxt(), root)
+    for t in threads:
+        yield SpawnEvent(nxt(), root, child=t)
+    for t in threads:
+        yield BeginEvent(nxt(), t)
+
+    occ: dict = {}
+
+    def index(t: ThreadId, site: str) -> ExecIndex:
+        k = (t, site)
+        occ[k] = occ.get(k, 0) + 1
+        return ExecIndex(t, site, occ[k])
+
+    # ~2 events per single iteration; stop once the target is reached.
+    budget = n_events - (2 + 4 * n_threads)  # header + End/Join tail
+    i = 0
+    while budget > 0:
+        for k, t in enumerate(threads):
+            if i % nested_every == 0:
+                a = locks[(k + i) % n_locks]
+                b = locks[(k + i + 1) % n_locks]
+                first, second = (a, b) if a.seq < b.seq else (b, a)
+                if i == 0 and k < 2:
+                    # Thread 0 takes L0 then L1; thread 1 the reverse.
+                    first, second = (
+                        (locks[0], locks[1]) if k == 0 else (locks[1], locks[0])
+                    )
+                site_o, site_i = f"syn:{k}:outer", f"syn:{k}:inner"
+                ix1 = index(t, site_o)
+                yield AcquireEvent(
+                    nxt(), t, lock=first, index=ix1, held=(), held_indices=(),
+                    stack_depth=2,
+                )
+                yield AcquireEvent(
+                    nxt(), t, lock=second, index=index(t, site_i),
+                    held=(first,), held_indices=(ix1,), stack_depth=3,
+                )
+                yield ReleaseEvent(nxt(), t, lock=second, site=site_i)
+                yield ReleaseEvent(nxt(), t, lock=first, site=site_o)
+                budget -= 4
+            else:
+                lk = locks[(k + i) % n_locks]
+                site = f"syn:{k}:solo"
+                yield AcquireEvent(
+                    nxt(), t, lock=lk, index=index(t, site), held=(),
+                    held_indices=(), stack_depth=2,
+                )
+                yield ReleaseEvent(nxt(), t, lock=lk, site=site)
+                budget -= 2
+        i += 1
+
+    for t in threads:
+        yield EndEvent(nxt(), t)
+    for t in threads:
+        yield JoinEvent(nxt(), root, target=t)
+    yield EndEvent(nxt(), root)
+
+
+def _wall(fn) -> Tuple[float, object]:
+    """(wall seconds, result) — no instrumentation overhead."""
+    t0 = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - t0, result
+
+
+def _peak_mib(fn) -> float:
+    """tracemalloc peak in MiB over a *separate* run of ``fn`` (tracing
+    slows execution several-fold, so never time and trace the same run)."""
+    tracemalloc.start()
+    fn()
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak / (1024 * 1024)
+
+
+def _cycle_steps(detection) -> List[Tuple[int, ...]]:
+    return [tuple(e.step for e in c.entries) for c in detection.cycles]
+
+
+def run_macro(n_events: int, tmp_dir: str) -> dict:
+    """End-to-end comparison on a synthetic stream: batch engine + JSON
+    file vs streaming engine + binary file, record + analyze."""
+    import os
+
+    json_path = os.path.join(tmp_dir, "macro.json")
+    bin_path = os.path.join(tmp_dir, "macro.wtrc")
+
+    # -- record: materialize + dump (batch path) ----------------------------
+    def record_json():
+        trace = Trace(program="synthetic", seed=0)
+        for ev in synthetic_events(n_events):
+            trace.append(ev)
+        with open(json_path, "w") as fh:
+            fh.write(dump_trace(trace))
+        return len(trace)
+
+    rec_json_s, total = _wall(record_json)
+    rec_json_mb = _peak_mib(record_json)
+
+    # -- record: straight-to-disk sink (streaming path) ---------------------
+    def record_binary():
+        with TraceFileWriter(bin_path, program="synthetic", seed=0) as w:
+            for ev in synthetic_events(n_events):
+                w.write_event(ev)
+
+    rec_bin_s, _ = _wall(record_binary)
+    rec_bin_mb = _peak_mib(record_binary)
+
+    # -- analyze: parse whole file, three batch passes ----------------------
+    def analyze_batch():
+        with open(json_path) as fh:
+            trace = load_trace(fh.read())
+        return ExtendedDetector(max_length=3).analyze(trace)
+
+    ana_json_s, batch = _wall(analyze_batch)
+    ana_json_mb = _peak_mib(analyze_batch)
+
+    # -- analyze: decode + analyze one event at a time ----------------------
+    def analyze_streaming():
+        det = StreamingDetector(max_length=3)
+        with TraceFileReader(bin_path) as reader:
+            det.feed_many(reader)
+        return det.finish()
+
+    ana_bin_s, stream = _wall(analyze_streaming)
+    ana_bin_mb = _peak_mib(analyze_streaming)
+
+    assert _cycle_steps(batch) == _cycle_steps(stream), (
+        "engines disagree on the synthetic trace"
+    )
+    import os as _os
+
+    json_bytes = _os.path.getsize(json_path)
+    bin_bytes = _os.path.getsize(bin_path)
+    e2e_batch = rec_json_s + ana_json_s
+    e2e_stream = rec_bin_s + ana_bin_s
+    return {
+        "events": total,
+        "cycles": len(batch.cycles),
+        "engines_identical": True,
+        "file_bytes": {
+            "json": json_bytes,
+            "binary": bin_bytes,
+            "ratio": round(json_bytes / bin_bytes, 2),
+        },
+        "record_s": {"batch_json": rec_json_s, "streaming_binary": rec_bin_s},
+        "analyze_s": {"batch_json": ana_json_s, "streaming_binary": ana_bin_s},
+        "peak_mib": {
+            "record_batch_json": round(rec_json_mb, 2),
+            "record_streaming_binary": round(rec_bin_mb, 2),
+            "analyze_batch_json": round(ana_json_mb, 2),
+            "analyze_streaming_binary": round(ana_bin_mb, 2),
+        },
+        "end_to_end_s": {
+            "batch_json": e2e_batch,
+            "streaming_binary": e2e_stream,
+            "speedup": round(e2e_batch / e2e_stream, 2),
+        },
+    }
+
+
+def run_micro() -> dict:
+    """Single-shot stage timings on the module's heavy trace (best of 3)."""
+    result = run_program(heavy_program(), RandomStrategy(0, stickiness=0.9))
+    result.raise_errors()
+    trace = result.trace
+
+    def best(fn, n=3):
+        return min(_wall(fn)[0] for _ in range(n))
+
+    rel = build_lockdep(trace)
+    timings = {
+        "build_lockdep_s": best(lambda: build_lockdep(trace)),
+        "vector_clocks_s": best(lambda: compute_vector_clocks(trace)),
+        "find_cycles_s": best(lambda: find_cycles(rel, max_length=3)),
+        "batch_engine_s": best(
+            lambda: ExtendedDetector(max_length=3).analyze(trace)
+        ),
+        "streaming_engine_s": best(
+            lambda: StreamingDetector(max_length=3).analyze(trace)
+        ),
+        "json_dump_s": best(lambda: dump_trace(trace)),
+        "binary_write_s": best(lambda: write_trace(trace, io.BytesIO())),
+    }
+    return {"events": len(trace), **{k: round(v, 6) for k, v in timings.items()}}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--events", type=int, default=120_000,
+        help="synthetic stream length for the macro comparison (>=100k)",
+    )
+    parser.add_argument("--out", default="BENCH_core.json")
+    args = parser.parse_args(argv)
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        macro = run_macro(args.events, tmp)
+    micro = run_micro()
+    doc = {
+        "schema": "bench-core/1",
+        "macro": macro,
+        "micro": micro,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    speedup = macro["end_to_end_s"]["speedup"]
+    print(
+        f"{macro['events']} events: end-to-end "
+        f"batch+json {macro['end_to_end_s']['batch_json']:.3f}s vs "
+        f"streaming+binary {macro['end_to_end_s']['streaming_binary']:.3f}s "
+        f"({speedup}x), file {macro['file_bytes']['ratio']}x smaller; "
+        f"wrote {args.out}"
+    )
+    if speedup <= 1.0:
+        print("FAIL: streaming+binary not faster end-to-end", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,12 @@ Commands:
 * ``wolf analyze`` — static lock-order analysis of the workload corpus,
   cross-validated against the dynamic detector (``--sanitize`` adds the
   trace sanitizer and fails on any diagnostic);
+* ``wolf trace record|pack|unpack|info`` — record detection traces to JSON
+  or compact binary (``.wtrc``), convert between the two, and summarize a
+  binary trace by streaming it;
+* ``wolf analyze-trace <file>`` — offline analysis of a saved trace
+  (binary auto-detected; ``--engine streaming`` analyzes without
+  materializing the event list);
 * ``wolf df <benchmark>`` — run the DeadlockFuzzer baseline;
 * ``wolf table1`` / ``wolf table2`` — regenerate the paper's tables;
 * ``wolf fig8`` / ``wolf fig10`` — regenerate the paper's figures;
@@ -55,6 +61,17 @@ def _add_workers(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_engine(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--engine",
+        choices=("batch", "streaming"),
+        default="batch",
+        help="analysis engine: 'batch' walks the trace three times, "
+        "'streaming' fuses clocks/D_sigma/cycles into one pass "
+        "(identical results; default: batch)",
+    )
+
+
 def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=None, help="detection seed")
     p.add_argument(
@@ -68,6 +85,7 @@ def _add_common(p: argparse.ArgumentParser) -> None:
         help="subset of benchmarks (default: all)",
     )
     _add_workers(p)
+    _add_engine(p)
 
 
 def _settings(args: argparse.Namespace) -> ExperimentSettings:
@@ -78,6 +96,7 @@ def _settings(args: argparse.Namespace) -> ExperimentSettings:
         workers=getattr(args, "workers", 1) or 1,
         task_timeout=getattr(args, "task_timeout", None),
         task_retries=retries if retries is not None else 2,
+        engine=getattr(args, "engine", "batch"),
     )
 
 
@@ -104,6 +123,7 @@ def cmd_detect(args: argparse.Namespace) -> int:
         max_cycle_length=b.max_cycle_length,
         workers=getattr(args, "workers", 1) or 1,
         sanitize=getattr(args, "sanitize", False),
+        engine=getattr(args, "engine", "batch"),
         **_supervision_kw(args),
     )
     report = Wolf(config=cfg).analyze(b.program, name=b.name)
@@ -149,34 +169,122 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_trace(args: argparse.Namespace) -> int:
+def _trace_format(args: argparse.Namespace) -> str:
+    fmt = getattr(args, "format", "auto")
+    if fmt != "auto":
+        return fmt
+    return "binary" if args.out.endswith(".wtrc") else "json"
+
+
+def cmd_trace_record(args: argparse.Namespace) -> int:
     from repro.core.pipeline import run_detection
     from repro.runtime.serialize import dump_trace
+    from repro.runtime.tracefile import write_trace
 
     b = get_benchmark(args.benchmark)
     seed = args.seed if args.seed is not None else b.detect_seed
     run = run_detection(b.program, seed, name=b.name)
-    text = dump_trace(run.trace)
+    if _trace_format(args) == "binary":
+        n_bytes = write_trace(run.trace, args.out)
+        detail = f"{n_bytes} bytes, binary"
+    else:
+        text = dump_trace(run.trace)
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        detail = f"{len(text)} bytes, json"
+    print(
+        f"wrote {len(run.trace)} events ({run.status.value}) to {args.out} "
+        f"({detail})"
+    )
+    return 0
+
+
+def cmd_trace_pack(args: argparse.Namespace) -> int:
+    """JSON trace -> compact binary trace."""
+    from repro.runtime.serialize import load_trace
+    from repro.runtime.tracefile import write_trace
+
+    with open(args.trace_file) as fh:
+        trace = load_trace(fh.read())
+    n_bytes = write_trace(trace, args.out)
+    print(f"packed {len(trace)} events to {args.out} ({n_bytes} bytes)")
+    return 0
+
+
+def cmd_trace_unpack(args: argparse.Namespace) -> int:
+    """Binary trace -> JSON trace (the lossless machine format)."""
+    from repro.runtime.serialize import dump_trace
+    from repro.runtime.tracefile import read_trace
+
+    trace = read_trace(args.trace_file)
+    text = dump_trace(trace)
     with open(args.out, "w") as fh:
         fh.write(text)
-    print(f"wrote {len(run.trace)} events ({run.status.value}) to {args.out}")
+    print(f"unpacked {len(trace)} events to {args.out} ({len(text)} bytes)")
+    return 0
+
+
+def cmd_trace_info(args: argparse.Namespace) -> int:
+    """Summarize a binary trace by streaming it (never materialized)."""
+    from repro.runtime.tracefile import is_tracefile, trace_info
+
+    if not is_tracefile(args.trace_file):
+        print(f"{args.trace_file}: not a binary trace file", file=sys.stderr)
+        return 1
+    info = trace_info(args.trace_file)
+    print(f"program   : {info['program']!r}")
+    print(f"seed      : {info['seed']}")
+    print(f"events    : {info['events']}")
+    print(f"complete  : {info['complete']}")
+    print(f"threads   : {info['threads']}")
+    print(f"locks     : {info['locks']}")
+    print(f"strings   : {info['strings']}")
+    for kind, n in sorted(info["by_kind"].items()):
+        print(f"  {kind:<14}: {n}")
     return 0
 
 
 def cmd_analyze_trace(args: argparse.Namespace) -> int:
     """Offline analysis of a saved trace: detection + Pruner + Generator
-    (replay needs the live program and is not available offline)."""
+    (replay needs the live program and is not available offline).
+
+    Binary traces (``wolf trace record --format binary`` / ``trace pack``)
+    are auto-detected; with ``--engine streaming`` they are decoded and
+    analyzed one event at a time, never materializing the event list.
+    """
     from repro.core.detector import ExtendedDetector
     from repro.core.generator import Generator, GeneratorVerdict
     from repro.core.pruner import Pruner
+    from repro.core.streaming import StreamingDetector
     from repro.runtime.serialize import load_trace
+    from repro.runtime.tracefile import TraceFileReader, is_tracefile
 
-    with open(args.trace_file) as fh:
-        trace = load_trace(fh.read())
-    detection = ExtendedDetector().analyze(trace)
+    engine = getattr(args, "engine", "batch")
+    if is_tracefile(args.trace_file):
+        if engine == "streaming":
+            det = StreamingDetector()
+            with TraceFileReader(args.trace_file) as reader:
+                det.feed_many(reader)
+                program, seed = reader.program, reader.seed
+            detection = det.finish()
+            n_events = det.events_seen
+        else:
+            from repro.runtime.tracefile import read_trace
+
+            trace = read_trace(args.trace_file)
+            program, seed, n_events = trace.program, trace.seed, len(trace)
+            detection = ExtendedDetector().analyze(trace)
+    else:
+        with open(args.trace_file) as fh:
+            trace = load_trace(fh.read())
+        program, seed, n_events = trace.program, trace.seed, len(trace)
+        detector = (
+            StreamingDetector() if engine == "streaming" else ExtendedDetector()
+        )
+        detection = detector.analyze(trace)
     prune = Pruner(detection.vclocks).prune(detection.cycles)
     gen = Generator(detection.relation).run(prune.survivors)
-    print(f"trace: {trace.program!r}, {len(trace)} events, seed {trace.seed}")
+    print(f"trace: {program!r}, {n_events} events, seed {seed}")
     print(f"cycles detected      : {len(detection.cycles)}")
     print(f"false (pruner)       : {len(prune.false_positives)}")
     print(f"false (generator)    : {len(gen.false_positives)}")
@@ -405,6 +513,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=None)
     p.add_argument("--attempts", type=int, default=None)
     _add_workers(p)
+    _add_engine(p)
     p.add_argument("-v", "--verbose", action="store_true")
     p.add_argument(
         "--rank",
@@ -445,16 +554,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=cmd_analyze)
 
-    p = sub.add_parser("trace", help="record a detection trace to a JSON file")
-    p.add_argument("benchmark")
-    p.add_argument("--seed", type=int, default=None)
-    p.add_argument("--out", required=True)
-    p.set_defaults(func=cmd_trace)
+    p = sub.add_parser(
+        "trace", help="record / pack / unpack / inspect trace files"
+    )
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+
+    tp = tsub.add_parser(
+        "record", help="record a detection trace to a JSON or binary file"
+    )
+    tp.add_argument("benchmark")
+    tp.add_argument("--seed", type=int, default=None)
+    tp.add_argument("--out", required=True)
+    tp.add_argument(
+        "--format",
+        choices=("auto", "json", "binary"),
+        default="auto",
+        help="output format (auto: binary iff --out ends in .wtrc)",
+    )
+    tp.set_defaults(func=cmd_trace_record)
+
+    tp = tsub.add_parser("pack", help="convert a JSON trace to compact binary")
+    tp.add_argument("trace_file")
+    tp.add_argument("--out", required=True)
+    tp.set_defaults(func=cmd_trace_pack)
+
+    tp = tsub.add_parser("unpack", help="convert a binary trace back to JSON")
+    tp.add_argument("trace_file")
+    tp.add_argument("--out", required=True)
+    tp.set_defaults(func=cmd_trace_unpack)
+
+    tp = tsub.add_parser(
+        "info", help="summarize a binary trace without materializing it"
+    )
+    tp.add_argument("trace_file")
+    tp.set_defaults(func=cmd_trace_info)
 
     p = sub.add_parser(
-        "analyze-trace", help="offline analysis of a saved trace file"
+        "analyze-trace",
+        help="offline analysis of a saved trace file (JSON or binary)",
     )
     p.add_argument("trace_file")
+    _add_engine(p)
     p.set_defaults(func=cmd_analyze_trace)
 
     p = sub.add_parser("df", help="run the DeadlockFuzzer baseline")

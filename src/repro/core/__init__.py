@@ -33,6 +33,7 @@ from repro.core.pipeline import Wolf, WolfConfig
 from repro.core.ranking import RankedDefect, rank_defects, render_ranking
 from repro.core.reduction import reduce_relation
 from repro.core.report import Classification, CycleReport, DefectReport, WolfReport
+from repro.core.streaming import StreamingDetector, analyze_stream
 
 __all__ = [
     "AvoidancePattern",
@@ -58,11 +59,13 @@ __all__ = [
     "ReplayOutcome",
     "Replayer",
     "SJ",
+    "StreamingDetector",
     "SyncGraph",
     "VectorClockState",
     "Wolf",
     "WolfConfig",
     "WolfReport",
+    "analyze_stream",
     "build_sync_graph",
     "compute_vector_clocks",
 ]

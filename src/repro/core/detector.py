@@ -162,10 +162,10 @@ def find_cycles(
             )
             if not closes and not extendable:
                 continue
-            # Guard-lock check: locksets pairwise disjoint.
-            if any(
-                set(nxt.lockset) & set(prev.lockset) for prev in path
-            ):
+            # Guard-lock check: locksets pairwise disjoint (cached
+            # frozensets — see LockDepEntry.lockset_set).
+            nxt_lockset = nxt.lockset_set
+            if any(nxt_lockset & prev.lockset_set for prev in path):
                 continue
             path.append(nxt)
             threads.add(nxt.thread)

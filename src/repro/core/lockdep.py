@@ -12,7 +12,8 @@ defined on ``lockset(eta) ∪ {lock(eta)}``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from functools import cached_property
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
 
 from repro.runtime.events import AcquireEvent, Trace
 from repro.util.ids import ExecIndex, LockId, ThreadId
@@ -49,8 +50,19 @@ class LockDepEntry:
                 return idx
         raise KeyError(f"{lock!r} not in lockset/lock of {self!r}")
 
+    @cached_property
+    def lockset_set(self) -> FrozenSet[LockId]:
+        """``lockset`` as a frozenset, computed once per entry.
+
+        The cycle search tests guard-lock disjointness on every DFS probe;
+        rebuilding a set from the tuple there dominated the probe cost
+        (``cached_property`` stores into ``__dict__``, bypassing the frozen
+        dataclass ``__setattr__``, and stays out of ``eq``/``hash``).
+        """
+        return frozenset(self.lockset)
+
     def holds(self, lock: LockId) -> bool:
-        return lock in self.lockset
+        return lock in self.lockset_set
 
     def pretty(self) -> str:
         held = "{" + ",".join(l.pretty() for l in self.lockset) + "}"
@@ -103,6 +115,26 @@ class LockDependencyRelation:
         return self.by_thread[entry.thread][: entry.pos]
 
 
+def entry_from_acquire(ev: AcquireEvent, *, pos: int, tau: int = 1) -> LockDepEntry:
+    """Mint the ``eta`` tuple for one (non-reentrant) acquisition.
+
+    The single place an :class:`AcquireEvent` becomes a
+    :class:`LockDepEntry` — shared by the batch :func:`build_lockdep` walk
+    and the per-event update step of :mod:`repro.core.streaming`, so the
+    two engines cannot drift on what ``D_sigma`` records.
+    """
+    return LockDepEntry(
+        thread=ev.thread,
+        lockset=ev.held,
+        lock=ev.lock,
+        context=ev.held_indices,
+        index=ev.index,
+        tau=tau,
+        step=ev.step,
+        pos=pos,
+    )
+
+
 def build_lockdep(
     trace: Trace, taus: Optional[Dict[int, int]] = None
 ) -> LockDependencyRelation:
@@ -123,16 +155,5 @@ def build_lockdep(
             continue
         pos = positions.get(ev.thread, 0)
         positions[ev.thread] = pos + 1
-        rel.add(
-            LockDepEntry(
-                thread=ev.thread,
-                lockset=ev.held,
-                lock=ev.lock,
-                context=ev.held_indices,
-                index=ev.index,
-                tau=(taus or {}).get(ev.step, 1),
-                step=ev.step,
-                pos=pos,
-            )
-        )
+        rel.add(entry_from_acquire(ev, pos=pos, tau=(taus or {}).get(ev.step, 1)))
     return rel

@@ -63,6 +63,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar, Union
 
 from repro.core.detector import DetectionResult, ExtendedDetector
+from repro.core.streaming import StreamingDetector
 from repro.core.generator import Generator, GeneratorDecision, GeneratorResult
 from repro.core.pruner import Pruner, PruneResult
 from repro.core.replayer import Replayer, ReplayOutcome
@@ -95,6 +96,9 @@ class DetectTask:
     max_cycles: int
     max_steps: int
     step_timeout: float
+    #: ``"batch"`` (ExtendedDetector, three passes) or ``"streaming"``
+    #: (StreamingDetector, one fused pass) — same cycles either way.
+    engine: str = "batch"
 
 
 @dataclass
@@ -126,10 +130,14 @@ def run_detect_task(task: DetectTask) -> DetectStageResult:
         max_steps=task.max_steps,
         step_timeout=task.step_timeout,
     )
-    detector = ExtendedDetector(
-        max_length=task.max_cycle_length, max_cycles=task.max_cycles
-    )
-    detection = detector.analyze(run.trace)
+    if task.engine == "streaming":
+        detection = StreamingDetector(
+            max_length=task.max_cycle_length, max_cycles=task.max_cycles
+        ).analyze(run.trace)
+    else:
+        detection = ExtendedDetector(
+            max_length=task.max_cycle_length, max_cycles=task.max_cycles
+        ).analyze(run.trace)
     timings["detect"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()

@@ -131,8 +131,18 @@ class WolfConfig:
     #: typing check over every generated graph; violations land in
     #: ``WolfReport.sanitizer`` (see :mod:`repro.analysis.sanitizer`).
     sanitize: bool = False
+    #: Analysis engine per detection run: ``"batch"`` walks the recorded
+    #: trace three times (``ExtendedDetector``); ``"streaming"`` fuses
+    #: clocks, ``D_sigma`` and cycle enumeration into one pass
+    #: (:class:`~repro.core.streaming.StreamingDetector`).  Both produce
+    #: identical cycles, prune decisions and defect keys.
+    engine: str = "batch"
 
     def __post_init__(self) -> None:
+        if self.engine not in ("batch", "streaming"):
+            raise ValueError(
+                f"engine must be 'batch' or 'streaming', got {self.engine!r}"
+            )
         if self.replay_attempts < 1:
             raise ValueError(
                 f"replay_attempts must be >= 1, got {self.replay_attempts}"
@@ -173,6 +183,7 @@ class Wolf:
         report = WolfReport(
             program=name or getattr(program, "__name__", "program"),
             seeds=cfg.seeds(),
+            engine=cfg.engine,
         )
         timings = {"detect": 0.0, "prune": 0.0, "generate": 0.0, "replay": 0.0}
         policy = cfg.supervision()
@@ -194,6 +205,7 @@ class Wolf:
                     max_cycles=cfg.max_cycles,
                     max_steps=cfg.max_steps,
                     step_timeout=cfg.step_timeout,
+                    engine=cfg.engine,
                 )
                 for seed in cfg.seeds()
             ]

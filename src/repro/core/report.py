@@ -144,6 +144,9 @@ class WolfReport:
     #: Trace/graph well-formedness violations found by the sanitizer
     #: (populated only with ``WolfConfig.sanitize``; [] = clean).
     sanitizer: List["SanitizerDiagnostic"] = field(default_factory=list)
+    #: Analysis engine the detections ran with (``"batch"``/``"streaming"``;
+    #: classifications are engine-independent).
+    engine: str = "batch"
 
     # -- aggregation --------------------------------------------------------
 
@@ -261,6 +264,7 @@ class WolfReport:
                 "sanitizer": [d.to_dict() for d in self.sanitizer],
                 "timings": self.timings,
                 "workers": self.workers,
+                "engine": self.engine,
                 "fallback_reason": self.fallback_reason,
             },
             indent=2,

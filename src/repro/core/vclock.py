@@ -24,7 +24,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Final, Optional, Set
 
-from repro.runtime.events import AcquireEvent, BeginEvent, JoinEvent, SpawnEvent, Trace
+from repro.runtime.events import (
+    AcquireEvent,
+    BeginEvent,
+    JoinEvent,
+    SpawnEvent,
+    Trace,
+    TraceEvent,
+)
 from repro.util.ids import ThreadId
 
 #: The paper's "bottom": thread not started / no ordering information.
@@ -70,63 +77,73 @@ class VectorClockState:
         return current + 1
 
 
+def update_clocks(st: VectorClockState, ev: TraceEvent) -> None:
+    """Apply Algorithm 1's update for one event to the running state.
+
+    This is the online step the paper maintains during execution: feeding
+    a trace's events through it one at a time (as
+    :func:`compute_vector_clocks` and the streaming engine both do) yields
+    the same state as any batch recomputation, because start/join events
+    appear in the trace in their real global order.
+    """
+    t = ev.thread
+    # Algorithm 1 line 11: a thread's timestamp becomes 1 when it
+    # first executes anything.
+    if st.tau.get(t) is BOT:
+        st.tau[t] = 1
+        st._clock(t)
+
+    if isinstance(ev, BeginEvent):
+        return
+
+    if isinstance(ev, SpawnEvent):
+        c = ev.child
+        tau_t = st._bump(t)
+        st.tau[c] = 1
+        vc = st._clock(c)
+        vp = st._clock(t)
+        # Peers are every thread either side has an opinion about.
+        peers: Set[ThreadId] = set(vp) | {t}
+        for i in peers:
+            prior = vc.get(i, SJ())
+            s, j = prior.S, prior.J
+            # line 17: if t_i already joined (from the parent's view),
+            # then *everything* the child does is after t_i.
+            if vp.get(i, SJ()).J is not BOT:
+                j = st.tau[c]
+            # lines 19-20: operations of the parent before this start,
+            # and whatever the parent knows finished before it began,
+            # precede the child's entire execution.
+            if i == t:
+                s = tau_t
+            else:
+                s = vp.get(i, SJ()).S
+            vc[i] = SJ(s, j)
+
+    elif isinstance(ev, JoinEvent):
+        c = ev.target
+        tau_t = st._bump(t)
+        vp = st._clock(t)
+        vt_child = st._clock(c)
+        join_peers: Set[ThreadId] = set(vt_child) | {c}
+        for i in join_peers:
+            # line 25: the joined thread itself, and transitively any
+            # thread it saw joined, are now wholly in t's past.
+            already = vp.get(i, SJ())
+            if i == c or (
+                vt_child.get(i, SJ()).J is not BOT and already.J is BOT
+            ):
+                vp[i] = SJ(already.S, tau_t)
+
+    elif isinstance(ev, AcquireEvent):
+        tau_now = st.tau[t]
+        assert tau_now is not BOT  # set on the thread's first event
+        st.acquire_tau[ev.step] = tau_now
+
+
 def compute_vector_clocks(trace: Trace) -> VectorClockState:
     """Run Algorithm 1's timestamp/vector-clock updates over a trace."""
     st = VectorClockState()
-
     for ev in trace:
-        t = ev.thread
-        # Algorithm 1 line 11: a thread's timestamp becomes 1 when it
-        # first executes anything.
-        if st.tau.get(t) is BOT:
-            st.tau[t] = 1
-            st._clock(t)
-
-        if isinstance(ev, BeginEvent):
-            continue
-
-        if isinstance(ev, SpawnEvent):
-            c = ev.child
-            tau_t = st._bump(t)
-            st.tau[c] = 1
-            vc = st._clock(c)
-            vp = st._clock(t)
-            # Peers are every thread either side has an opinion about.
-            peers: Set[ThreadId] = set(vp) | {t}
-            for i in peers:
-                prior = vc.get(i, SJ())
-                s, j = prior.S, prior.J
-                # line 17: if t_i already joined (from the parent's view),
-                # then *everything* the child does is after t_i.
-                if vp.get(i, SJ()).J is not BOT:
-                    j = st.tau[c]
-                # lines 19-20: operations of the parent before this start,
-                # and whatever the parent knows finished before it began,
-                # precede the child's entire execution.
-                if i == t:
-                    s = tau_t
-                else:
-                    s = vp.get(i, SJ()).S
-                vc[i] = SJ(s, j)
-
-        elif isinstance(ev, JoinEvent):
-            c = ev.target
-            tau_t = st._bump(t)
-            vp = st._clock(t)
-            vt_child = st._clock(c)
-            join_peers: Set[ThreadId] = set(vt_child) | {c}
-            for i in join_peers:
-                # line 25: the joined thread itself, and transitively any
-                # thread it saw joined, are now wholly in t's past.
-                already = vp.get(i, SJ())
-                if i == c or (
-                    vt_child.get(i, SJ()).J is not BOT and already.J is BOT
-                ):
-                    vp[i] = SJ(already.S, tau_t)
-
-        elif isinstance(ev, AcquireEvent):
-            tau_now = st.tau[t]
-            assert tau_now is not BOT  # set on the thread's first event
-            st.acquire_tau[ev.step] = tau_now
-
+        update_clocks(st, ev)
     return st

@@ -30,6 +30,9 @@ class ExperimentSettings:
     task_timeout: Optional[float] = None
     #: Retries before a failing detection/replay task is quarantined.
     task_retries: int = 2
+    #: Analysis engine for WOLF detections: ``"batch"`` or ``"streaming"``
+    #: (identical results; see :mod:`repro.core.streaming`).
+    engine: str = "batch"
 
     def seed_for(self, b: Benchmark) -> int:
         return self.seed if self.seed is not None else b.detect_seed
@@ -52,6 +55,7 @@ def run_wolf(b: Benchmark, settings: ExperimentSettings) -> WolfReport:
         workers=settings.workers,
         task_timeout=settings.task_timeout,
         task_retries=settings.task_retries,
+        engine=settings.engine,
     )
     return Wolf(config=cfg).analyze(b.program, name=b.name)
 

@@ -24,11 +24,21 @@ from repro.runtime.events import (
     EndEvent,
     JoinEvent,
     NotifyEvent,
+    NullTrace,
     ReleaseEvent,
+    SinkTrace,
     SpawnEvent,
     Trace,
     TraceEvent,
     WaitEvent,
+)
+from repro.runtime.tracefile import (
+    TraceFileReader,
+    TraceFileWriter,
+    is_tracefile,
+    read_trace,
+    trace_info,
+    write_trace,
 )
 from repro.runtime.sim import (
     DeadlockInfo,
@@ -52,6 +62,7 @@ __all__ = [
     "EndEvent",
     "JoinEvent",
     "NotifyEvent",
+    "NullTrace",
     "RandomStrategy",
     "ReleaseEvent",
     "RoundRobinStrategy",
@@ -62,9 +73,16 @@ __all__ = [
     "SimLock",
     "SimRuntime",
     "SimThreadHandle",
+    "SinkTrace",
     "SpawnEvent",
     "Trace",
     "TraceEvent",
+    "TraceFileReader",
+    "TraceFileWriter",
     "WaitEvent",
+    "is_tracefile",
+    "read_trace",
     "run_program",
+    "trace_info",
+    "write_trace",
 ]

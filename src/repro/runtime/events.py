@@ -204,34 +204,16 @@ class Trace:
         Identities are rendered with ``pretty()``; this is intentionally a
         one-way format — replay works from live :class:`Trace` objects.
         """
+        # Local import: serialize imports this module at top level.
+        from repro.runtime.serialize import encode_event_fields
+
         def enc(ev: TraceEvent) -> dict:
-            d: dict = {"kind": type(ev).__name__, "step": ev.step, "thread": ev.thread.pretty()}
-            if isinstance(ev, SpawnEvent):
-                d["child"] = ev.child.pretty()
-            elif isinstance(ev, JoinEvent):
-                d["target"] = ev.target.pretty()
-            elif isinstance(ev, AcquireEvent):
-                d.update(
-                    lock=ev.lock.pretty(),
-                    index=ev.index.pretty(),
-                    held=[l.pretty() for l in ev.held],
-                    reentrant=ev.reentrant,
-                )
-            elif isinstance(ev, ReleaseEvent):
-                d.update(lock=ev.lock.pretty(), site=ev.site, reentrant=ev.reentrant)
-            elif isinstance(ev, BlockEvent):
-                d.update(lock=ev.lock.pretty(), index=ev.index.pretty(), holder=ev.holder.pretty())
-            elif isinstance(ev, WaitEvent):
-                d.update(condition=ev.condition, lock=ev.lock.pretty(), site=ev.site)
-            elif isinstance(ev, NotifyEvent):
-                d.update(
-                    condition=ev.condition,
-                    lock=ev.lock.pretty(),
-                    site=ev.site,
-                    woken=ev.woken,
-                    notify_all=ev.notify_all,
-                )
-            return d
+            return encode_event_fields(
+                ev,
+                thread=lambda t: t.pretty(),
+                lock=lambda l: l.pretty(),
+                index=lambda ix: ix.pretty(),
+            )
 
         return json.dumps(
             {
@@ -243,9 +225,25 @@ class Trace:
         )
 
 
-class NullTrace(Trace):
-    """Discards events: the 'uninstrumented' baseline for slowdown
-    measurements (Table 1's detection-overhead column)."""
+class SinkTrace(Trace):
+    """Forwards events to sinks without storing them.
 
-    def append(self, event: TraceEvent) -> None:  # noqa: D102
-        pass
+    A sink is any callable taking one :class:`TraceEvent` — a
+    :class:`~repro.runtime.tracefile.TraceFileWriter`, a
+    :class:`~repro.core.streaming.StreamingDetector`'s ``feed``, or both at
+    once.  This is how a runtime records/analyzes an execution with memory
+    bounded by the sinks' own state instead of the event count.
+    """
+
+    def __init__(self, *sinks, program: str = "", seed: int = 0) -> None:
+        super().__init__(program=program, seed=seed)
+        self.sinks = tuple(sinks)
+
+    def append(self, event: TraceEvent) -> None:
+        for sink in self.sinks:
+            sink(event)
+
+
+class NullTrace(SinkTrace):
+    """Discards events (zero sinks): the 'uninstrumented' baseline for
+    slowdown measurements (Table 1's detection-overhead column)."""

@@ -25,6 +25,7 @@ from repro.runtime.events import (
     EndEvent,
     JoinEvent,
     ReleaseEvent,
+    SinkTrace,
     SpawnEvent,
     Trace,
 )
@@ -71,8 +72,16 @@ class NativeRuntime:
         name: str = "",
         poll_interval: float = 0.005,
         gate: Optional[object] = None,
+        trace_sink: Optional[Callable] = None,
     ) -> None:
-        self.trace = Trace(program=name)
+        # With a sink the runtime streams events out (writer, streaming
+        # detector, ...) instead of accumulating them: ``self.trace`` then
+        # holds metadata only.  ``_record`` serializes sink calls under
+        # ``_mutex``, so sinks need no locking of their own.
+        if trace_sink is not None:
+            self.trace: Trace = SinkTrace(trace_sink, program=name)
+        else:
+            self.trace = Trace(program=name)
         self.poll_interval = poll_interval
         #: Optional replay gate (see :class:`NativeReplayer`).
         self.gate = gate

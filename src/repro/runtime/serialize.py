@@ -35,6 +35,50 @@ from repro.util.ids import ExecIndex, LockId, ThreadId
 FORMAT_VERSION = 1
 
 
+def encode_event_fields(ev: TraceEvent, *, thread, lock, index) -> dict:
+    """Walk one event's payload through pluggable identity codecs.
+
+    The single source of truth for which fields each event kind carries:
+    the table-based machine format (:class:`TraceEncoder`) and the
+    human-oriented ``Trace.to_json`` both route through it with different
+    ``thread``/``lock``/``index`` codecs, so a new event type (or field)
+    cannot silently diverge between the two renderings.
+    """
+    d: dict = {"kind": type(ev).__name__, "step": ev.step, "thread": thread(ev.thread)}
+    if isinstance(ev, SpawnEvent):
+        d["child"] = thread(ev.child)
+    elif isinstance(ev, JoinEvent):
+        d["target"] = thread(ev.target)
+    elif isinstance(ev, AcquireEvent):
+        d.update(
+            lock=lock(ev.lock),
+            index=index(ev.index),
+            held=[lock(l) for l in ev.held],
+            held_indices=[index(ix) for ix in ev.held_indices],
+            reentrant=ev.reentrant,
+            stack_depth=ev.stack_depth,
+        )
+    elif isinstance(ev, ReleaseEvent):
+        d.update(lock=lock(ev.lock), site=ev.site, reentrant=ev.reentrant)
+    elif isinstance(ev, BlockEvent):
+        d.update(
+            lock=lock(ev.lock),
+            index=index(ev.index),
+            holder=thread(ev.holder) if ev.holder is not None else None,
+        )
+    elif isinstance(ev, WaitEvent):
+        d.update(condition=ev.condition, lock=lock(ev.lock), site=ev.site)
+    elif isinstance(ev, NotifyEvent):
+        d.update(
+            condition=ev.condition,
+            lock=lock(ev.lock),
+            site=ev.site,
+            woken=ev.woken,
+            notify_all=ev.notify_all,
+        )
+    return d
+
+
 class TraceEncoder:
     """Assigns table indices to identities while encoding events."""
 
@@ -80,43 +124,9 @@ class TraceEncoder:
         return [self.thread(ix.thread), ix.site, ix.occ]
 
     def event(self, ev: TraceEvent) -> dict:
-        d: dict = {
-            "kind": type(ev).__name__,
-            "step": ev.step,
-            "thread": self.thread(ev.thread),
-        }
-        if isinstance(ev, SpawnEvent):
-            d["child"] = self.thread(ev.child)
-        elif isinstance(ev, JoinEvent):
-            d["target"] = self.thread(ev.target)
-        elif isinstance(ev, AcquireEvent):
-            d.update(
-                lock=self.lock(ev.lock),
-                index=self.index(ev.index),
-                held=[self.lock(l) for l in ev.held],
-                held_indices=[self.index(ix) for ix in ev.held_indices],
-                reentrant=ev.reentrant,
-                stack_depth=ev.stack_depth,
-            )
-        elif isinstance(ev, ReleaseEvent):
-            d.update(lock=self.lock(ev.lock), site=ev.site, reentrant=ev.reentrant)
-        elif isinstance(ev, BlockEvent):
-            d.update(
-                lock=self.lock(ev.lock),
-                index=self.index(ev.index),
-                holder=self.thread(ev.holder) if ev.holder is not None else None,
-            )
-        elif isinstance(ev, WaitEvent):
-            d.update(condition=ev.condition, lock=self.lock(ev.lock), site=ev.site)
-        elif isinstance(ev, NotifyEvent):
-            d.update(
-                condition=ev.condition,
-                lock=self.lock(ev.lock),
-                site=ev.site,
-                woken=ev.woken,
-                notify_all=ev.notify_all,
-            )
-        return d
+        return encode_event_fields(
+            ev, thread=self.thread, lock=self.lock, index=self.index
+        )
 
 
 def dump_trace(trace: Trace) -> str:

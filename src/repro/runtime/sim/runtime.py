@@ -32,7 +32,7 @@ from __future__ import annotations
 import sys
 from typing import Callable, Optional
 
-from repro.runtime.events import NullTrace, Trace
+from repro.runtime.events import NullTrace, SinkTrace, Trace
 from repro.runtime.sim.result import RunResult
 from repro.runtime.sim.scheduler import (
     AcquireOp,
@@ -284,6 +284,7 @@ def run_program(
     max_steps: int = 200_000,
     step_timeout: float = 30.0,
     record_trace: bool = True,
+    trace_sink: Optional[Callable] = None,
 ) -> RunResult:
     """Execute ``program`` under the simulated runtime and return the
     :class:`RunResult` (including the recorded :class:`Trace`).
@@ -291,12 +292,21 @@ def run_program(
     ``strategy`` defaults to :class:`RandomStrategy` with ``seed``; passing
     an explicit strategy makes ``seed`` purely informational metadata.
     ``record_trace=False`` discards events — the 'uninstrumented' baseline
-    for overhead measurements.
+    for overhead measurements.  ``trace_sink`` (a callable taking one
+    event, e.g. a ``TraceFileWriter`` or ``StreamingDetector.feed``)
+    streams events out instead of storing them: the run's memory stays
+    bounded by the sink's state, and ``RunResult.trace`` carries only
+    metadata.  Combine with ``record_trace=True`` is unnecessary — a sink
+    implies no in-memory event list.
     """
     if strategy is None:
         strategy = RandomStrategy(seed)
-    trace_cls = Trace if record_trace else NullTrace
-    trace = trace_cls(program=name or getattr(program, "__name__", "program"), seed=seed)
+    prog_name = name or getattr(program, "__name__", "program")
+    if trace_sink is not None:
+        trace: Trace = SinkTrace(trace_sink, program=prog_name, seed=seed)
+    else:
+        trace_cls = Trace if record_trace else NullTrace
+        trace = trace_cls(program=prog_name, seed=seed)
     sched = Scheduler(
         strategy, trace=trace, max_steps=max_steps, step_timeout=step_timeout
     )

@@ -1,0 +1,658 @@
+"""Compact binary trace files with streaming read/write (``.wtrc``).
+
+:mod:`repro.runtime.serialize` is the human-oriented JSON interchange
+format; this module is the machine format for traces that should never be
+materialized whole: a production recorder appends events to disk with
+memory bounded by the identity tables, and the streaming engine
+(:mod:`repro.core.streaming`) consumes the file one event at a time.
+
+Layout::
+
+    magic "WTRC" + version byte
+    chunk*          chunk := kind:u8, payload_len:uvarint, payload
+    kinds: 0 META    program string, seed (zigzag varint)
+           1 STRINGS n, then n x (len + utf8)   -- sites/names/conditions
+           2 THREADS n, then n x (parent+1, spawn_site*, seq, name*)
+           3 LOCKS   n, then n x (owner, create_site*, seq, name*)
+           4 EVENTS  n, then n x event
+           5 END     total event count
+
+(``*`` = index into the string table; all integers are unsigned LEB128
+varints, signed values zigzag-encoded.)  Identity rows are interned on
+first use and emitted in table chunks *before* the event chunk that
+references them, so a reader's tables are always resolvable after a
+strictly sequential scan; recursive :class:`~repro.util.ids.ThreadId`
+parent chains work because a parent is interned (and its row queued)
+before any child that references it.  Event steps are delta-encoded
+against the previous event.
+
+An event::
+
+    kind:u8, step_delta:zigzag, thread, fields...
+
+with per-kind fields mirroring :mod:`repro.runtime.serialize` exactly —
+the round trip is lossless, including ``held_indices``, ``stack_depth``
+and ``BlockEvent.holder = None``.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import BinaryIO, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.runtime.events import (
+    AcquireEvent,
+    BeginEvent,
+    BlockEvent,
+    EndEvent,
+    JoinEvent,
+    NotifyEvent,
+    ReleaseEvent,
+    SpawnEvent,
+    Trace,
+    TraceEvent,
+    WaitEvent,
+)
+from repro.util.ids import ExecIndex, LockId, ThreadId
+
+MAGIC = b"WTRC"
+FORMAT_VERSION = 1
+
+# Chunk kinds.
+_META, _STRINGS, _THREADS, _LOCKS, _EVENTS, _END = range(6)
+
+# Event kinds (wire tags).
+_EV_CLASSES: Tuple[type, ...] = (
+    BeginEvent,
+    EndEvent,
+    SpawnEvent,
+    JoinEvent,
+    AcquireEvent,
+    ReleaseEvent,
+    WaitEvent,
+    NotifyEvent,
+    BlockEvent,
+)
+_EV_TAG: Dict[type, int] = {cls: i for i, cls in enumerate(_EV_CLASSES)}
+
+PathOrIO = Union[str, "os.PathLike[str]", BinaryIO]
+
+
+# ---------------------------------------------------------------------------
+# varint primitives
+# ---------------------------------------------------------------------------
+
+
+def _put_uvarint(buf: bytearray, n: int) -> None:
+    while n > 0x7F:
+        buf.append((n & 0x7F) | 0x80)
+        n >>= 7
+    buf.append(n)
+
+
+def _put_svarint(buf: bytearray, n: int) -> None:
+    _put_uvarint(buf, n * 2 if n >= 0 else -n * 2 - 1)
+
+
+def _get_uvarint(data: bytes, pos: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        b = data[pos]
+        pos += 1
+        result |= (b & 0x7F) << shift
+        if not b & 0x80:
+            return result, pos
+        shift += 7
+
+
+def _get_svarint(data: bytes, pos: int) -> Tuple[int, int]:
+    zz, pos = _get_uvarint(data, pos)
+    return (zz >> 1) ^ -(zz & 1), pos
+
+
+def _read_uvarint_io(fh: BinaryIO) -> Optional[int]:
+    """Read one uvarint straight off a file; ``None`` at clean EOF."""
+    result = 0
+    shift = 0
+    while True:
+        byte = fh.read(1)
+        if not byte:
+            if shift:
+                raise ValueError("truncated varint in trace file")
+            return None
+        b = byte[0]
+        result |= (b & 0x7F) << shift
+        if not b & 0x80:
+            return result
+        shift += 7
+
+
+# ---------------------------------------------------------------------------
+# writer
+# ---------------------------------------------------------------------------
+
+
+class TraceFileWriter:
+    """Append events to a binary trace file with bounded memory.
+
+    Memory grows with the *identity tables* (distinct threads, locks and
+    strings), never with the event count: encoded events are buffered only
+    up to ``events_per_chunk`` and then flushed.  Accepts a path (opened
+    and owned) or a writable binary file object (caller keeps ownership).
+    Usable as a context manager; :meth:`close` seals the file with an END
+    chunk carrying the total event count.
+    """
+
+    def __init__(
+        self,
+        dest: PathOrIO,
+        *,
+        program: str = "",
+        seed: int = 0,
+        events_per_chunk: int = 1024,
+    ) -> None:
+        if events_per_chunk < 1:
+            raise ValueError(f"events_per_chunk must be >= 1, got {events_per_chunk}")
+        if isinstance(dest, (str, os.PathLike)):
+            self._fh: BinaryIO = open(dest, "wb")
+            self._owns = True
+        else:
+            self._fh = dest
+            self._owns = False
+        self.program = program
+        self.seed = seed
+        self.events_written = 0
+        self._chunk_limit = events_per_chunk
+        self._closed = False
+        # Interners (identity -> table index) and their pending wire rows.
+        self._strings: Dict[str, int] = {}
+        self._threads: Dict[ThreadId, int] = {}
+        self._locks: Dict[LockId, int] = {}
+        self._pending_strings: List[str] = []
+        self._pending_threads = bytearray()
+        self._pending_thread_rows = 0
+        self._pending_locks = bytearray()
+        self._pending_lock_rows = 0
+        self._ev_buf = bytearray()
+        self._ev_count = 0
+        self._last_step = 0
+
+        self._fh.write(MAGIC + bytes([FORMAT_VERSION]))
+        meta = bytearray()
+        raw = program.encode("utf-8")
+        _put_uvarint(meta, len(raw))
+        meta += raw
+        _put_svarint(meta, seed)
+        self._write_chunk(_META, meta)
+
+    # -- interning ----------------------------------------------------------
+
+    def _string(self, s: str) -> int:
+        idx = self._strings.get(s)
+        if idx is None:
+            idx = len(self._strings)
+            self._strings[s] = idx
+            self._pending_strings.append(s)
+        return idx
+
+    def _thread(self, tid: ThreadId) -> int:
+        idx = self._threads.get(tid)
+        if idx is not None:
+            return idx
+        parent = self._thread(tid.parent) + 1 if tid.parent is not None else 0
+        spawn_site = self._string(tid.spawn_site)
+        name = self._string(tid.name)
+        # Index assigned *after* the parent's so rows land in resolvable
+        # order; the row is encoded now, against already-assigned refs.
+        idx = len(self._threads)
+        self._threads[tid] = idx
+        row = self._pending_threads
+        _put_uvarint(row, parent)
+        _put_uvarint(row, spawn_site)
+        _put_uvarint(row, tid.seq)
+        _put_uvarint(row, name)
+        self._pending_thread_rows += 1
+        return idx
+
+    def _lock(self, lid: LockId) -> int:
+        idx = self._locks.get(lid)
+        if idx is not None:
+            return idx
+        owner = self._thread(lid.owner)
+        create_site = self._string(lid.create_site)
+        name = self._string(lid.name)
+        idx = len(self._locks)
+        self._locks[lid] = idx
+        row = self._pending_locks
+        _put_uvarint(row, owner)
+        _put_uvarint(row, create_site)
+        _put_uvarint(row, lid.seq)
+        _put_uvarint(row, name)
+        self._pending_lock_rows += 1
+        return idx
+
+    def _index(self, buf: bytearray, ix: ExecIndex) -> None:
+        _put_uvarint(buf, self._thread(ix.thread))
+        _put_uvarint(buf, self._string(ix.site))
+        _put_uvarint(buf, ix.occ)
+
+    # -- events -------------------------------------------------------------
+
+    def write_event(self, ev: TraceEvent) -> None:
+        if self._closed:
+            raise ValueError("trace file writer is closed")
+        buf = self._ev_buf
+        buf.append(_EV_TAG[type(ev)])
+        _put_svarint(buf, ev.step - self._last_step)
+        self._last_step = ev.step
+        _put_uvarint(buf, self._thread(ev.thread))
+        if isinstance(ev, AcquireEvent):
+            _put_uvarint(buf, self._lock(ev.lock))
+            self._index(buf, ev.index)
+            _put_uvarint(buf, len(ev.held))
+            for l in ev.held:
+                _put_uvarint(buf, self._lock(l))
+            for ix in ev.held_indices:
+                self._index(buf, ix)
+            buf.append(1 if ev.reentrant else 0)
+            _put_uvarint(buf, ev.stack_depth)
+        elif isinstance(ev, ReleaseEvent):
+            _put_uvarint(buf, self._lock(ev.lock))
+            _put_uvarint(buf, self._string(ev.site))
+            buf.append(1 if ev.reentrant else 0)
+        elif isinstance(ev, SpawnEvent):
+            _put_uvarint(buf, self._thread(ev.child))
+        elif isinstance(ev, JoinEvent):
+            _put_uvarint(buf, self._thread(ev.target))
+        elif isinstance(ev, WaitEvent):
+            _put_uvarint(buf, self._string(ev.condition))
+            _put_uvarint(buf, self._lock(ev.lock))
+            _put_uvarint(buf, self._string(ev.site))
+        elif isinstance(ev, NotifyEvent):
+            _put_uvarint(buf, self._string(ev.condition))
+            _put_uvarint(buf, self._lock(ev.lock))
+            _put_uvarint(buf, self._string(ev.site))
+            _put_uvarint(buf, ev.woken)
+            buf.append(1 if ev.notify_all else 0)
+        elif isinstance(ev, BlockEvent):
+            _put_uvarint(buf, self._lock(ev.lock))
+            self._index(buf, ev.index)
+            _put_uvarint(
+                buf, self._thread(ev.holder) + 1 if ev.holder is not None else 0
+            )
+        self._ev_count += 1
+        self.events_written += 1
+        if self._ev_count >= self._chunk_limit:
+            self._flush()
+
+    #: Sink-protocol alias (see :class:`repro.runtime.events.SinkTrace`).
+    __call__ = write_event
+
+    # -- chunk output -------------------------------------------------------
+
+    def _write_chunk(self, kind: int, payload: Union[bytes, bytearray]) -> None:
+        head = bytearray([kind])
+        _put_uvarint(head, len(payload))
+        self._fh.write(bytes(head) + bytes(payload))
+
+    def _flush(self) -> None:
+        if self._pending_strings:
+            payload = bytearray()
+            _put_uvarint(payload, len(self._pending_strings))
+            for s in self._pending_strings:
+                raw = s.encode("utf-8")
+                _put_uvarint(payload, len(raw))
+                payload += raw
+            self._write_chunk(_STRINGS, payload)
+            self._pending_strings = []
+        if self._pending_thread_rows:
+            payload = bytearray()
+            _put_uvarint(payload, self._pending_thread_rows)
+            payload += self._pending_threads
+            self._write_chunk(_THREADS, payload)
+            self._pending_threads = bytearray()
+            self._pending_thread_rows = 0
+        if self._pending_lock_rows:
+            payload = bytearray()
+            _put_uvarint(payload, self._pending_lock_rows)
+            payload += self._pending_locks
+            self._write_chunk(_LOCKS, payload)
+            self._pending_locks = bytearray()
+            self._pending_lock_rows = 0
+        if self._ev_count:
+            payload = bytearray()
+            _put_uvarint(payload, self._ev_count)
+            payload += self._ev_buf
+            self._write_chunk(_EVENTS, payload)
+            self._ev_buf = bytearray()
+            self._ev_count = 0
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._flush()
+        end = bytearray()
+        _put_uvarint(end, self.events_written)
+        self._write_chunk(_END, end)
+        self._closed = True
+        if self._owns:
+            self._fh.close()
+        else:
+            self._fh.flush()
+
+    def __enter__(self) -> "TraceFileWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# reader
+# ---------------------------------------------------------------------------
+
+
+class TraceFileReader:
+    """Sequential event iterator over a binary trace file.
+
+    Decodes one chunk at a time: peak memory is the identity tables plus a
+    single chunk, independent of the trace length.  Accepts a path (opened
+    and owned) or a readable binary file object.
+    """
+
+    def __init__(self, src: PathOrIO) -> None:
+        if isinstance(src, (str, os.PathLike)):
+            self._fh: BinaryIO = open(src, "rb")
+            self._owns = True
+        else:
+            self._fh = src
+            self._owns = False
+        header = self._fh.read(len(MAGIC) + 1)
+        if header[: len(MAGIC)] != MAGIC:
+            raise ValueError("not a WOLF binary trace file (bad magic)")
+        version = header[len(MAGIC)]
+        if version != FORMAT_VERSION:
+            raise ValueError(f"unsupported trace file version {version}")
+        self._strings: List[str] = []
+        self._threads: List[ThreadId] = []
+        self._locks: List[LockId] = []
+        self._last_step = 0
+        self.events_read = 0
+        #: END-chunk event count (``None`` until the END chunk is reached —
+        #: a missing END chunk means the writer died mid-trace).
+        self.declared_events: Optional[int] = None
+        kind, payload = self._next_chunk(required=True)
+        if kind != _META:
+            raise ValueError("trace file must start with a META chunk")
+        n, pos = _get_uvarint(payload, 0)
+        self.program = payload[pos : pos + n].decode("utf-8")
+        self.seed, _ = _get_svarint(payload, pos + n)
+
+    # -- chunk plumbing ------------------------------------------------------
+
+    def _next_chunk(self, required: bool = False) -> Tuple[int, bytes]:
+        kind_b = self._fh.read(1)
+        if not kind_b:
+            if required:
+                raise ValueError("truncated trace file")
+            return -1, b""
+        length = _read_uvarint_io(self._fh)
+        if length is None:
+            raise ValueError("truncated trace file (chunk header)")
+        payload = self._fh.read(length)
+        if len(payload) != length:
+            raise ValueError("truncated trace file (chunk payload)")
+        return kind_b[0], payload
+
+    def _load_strings(self, payload: bytes) -> None:
+        n, pos = _get_uvarint(payload, 0)
+        for _ in range(n):
+            ln, pos = _get_uvarint(payload, pos)
+            self._strings.append(payload[pos : pos + ln].decode("utf-8"))
+            pos += ln
+
+    def _load_threads(self, payload: bytes) -> None:
+        n, pos = _get_uvarint(payload, 0)
+        for _ in range(n):
+            parent, pos = _get_uvarint(payload, pos)
+            spawn_site, pos = _get_uvarint(payload, pos)
+            seq, pos = _get_uvarint(payload, pos)
+            name, pos = _get_uvarint(payload, pos)
+            self._threads.append(
+                ThreadId(
+                    self._threads[parent - 1] if parent else None,
+                    self._strings[spawn_site],
+                    seq,
+                    name=self._strings[name],
+                )
+            )
+
+    def _load_locks(self, payload: bytes) -> None:
+        n, pos = _get_uvarint(payload, 0)
+        for _ in range(n):
+            owner, pos = _get_uvarint(payload, pos)
+            create_site, pos = _get_uvarint(payload, pos)
+            seq, pos = _get_uvarint(payload, pos)
+            name, pos = _get_uvarint(payload, pos)
+            self._locks.append(
+                LockId(
+                    self._threads[owner],
+                    self._strings[create_site],
+                    seq,
+                    name=self._strings[name],
+                )
+            )
+
+    # -- event decoding ------------------------------------------------------
+
+    def _decode_events(self, payload: bytes) -> Iterator[TraceEvent]:
+        uvarint, svarint = _get_uvarint, _get_svarint
+        strings, threads, locks = self._strings, self._threads, self._locks
+        n, pos = uvarint(payload, 0)
+        step = self._last_step
+        for _ in range(n):
+            tag = payload[pos]
+            delta, pos = svarint(payload, pos + 1)
+            step += delta
+            t, pos = uvarint(payload, pos)
+            thread = threads[t]
+            if tag == 4:  # AcquireEvent (hottest first)
+                lk, pos = uvarint(payload, pos)
+                it, pos = uvarint(payload, pos)
+                isite, pos = uvarint(payload, pos)
+                occ, pos = uvarint(payload, pos)
+                nheld, pos = uvarint(payload, pos)
+                held = []
+                for _h in range(nheld):
+                    h, pos = uvarint(payload, pos)
+                    held.append(locks[h])
+                held_indices = []
+                for _h in range(nheld):
+                    ht, pos = uvarint(payload, pos)
+                    hs, pos = uvarint(payload, pos)
+                    ho, pos = uvarint(payload, pos)
+                    held_indices.append(
+                        ExecIndex(threads[ht], strings[hs], ho)
+                    )
+                reentrant = payload[pos] == 1
+                depth, pos = uvarint(payload, pos + 1)
+                ev: TraceEvent = AcquireEvent(
+                    step,
+                    thread,
+                    lock=locks[lk],
+                    index=ExecIndex(threads[it], strings[isite], occ),
+                    held=tuple(held),
+                    held_indices=tuple(held_indices),
+                    reentrant=reentrant,
+                    stack_depth=depth,
+                )
+            elif tag == 5:  # ReleaseEvent
+                lk, pos = uvarint(payload, pos)
+                site, pos = uvarint(payload, pos)
+                reentrant = payload[pos] == 1
+                pos += 1
+                ev = ReleaseEvent(
+                    step,
+                    thread,
+                    lock=locks[lk],
+                    site=strings[site],
+                    reentrant=reentrant,
+                )
+            elif tag == 0:
+                ev = BeginEvent(step, thread)
+            elif tag == 1:
+                ev = EndEvent(step, thread)
+            elif tag == 2:
+                c, pos = uvarint(payload, pos)
+                ev = SpawnEvent(step, thread, child=threads[c])
+            elif tag == 3:
+                tgt, pos = uvarint(payload, pos)
+                ev = JoinEvent(step, thread, target=threads[tgt])
+            elif tag == 6:
+                cond, pos = uvarint(payload, pos)
+                lk, pos = uvarint(payload, pos)
+                site, pos = uvarint(payload, pos)
+                ev = WaitEvent(
+                    step,
+                    thread,
+                    condition=strings[cond],
+                    lock=locks[lk],
+                    site=strings[site],
+                )
+            elif tag == 7:
+                cond, pos = uvarint(payload, pos)
+                lk, pos = uvarint(payload, pos)
+                site, pos = uvarint(payload, pos)
+                woken, pos = uvarint(payload, pos)
+                notify_all = payload[pos] == 1
+                pos += 1
+                ev = NotifyEvent(
+                    step,
+                    thread,
+                    condition=strings[cond],
+                    lock=locks[lk],
+                    site=strings[site],
+                    woken=woken,
+                    notify_all=notify_all,
+                )
+            elif tag == 8:
+                lk, pos = uvarint(payload, pos)
+                it, pos = uvarint(payload, pos)
+                isite, pos = uvarint(payload, pos)
+                occ, pos = uvarint(payload, pos)
+                holder, pos = uvarint(payload, pos)
+                ev = BlockEvent(
+                    step,
+                    thread,
+                    lock=locks[lk],
+                    index=ExecIndex(threads[it], strings[isite], occ),
+                    holder=threads[holder - 1] if holder else None,
+                )
+            else:
+                raise ValueError(f"unknown event tag {tag}")
+            self.events_read += 1
+            yield ev
+        self._last_step = step
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        while True:
+            kind, payload = self._next_chunk()
+            if kind == -1:
+                return
+            if kind == _STRINGS:
+                self._load_strings(payload)
+            elif kind == _THREADS:
+                self._load_threads(payload)
+            elif kind == _LOCKS:
+                self._load_locks(payload)
+            elif kind == _EVENTS:
+                yield from self._decode_events(payload)
+            elif kind == _END:
+                self.declared_events, _ = _get_uvarint(payload, 0)
+                if self.declared_events != self.events_read:
+                    raise ValueError(
+                        f"trace file declares {self.declared_events} events "
+                        f"but {self.events_read} were decoded"
+                    )
+                return
+            elif kind == _META:
+                raise ValueError("duplicate META chunk")
+            else:
+                raise ValueError(f"unknown chunk kind {kind}")
+
+    def read_trace(self) -> Trace:
+        """Materialize the remaining stream as an in-memory :class:`Trace`."""
+        trace = Trace(program=self.program, seed=self.seed)
+        for ev in self:
+            trace.append(ev)
+        return trace
+
+    def close(self) -> None:
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "TraceFileReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# conveniences
+# ---------------------------------------------------------------------------
+
+
+def write_trace(trace: Trace, dest: PathOrIO, *, events_per_chunk: int = 1024) -> int:
+    """Pack an in-memory trace to a binary file; returns bytes written
+    (when ``dest`` is a path or a tellable stream, else -1)."""
+    with TraceFileWriter(
+        dest,
+        program=trace.program,
+        seed=trace.seed,
+        events_per_chunk=events_per_chunk,
+    ) as w:
+        for ev in trace:
+            w.write_event(ev)
+    if isinstance(dest, (str, os.PathLike)):
+        return os.path.getsize(dest)
+    try:
+        return dest.tell()
+    except (OSError, io.UnsupportedOperation):
+        return -1
+
+
+def read_trace(src: PathOrIO) -> Trace:
+    """Load a binary trace file fully into memory."""
+    with TraceFileReader(src) as r:
+        return r.read_trace()
+
+
+def is_tracefile(path: Union[str, "os.PathLike[str]"]) -> bool:
+    """Sniff whether ``path`` starts with the binary trace magic."""
+    try:
+        with open(path, "rb") as fh:
+            return fh.read(len(MAGIC)) == MAGIC
+    except OSError:
+        return False
+
+
+def trace_info(src: PathOrIO) -> Dict[str, object]:
+    """Streaming summary of a binary trace file (never materializes it)."""
+    per_kind: Dict[str, int] = {}
+    with TraceFileReader(src) as r:
+        for ev in r:
+            name = type(ev).__name__
+            per_kind[name] = per_kind.get(name, 0) + 1
+        return {
+            "program": r.program,
+            "seed": r.seed,
+            "events": r.events_read,
+            "complete": r.declared_events is not None,
+            "threads": len(r._threads),
+            "locks": len(r._locks),
+            "strings": len(r._strings),
+            "by_kind": dict(sorted(per_kind.items())),
+        }

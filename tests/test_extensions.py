@@ -185,7 +185,7 @@ class TestCliExtensions:
         from repro.cli import main
 
         out = tmp_path / "trace.json"
-        assert main(["trace", "HashMap", "--out", str(out)]) == 0
+        assert main(["trace", "record", "HashMap", "--out", str(out)]) == 0
         assert main(["analyze-trace", str(out)]) == 0
         text = capsys.readouterr().out
         assert "cycles detected      : 4" in text
