@@ -205,16 +205,22 @@ def synthetic_events(
     n_threads: int = 8,
     n_locks: int = 16,
     nested_every: int = 100,
+    invert_pairs: int = 1,
 ) -> Iterator[TraceEvent]:
     """Yield a consistent synchronization stream of >= ``n_events`` events.
 
     Most iterations acquire a single lock (empty lockset => no ``D_sigma``
     holder-list growth); every ``nested_every``-th iteration takes a
-    strictly ordered lock pair, and threads 0/1 invert one pair on their
-    first nested iteration — so the detectors have exactly one 2-cycle to
-    find and the cycle search stays output-bounded as the stream grows.
-    Iterations are emitted atomically round-robin, so no two threads ever
-    hold a lock simultaneously: the stream is a valid execution.
+    strictly ordered lock pair, and thread pairs (2p, 2p+1) for
+    ``p < invert_pairs`` invert the lock pair at ``8p`` on their first
+    nested iteration — so the detectors have exactly ``invert_pairs``
+    2-cycle families to find (in disjoint lock SCCs) and the cycle search
+    stays output-bounded as the stream grows.  With ``nested_every=1``
+    every iteration is a nested pair: the relation is dominated by
+    duplicate tuples, the loop-heavy shape the sharded enumerator
+    collapses.  Iterations are emitted atomically round-robin, so no two
+    threads ever hold a lock simultaneously: the stream is a valid
+    execution.
     """
     root = ThreadId.root()
     threads = [
@@ -250,10 +256,14 @@ def synthetic_events(
                 a = locks[(k + i) % n_locks]
                 b = locks[(k + i + 1) % n_locks]
                 first, second = (a, b) if a.seq < b.seq else (b, a)
-                if i == 0 and k < 2:
-                    # Thread 0 takes L0 then L1; thread 1 the reverse.
+                if i == 0 and k < 2 * invert_pairs:
+                    # Thread 2p takes L[8p] then L[8p+1]; thread 2p+1 the
+                    # reverse — one inverted pair per disjoint lock SCC.
+                    base = 8 * (k // 2) % n_locks
                     first, second = (
-                        (locks[0], locks[1]) if k == 0 else (locks[1], locks[0])
+                        (locks[base], locks[base + 1])
+                        if k % 2 == 0
+                        else (locks[base + 1], locks[base])
                     )
                 site_o, site_i = f"syn:{k}:outer", f"syn:{k}:inner"
                 ix1 = index(t, site_o)
@@ -389,6 +399,80 @@ def run_macro(n_events: int, tmp_dir: str) -> dict:
     }
 
 
+def run_macro_sharded(n_events: int, tmp_dir: str) -> dict:
+    """Loop-heavy macro: every iteration is a nested pair, so duplicate
+    tuples dominate ``D_sigma``.  Times the monolithic DFS against the
+    sharded+deduplicated enumerator on the identical relation (asserting
+    identical cycles), and measures the zero-copy hand-off payload: the
+    bytes a shard task pickles versus pickling the whole trace."""
+    import os
+    import pickle
+
+    from repro.core.parallel import ShardEnumTask
+    from repro.core.sharding import (
+        _select_spans,
+        dedupe_relation,
+        find_cycles_sharded,
+        partition_shards,
+    )
+
+    trace = Trace(program="synthetic-loopy", seed=0)
+    for ev in synthetic_events(n_events, nested_every=1, invert_pairs=2):
+        trace.append(ev)
+    rel = build_lockdep(trace)
+
+    mono_s, (mono, mono_trunc) = _wall(lambda: find_cycles(rel, max_length=3))
+    shard_s, (cycles, trunc, stats) = _wall(
+        lambda: find_cycles_sharded(rel, max_length=3)
+    )
+    mono_steps = [tuple(e.step for e in c.entries) for c in mono]
+    shard_steps = [tuple(e.step for e in c.entries) for c in cycles]
+    assert mono_steps == shard_steps and mono_trunc == trunc, (
+        "sharded enumeration disagrees with the monolithic DFS"
+    )
+    assert [c.defect_key for c in mono] == [c.defect_key for c in cycles]
+
+    # Zero-copy payload: what actually crosses the process boundary.
+    bin_path = os.path.join(tmp_dir, "loopy.wtrc")
+    with TraceFileWriter(bin_path, program="synthetic-loopy", seed=0) as w:
+        for ev in trace:
+            w.write_event(ev)
+    spans = sorted(w.event_spans, key=lambda s: s.offset)
+    shards, _, _ = partition_shards(dedupe_relation(rel))
+    tasks = [
+        ShardEnumTask(
+            trace_path=bin_path,
+            spans=_select_spans(spans, tuple(e.step for e in s.entries)),
+            entry_steps=tuple(e.step for e in s.entries),
+            max_length=3,
+            max_cycles=10_000,
+        )
+        for s in shards
+    ]
+    task_bytes = max(len(pickle.dumps(t)) for t in tasks) if tasks else 0
+    trace_bytes = len(pickle.dumps(trace))
+
+    return {
+        "events": len(trace),
+        "entries": stats.n_entries,
+        "dedup_keys": stats.n_keys,
+        "duplicates_collapsed": stats.duplicates_collapsed,
+        "shards": stats.n_shards,
+        "singleton_sccs": stats.singleton_sccs,
+        "cycles": len(cycles),
+        "identical": True,
+        "monolithic_s": round(mono_s, 6),
+        "sharded_s": round(shard_s, 6),
+        "speedup": round(mono_s / shard_s, 2),
+        "stage_s": {k: round(v, 6) for k, v in stats.timings_s.items()},
+        "handoff_bytes": {
+            "largest_shard_task": task_bytes,
+            "pickled_trace": trace_bytes,
+            "ratio": round(trace_bytes / task_bytes, 1) if task_bytes else None,
+        },
+    }
+
+
 def run_micro() -> dict:
     """Single-shot stage timings on the module's heavy trace (best of 3)."""
     result = run_program(heavy_program(), RandomStrategy(0, stickiness=0.9))
@@ -428,10 +512,12 @@ def main(argv=None) -> int:
 
     with tempfile.TemporaryDirectory() as tmp:
         macro = run_macro(args.events, tmp)
+        sharding = run_macro_sharded(args.events, tmp)
     micro = run_micro()
     doc = {
-        "schema": "bench-core/1",
+        "schema": "bench-core/2",
         "macro": macro,
+        "sharding": sharding,
         "micro": micro,
     }
     with open(args.out, "w") as fh:
@@ -445,10 +531,27 @@ def main(argv=None) -> int:
         f"({speedup}x), file {macro['file_bytes']['ratio']}x smaller; "
         f"wrote {args.out}"
     )
+    print(
+        f"loop-heavy {sharding['events']} events: enumeration "
+        f"monolithic {sharding['monolithic_s']:.3f}s vs sharded "
+        f"{sharding['sharded_s']:.3f}s ({sharding['speedup']}x, "
+        f"{sharding['duplicates_collapsed']} duplicates collapsed into "
+        f"{sharding['dedup_keys']} keys, {sharding['shards']} shard(s)); "
+        f"hand-off {sharding['handoff_bytes']['largest_shard_task']} B/task "
+        f"vs {sharding['handoff_bytes']['pickled_trace']} B pickled trace"
+    )
+    ok = True
     if speedup <= 1.0:
         print("FAIL: streaming+binary not faster end-to-end", file=sys.stderr)
-        return 1
-    return 0
+        ok = False
+    if sharding["speedup"] < 3.0:
+        print(
+            "FAIL: sharded enumeration not >=3x faster than monolithic "
+            f"DFS on the loop-heavy macro (got {sharding['speedup']}x)",
+            file=sys.stderr,
+        )
+        ok = False
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -11,8 +11,9 @@ Commands:
   or compact binary (``.wtrc``), convert between the two, and summarize a
   binary trace by streaming it;
 * ``wolf analyze-trace <file>`` — offline analysis of a saved trace
-  (binary auto-detected; ``--engine streaming`` analyzes without
-  materializing the event list);
+  (binary auto-detected; the streaming engine analyzes without
+  materializing the event list, and ``--workers N`` fans the cycle
+  shards out to processes that re-read only their own chunks);
 * ``wolf df <benchmark>`` — run the DeadlockFuzzer baseline;
 * ``wolf table1`` / ``wolf table2`` — regenerate the paper's tables;
 * ``wolf fig8`` / ``wolf fig10`` — regenerate the paper's figures;
@@ -64,11 +65,25 @@ def _add_workers(p: argparse.ArgumentParser) -> None:
 def _add_engine(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--engine",
-        choices=("batch", "streaming"),
-        default="batch",
+        choices=("auto", "batch", "streaming"),
+        default="auto",
         help="analysis engine: 'batch' walks the trace three times, "
-        "'streaming' fuses clocks/D_sigma/cycles into one pass "
-        "(identical results; default: batch)",
+        "'streaming' fuses clocks/D_sigma/cycles into one pass, "
+        "'auto' picks by event count (identical results; default: auto)",
+    )
+    p.add_argument(
+        "--shard-cycles",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="deduplicate the lock-dependency relation and enumerate "
+        "cycles per SCC shard (identical results; default: on for the "
+        "streaming engine, off for batch)",
+    )
+    p.add_argument(
+        "--reduce",
+        action="store_true",
+        help="drop provably cycle-free tuples (MagicFuzzer-style "
+        "reduction) before cycle enumeration",
     )
 
 
@@ -96,7 +111,9 @@ def _settings(args: argparse.Namespace) -> ExperimentSettings:
         workers=getattr(args, "workers", 1) or 1,
         task_timeout=getattr(args, "task_timeout", None),
         task_retries=retries if retries is not None else 2,
-        engine=getattr(args, "engine", "batch"),
+        engine=getattr(args, "engine", "auto"),
+        shard_cycles=getattr(args, "shard_cycles", None),
+        reduce=getattr(args, "reduce", False),
     )
 
 
@@ -123,7 +140,9 @@ def cmd_detect(args: argparse.Namespace) -> int:
         max_cycle_length=b.max_cycle_length,
         workers=getattr(args, "workers", 1) or 1,
         sanitize=getattr(args, "sanitize", False),
-        engine=getattr(args, "engine", "batch"),
+        engine=getattr(args, "engine", "auto"),
+        shard_cycles=getattr(args, "shard_cycles", None),
+        reduce=getattr(args, "reduce", False),
         **_supervision_kw(args),
     )
     report = Wolf(config=cfg).analyze(b.program, name=b.name)
@@ -249,43 +268,90 @@ def cmd_analyze_trace(args: argparse.Namespace) -> int:
     (replay needs the live program and is not available offline).
 
     Binary traces (``wolf trace record --format binary`` / ``trace pack``)
-    are auto-detected; with ``--engine streaming`` they are decoded and
-    analyzed one event at a time, never materializing the event list.
+    are auto-detected; with the streaming engine (the ``auto`` resolution
+    for on-disk traces) they are decoded and analyzed one event at a time,
+    never materializing the event list.  With ``--workers N`` and sharded
+    enumeration (the streaming default) the cycle-enumeration shards fan
+    out to worker processes that re-read only their own ``.wtrc`` chunks —
+    the parent ships chunk offsets, never pickled events.
     """
     from repro.core.detector import ExtendedDetector
     from repro.core.generator import Generator, GeneratorVerdict
     from repro.core.pruner import Pruner
-    from repro.core.streaming import StreamingDetector
+    from repro.core.streaming import StreamingDetector, resolve_engine
     from repro.runtime.serialize import load_trace
     from repro.runtime.tracefile import TraceFileReader, is_tracefile
 
-    engine = getattr(args, "engine", "batch")
+    engine = getattr(args, "engine", "auto")
+    shard = getattr(args, "shard_cycles", None)
+    reduce = getattr(args, "reduce", False)
+    workers = getattr(args, "workers", 1) or 1
     if is_tracefile(args.trace_file):
+        engine = resolve_engine(engine, None)  # on-disk size unknown: streaming
         if engine == "streaming":
-            det = StreamingDetector()
+            shard = shard if shard is not None else True
+            det = StreamingDetector(shard_cycles=shard, reduce=reduce)
             with TraceFileReader(args.trace_file) as reader:
                 det.feed_many(reader)
                 program, seed = reader.program, reader.seed
-            detection = det.finish()
+                spans = tuple(reader.event_spans)
+            if shard and workers > 1:
+                from repro.core.parallel import ProcessEngine, SupervisionPolicy
+
+                retries = getattr(args, "retries", None)
+                policy = SupervisionPolicy(
+                    task_timeout=getattr(args, "task_timeout", None),
+                    retries=retries if retries is not None else 2,
+                )
+                shard_engine = ProcessEngine(workers)
+                try:
+                    detection = det.finish(
+                        shard_engine=shard_engine,
+                        policy=policy,
+                        trace_path=args.trace_file,
+                        chunk_spans=spans,
+                    )
+                finally:
+                    shard_engine.close()
+            else:
+                detection = det.finish()
             n_events = det.events_seen
         else:
             from repro.runtime.tracefile import read_trace
 
             trace = read_trace(args.trace_file)
             program, seed, n_events = trace.program, trace.seed, len(trace)
-            detection = ExtendedDetector().analyze(trace)
+            detection = ExtendedDetector(
+                magic_reduce=reduce, shard_cycles=bool(shard)
+            ).analyze(trace)
     else:
         with open(args.trace_file) as fh:
             trace = load_trace(fh.read())
         program, seed, n_events = trace.program, trace.seed, len(trace)
-        detector = (
-            StreamingDetector() if engine == "streaming" else ExtendedDetector()
-        )
-        detection = detector.analyze(trace)
+        engine = resolve_engine(engine, n_events)
+        if engine == "streaming":
+            shard = shard if shard is not None else True
+            detection = StreamingDetector(
+                shard_cycles=shard, reduce=reduce
+            ).analyze(trace)
+        else:
+            detection = ExtendedDetector(
+                magic_reduce=reduce, shard_cycles=bool(shard)
+            ).analyze(trace)
     prune = Pruner(detection.vclocks).prune(detection.cycles)
     gen = Generator(detection.relation).run(prune.survivors)
     print(f"trace: {program!r}, {n_events} events, seed {seed}")
     print(f"cycles detected      : {len(detection.cycles)}")
+    if detection.reduced_away:
+        print(f"tuples reduced away  : {detection.reduced_away}")
+    if detection.sharding is not None:
+        s = detection.sharding
+        print(
+            f"sharded enumeration  : {s.n_keys} key(s) from {s.n_entries} "
+            f"tuple(s) ({s.duplicates_collapsed} duplicates collapsed), "
+            f"{s.n_shards} shard(s), {s.parallel_shards} enumerated in "
+            f"worker processes"
+        )
     print(f"false (pruner)       : {len(prune.false_positives)}")
     print(f"false (generator)    : {len(gen.false_positives)}")
     print(f"replay candidates    : {len(gen.survivors)}")
@@ -594,6 +660,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="offline analysis of a saved trace file (JSON or binary)",
     )
     p.add_argument("trace_file")
+    _add_workers(p)
     _add_engine(p)
     p.set_defaults(func=cmd_analyze_trace)
 

@@ -33,14 +33,28 @@ from repro.core.pipeline import Wolf, WolfConfig
 from repro.core.ranking import RankedDefect, rank_defects, render_ranking
 from repro.core.reduction import reduce_relation
 from repro.core.report import Classification, CycleReport, DefectReport, WolfReport
-from repro.core.streaming import StreamingDetector, analyze_stream
+from repro.core.sharding import (
+    DedupedRelation,
+    ShardStats,
+    dedupe_relation,
+    find_cycles_sharded,
+    partition_shards,
+)
+from repro.core.streaming import (
+    AUTO_ENGINE_THRESHOLD,
+    StreamingDetector,
+    analyze_stream,
+    resolve_engine,
+)
 
 __all__ = [
+    "AUTO_ENGINE_THRESHOLD",
     "AvoidancePattern",
     "AvoidanceStrategy",
     "BaseDetector",
     "Classification",
     "CycleReport",
+    "DedupedRelation",
     "DefectReport",
     "DetectionResult",
     "ExtendedDetector",
@@ -59,6 +73,7 @@ __all__ = [
     "ReplayOutcome",
     "Replayer",
     "SJ",
+    "ShardStats",
     "StreamingDetector",
     "SyncGraph",
     "VectorClockState",
@@ -68,4 +83,8 @@ __all__ = [
     "analyze_stream",
     "build_sync_graph",
     "compute_vector_clocks",
+    "dedupe_relation",
+    "find_cycles_sharded",
+    "partition_shards",
+    "resolve_engine",
 ]

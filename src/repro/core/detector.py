@@ -17,12 +17,15 @@ cycle.  :class:`ExtendedDetector` additionally computes the timestamps and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.lockdep import LockDepEntry, LockDependencyRelation, build_lockdep
 from repro.core.vclock import VectorClockState, compute_vector_clocks
 from repro.runtime.events import Trace
 from repro.util.ids import ExecIndex, LockId, Site, ThreadId
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.sharding import ShardStats
 
 
 @dataclass(frozen=True)
@@ -78,6 +81,12 @@ class DetectionResult:
     cycles: List[PotentialDeadlock]
     vclocks: Optional[VectorClockState] = None
     truncated: bool = False
+    #: Tuples the MagicFuzzer reduction removed before enumeration (0
+    #: when reduction was off — ``relation`` is always the full relation).
+    reduced_away: int = 0
+    #: Instrumentation from the sharded enumeration (``None`` when the
+    #: monolithic DFS ran).
+    sharding: Optional["ShardStats"] = None
 
     def defect_keys(self) -> List[FrozenSet[Site]]:
         seen: Dict[FrozenSet[Site], None] = {}
@@ -206,6 +215,10 @@ class BaseDetector:
     ``magic_reduce=True`` applies the MagicFuzzer-style relation reduction
     (:mod:`repro.core.reduction`) before cycle enumeration — same cycles,
     less search (paper §5 notes the techniques compose).
+
+    ``shard_cycles=True`` swaps the monolithic DFS for the deduplicated
+    SCC-sharded enumeration (:mod:`repro.core.sharding`) — output
+    identical by construction, with per-stage stats on the result.
     """
 
     def __init__(
@@ -214,26 +227,43 @@ class BaseDetector:
         max_length: int = 4,
         max_cycles: int = 10_000,
         magic_reduce: bool = False,
+        shard_cycles: bool = False,
     ) -> None:
         self.max_length = max_length
         self.max_cycles = max_cycles
         self.magic_reduce = magic_reduce
+        self.shard_cycles = shard_cycles
 
     def _detect(self, rel):
+        """Returns ``(cycles, truncated, reduced_away, shard_stats)``."""
         search_rel = rel
+        removed = 0
         if self.magic_reduce:
             from repro.core.reduction import reduce_relation
 
-            search_rel, _ = reduce_relation(rel)
-        return find_cycles(
+            search_rel, removed = reduce_relation(rel)
+        if self.shard_cycles:
+            from repro.core.sharding import find_cycles_sharded
+
+            cycles, truncated, stats = find_cycles_sharded(
+                search_rel, max_length=self.max_length, max_cycles=self.max_cycles
+            )
+            return cycles, truncated, removed, stats
+        cycles, truncated = find_cycles(
             search_rel, max_length=self.max_length, max_cycles=self.max_cycles
         )
+        return cycles, truncated, removed, None
 
     def analyze(self, trace: Trace) -> DetectionResult:
         rel = build_lockdep(trace)
-        cycles, truncated = self._detect(rel)
+        cycles, truncated, removed, stats = self._detect(rel)
         return DetectionResult(
-            trace=trace, relation=rel, cycles=cycles, truncated=truncated
+            trace=trace,
+            relation=rel,
+            cycles=cycles,
+            truncated=truncated,
+            reduced_away=removed,
+            sharding=stats,
         )
 
 
@@ -249,11 +279,13 @@ class ExtendedDetector(BaseDetector):
     def analyze(self, trace: Trace) -> DetectionResult:
         vclocks = compute_vector_clocks(trace)
         rel = build_lockdep(trace, taus=vclocks.acquire_tau)
-        cycles, truncated = self._detect(rel)
+        cycles, truncated, removed, stats = self._detect(rel)
         return DetectionResult(
             trace=trace,
             relation=rel,
             cycles=cycles,
             vclocks=vclocks,
             truncated=truncated,
+            reduced_away=removed,
+            sharding=stats,
         )

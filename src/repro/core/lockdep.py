@@ -18,6 +18,12 @@ from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
 from repro.runtime.events import AcquireEvent, Trace
 from repro.util.ids import ExecIndex, LockId, ThreadId
 
+#: DeadlockFuzzer-style equivalence key: whether a combination of tuples
+#: forms a cycle depends only on threads, locksets and wanted locks, so
+#: entries sharing a key are interchangeable for cycle *existence* (their
+#: sites/indices/steps still distinguish the concrete cycles they form).
+DedupKey = Tuple[ThreadId, FrozenSet[LockId], LockId]
+
 
 @dataclass(frozen=True)
 class LockDepEntry:
@@ -63,6 +69,12 @@ class LockDepEntry:
 
     def holds(self, lock: LockId) -> bool:
         return lock in self.lockset_set
+
+    @cached_property
+    def dedup_key(self) -> DedupKey:
+        """The entry's :data:`DedupKey` — the sharded enumeration
+        (:mod:`repro.core.sharding`) collapses ``D_sigma`` by this key."""
+        return (self.thread, self.lockset_set, self.lock)
 
     def pretty(self) -> str:
         held = "{" + ",".join(l.pretty() for l in self.lockset) + "}"

@@ -62,12 +62,15 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar, Union
 
-from repro.core.detector import DetectionResult, ExtendedDetector
-from repro.core.streaming import StreamingDetector
+from repro.core.detector import DetectionResult, ExtendedDetector, find_cycles
+from repro.core.lockdep import LockDependencyRelation, entry_from_acquire
+from repro.core.streaming import StreamingDetector, resolve_engine
 from repro.core.generator import Generator, GeneratorDecision, GeneratorResult
 from repro.core.pruner import Pruner, PruneResult
 from repro.core.replayer import Replayer, ReplayOutcome
+from repro.runtime.events import AcquireEvent
 from repro.runtime.sim.runtime import Program
+from repro.runtime.tracefile import ChunkSpan, TraceFileReader
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -87,7 +90,9 @@ class DetectTask:
     (value-object) results cross the process boundary.
     """
 
-    program: Program
+    #: ``None`` only for trace-driven tasks (``trace_path`` set): the
+    #: worker then analyzes the on-disk trace instead of executing.
+    program: Optional[Program]
     seed: int
     name: str
     stickiness: float
@@ -96,9 +101,20 @@ class DetectTask:
     max_cycles: int
     max_steps: int
     step_timeout: float
-    #: ``"batch"`` (ExtendedDetector, three passes) or ``"streaming"``
-    #: (StreamingDetector, one fused pass) — same cycles either way.
+    #: ``"batch"`` (ExtendedDetector, three passes), ``"streaming"``
+    #: (StreamingDetector, one fused pass) — same cycles either way —
+    #: or ``"auto"``, resolved per task from the event count
+    #: (:func:`repro.core.streaming.resolve_engine`).
     engine: str = "batch"
+    #: Zero-copy hand-off: analyze this ``.wtrc`` file instead of running
+    #: ``program``.  The payload crossing the process boundary is a path
+    #: string — never a pickled :class:`~repro.runtime.events.Trace`.
+    trace_path: Optional[str] = None
+    #: ``None`` = the engine's default (sharded enumeration on for
+    #: streaming, off for batch — both produce identical output).
+    shard_cycles: Optional[bool] = None
+    #: Apply the MagicFuzzer relation reduction before enumeration.
+    reduce: bool = False
 
 
 @dataclass
@@ -114,13 +130,44 @@ class DetectStageResult:
     timings: Dict[str, float] = field(default_factory=dict)
 
 
-def run_detect_task(task: DetectTask) -> DetectStageResult:
-    """Module-level worker entry point (must be importable for ``spawn``)."""
+def _detect_from_task(task: DetectTask) -> DetectionResult:
+    """Run the task's detection stage: execute-or-read, then analyze.
+
+    Trace-driven tasks (``trace_path``) stream the on-disk ``.wtrc``;
+    program tasks execute the seed first.  ``engine="auto"`` resolves to
+    streaming for on-disk traces (no event count without a full scan,
+    and streaming never materializes) and by event count otherwise.
+    """
+    if task.trace_path is not None:
+        engine = "streaming" if task.engine == "auto" else task.engine
+        shard = (
+            task.shard_cycles
+            if task.shard_cycles is not None
+            else engine == "streaming"
+        )
+        if engine == "streaming":
+            det = StreamingDetector(
+                max_length=task.max_cycle_length,
+                max_cycles=task.max_cycles,
+                shard_cycles=shard,
+                reduce=task.reduce,
+            )
+            with TraceFileReader(task.trace_path) as reader:
+                det.feed_many(reader)
+                return det.finish()
+        from repro.runtime.tracefile import read_trace
+
+        return ExtendedDetector(
+            max_length=task.max_cycle_length,
+            max_cycles=task.max_cycles,
+            magic_reduce=task.reduce,
+            shard_cycles=shard,
+        ).analyze(read_trace(task.trace_path))
+
     # Imported here: pipeline.py imports this module at the top level.
     from repro.core.pipeline import run_detection
 
-    timings: Dict[str, float] = {}
-    t0 = time.perf_counter()
+    assert task.program is not None, "DetectTask needs a program or a trace_path"
     run = run_detection(
         task.program,
         task.seed,
@@ -130,14 +177,32 @@ def run_detect_task(task: DetectTask) -> DetectStageResult:
         max_steps=task.max_steps,
         step_timeout=task.step_timeout,
     )
-    if task.engine == "streaming":
-        detection = StreamingDetector(
-            max_length=task.max_cycle_length, max_cycles=task.max_cycles
+    engine = resolve_engine(task.engine, len(run.trace))
+    shard = (
+        task.shard_cycles
+        if task.shard_cycles is not None
+        else engine == "streaming"
+    )
+    if engine == "streaming":
+        return StreamingDetector(
+            max_length=task.max_cycle_length,
+            max_cycles=task.max_cycles,
+            shard_cycles=shard,
+            reduce=task.reduce,
         ).analyze(run.trace)
-    else:
-        detection = ExtendedDetector(
-            max_length=task.max_cycle_length, max_cycles=task.max_cycles
-        ).analyze(run.trace)
+    return ExtendedDetector(
+        max_length=task.max_cycle_length,
+        max_cycles=task.max_cycles,
+        magic_reduce=task.reduce,
+        shard_cycles=shard,
+    ).analyze(run.trace)
+
+
+def run_detect_task(task: DetectTask) -> DetectStageResult:
+    """Module-level worker entry point (must be importable for ``spawn``)."""
+    timings: Dict[str, float] = {}
+    t0 = time.perf_counter()
+    detection = _detect_from_task(task)
     timings["detect"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()
@@ -179,6 +244,71 @@ def run_replay_task(task: ReplayTask) -> ReplayOutcome:
         step_timeout=task.step_timeout,
     )
     return replayer.replay(task.decision)
+
+
+@dataclass(frozen=True)
+class ShardEnumTask:
+    """Enumerate one shard's cycles from an on-disk trace (zero-copy).
+
+    The payload is a file path, the EVENTS chunk spans holding the
+    shard's witness entries, and their trace steps — a few hundred bytes
+    regardless of trace size, where pickling the trace (or even the
+    shard's entries, whose identity objects drag in thread/lock/string
+    graphs) costs megabytes on long traces.  The worker re-mints the
+    witness entries from the decoded events; cycles come back as step
+    tuples, which the parent maps onto its own full-fidelity entries.
+    """
+
+    trace_path: str
+    #: EVENTS chunks covering the witness steps (other chunks are seeked
+    #: past; identity-table chunks always decode — they are tiny).
+    spans: Tuple[ChunkSpan, ...]
+    #: trace steps of the shard's canonical witness entries
+    entry_steps: Tuple[int, ...]
+    max_length: int
+    max_cycles: int
+
+
+@dataclass
+class ShardEnumResult:
+    """One shard's cycles as step tuples (canonical rotation)."""
+
+    cycles: List[Tuple[int, ...]]
+    truncated: bool
+    #: Events actually decoded (selected chunks only) — observability
+    #: for how much of the trace the zero-copy path skipped.
+    decoded_events: int
+
+
+def run_shard_enum_task(task: ShardEnumTask) -> ShardEnumResult:
+    """Module-level worker entry point (must be importable for ``spawn``).
+
+    Rebuilt witness entries agree with the parent's on every field the
+    DFS reads (thread, lockset, lock, step — ``tau``/``pos`` are not
+    consulted), and arrive in the same ascending-step order, so the
+    enumeration here is bit-for-bit the serial per-shard enumeration.
+    """
+    wanted = set(task.entry_steps)
+    entries = []
+    with TraceFileReader(task.trace_path) as reader:
+        for ev in reader.iter_events_in(task.spans):
+            if (
+                isinstance(ev, AcquireEvent)
+                and not ev.reentrant
+                and ev.step in wanted
+            ):
+                entries.append(entry_from_acquire(ev, pos=len(entries)))
+        decoded = reader.events_read
+    cycles, truncated = find_cycles(
+        LockDependencyRelation(entries),
+        max_length=task.max_length,
+        max_cycles=task.max_cycles,
+    )
+    return ShardEnumResult(
+        cycles=[tuple(e.step for e in c.entries) for c in cycles],
+        truncated=truncated,
+        decoded_events=decoded,
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -134,14 +134,26 @@ class WolfConfig:
     #: Analysis engine per detection run: ``"batch"`` walks the recorded
     #: trace three times (``ExtendedDetector``); ``"streaming"`` fuses
     #: clocks, ``D_sigma`` and cycle enumeration into one pass
-    #: (:class:`~repro.core.streaming.StreamingDetector`).  Both produce
+    #: (:class:`~repro.core.streaming.StreamingDetector`); ``"auto"``
+    #: picks per run from the event count
+    #: (:func:`repro.core.streaming.resolve_engine`).  All produce
     #: identical cycles, prune decisions and defect keys.
     engine: str = "batch"
+    #: Sharded, deduplicated cycle enumeration
+    #: (:mod:`repro.core.sharding`) — output-identical to the monolithic
+    #: DFS.  ``None`` keeps each engine's default: on for streaming
+    #: (whose loop-heavy per-event probing it replaces outright), off for
+    #: batch.
+    shard_cycles: Optional[bool] = None
+    #: Apply the MagicFuzzer relation reduction
+    #: (:func:`repro.core.reduction.reduce_relation`) before enumeration;
+    #: removed-tuple counts surface as ``WolfReport.reduced_tuples``.
+    reduce: bool = False
 
     def __post_init__(self) -> None:
-        if self.engine not in ("batch", "streaming"):
+        if self.engine not in ("batch", "streaming", "auto"):
             raise ValueError(
-                f"engine must be 'batch' or 'streaming', got {self.engine!r}"
+                f"engine must be 'batch', 'streaming' or 'auto', got {self.engine!r}"
             )
         if self.replay_attempts < 1:
             raise ValueError(
@@ -206,6 +218,8 @@ class Wolf:
                     max_steps=cfg.max_steps,
                     step_timeout=cfg.step_timeout,
                     engine=cfg.engine,
+                    shard_cycles=cfg.shard_cycles,
+                    reduce=cfg.reduce,
                 )
                 for seed in cfg.seeds()
             ]
@@ -227,6 +241,7 @@ class Wolf:
                     continue
                 res = out.value
                 report.detections.append(res.detection)
+                report.reduced_tuples += res.detection.reduced_away
                 for stage, seconds in res.timings.items():
                     timings[stage] += seconds
                 if cfg.sanitize:

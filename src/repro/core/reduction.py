@@ -67,13 +67,7 @@ def reduce_relation(
             alive = survivors
             changed = True
 
-    reduced = LockDependencyRelation()
-    for e in alive:
-        # Re-add preserving the original pos/step (identity matters for
-        # cross-checking cycles against the unreduced relation).
-        reduced.entries.append(e)
-        reduced.by_thread.setdefault(e.thread, []).append(e)
-        reduced.acquiring.setdefault(e.lock, []).append(e)
-        for l in e.lockset:
-            reduced.holding.setdefault(l, []).append(e)
-    return reduced, removed
+    # Rebuilding through the constructor re-adds survivors as-is, so the
+    # original pos/step fields are preserved (identity matters for
+    # cross-checking cycles against the unreduced relation).
+    return LockDependencyRelation(alive), removed

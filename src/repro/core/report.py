@@ -144,9 +144,12 @@ class WolfReport:
     #: Trace/graph well-formedness violations found by the sanitizer
     #: (populated only with ``WolfConfig.sanitize``; [] = clean).
     sanitizer: List["SanitizerDiagnostic"] = field(default_factory=list)
-    #: Analysis engine the detections ran with (``"batch"``/``"streaming"``;
-    #: classifications are engine-independent).
+    #: Analysis engine the detections ran with (``"batch"``/``"streaming"``/
+    #: ``"auto"``; classifications are engine-independent).
     engine: str = "batch"
+    #: Tuples the MagicFuzzer reduction removed before enumeration,
+    #: summed across detection runs (0 unless ``WolfConfig.reduce``).
+    reduced_tuples: int = 0
 
     # -- aggregation --------------------------------------------------------
 
@@ -265,6 +268,7 @@ class WolfReport:
                 "timings": self.timings,
                 "workers": self.workers,
                 "engine": self.engine,
+                "reduced_tuples": self.reduced_tuples,
                 "fallback_reason": self.fallback_reason,
             },
             indent=2,
@@ -305,6 +309,11 @@ class WolfReport:
             )
             for d in self.sanitizer:
                 lines.append(f"    - {d.pretty()}")
+        if self.reduced_tuples:
+            lines.append(
+                f"  reduction : {self.reduced_tuples} tuple(s) removed "
+                f"before cycle enumeration"
+            )
         if self.fallback_reason:
             lines.append(f"  degraded : {self.fallback_reason}")
         if self.wall_s:

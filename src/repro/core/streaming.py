@@ -41,9 +41,9 @@ because the engines enumerate in different interim orders.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.core.detector import DetectionResult, PotentialDeadlock
+from repro.core.detector import DetectionResult, PotentialDeadlock, find_cycles
 from repro.core.lockdep import (
     LockDepEntry,
     LockDependencyRelation,
@@ -52,6 +52,34 @@ from repro.core.lockdep import (
 from repro.core.vclock import VectorClockState, update_clocks
 from repro.runtime.events import AcquireEvent, Trace, TraceEvent
 from repro.util.ids import LockId, ThreadId
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.parallel import ExecutionEngine, SupervisionPolicy
+    from repro.runtime.tracefile import ChunkSpan
+
+#: Event count at which ``--engine auto`` switches from batch to
+#: streaming.  BENCH_core.json's micro/macro numbers motivate it: at 449
+#: events the streaming engine *loses* (2.7 ms vs 2.1 ms — the fused
+#: per-event update has constant overhead the three cheap batch passes
+#: don't) while at 120k events it wins 1.5x end-to-end; the crossover
+#: sits in the low tens of thousands, and exactness doesn't matter —
+#: both engines produce identical reports and near-identical times in
+#: the crossover region.
+AUTO_ENGINE_THRESHOLD = 20_000
+
+
+def resolve_engine(engine: str, n_events: Optional[int]) -> str:
+    """Resolve an ``"auto"`` engine choice from the event count.
+
+    ``n_events=None`` means the count is unknown without a full scan
+    (e.g. an on-disk ``.wtrc``): pick streaming, which never pays to
+    materialize the events.
+    """
+    if engine != "auto":
+        return engine
+    if n_events is None or n_events >= AUTO_ENGINE_THRESHOLD:
+        return "streaming"
+    return "batch"
 
 
 class StreamingDetector:
@@ -62,17 +90,37 @@ class StreamingDetector:
     straight into the analysis); call :meth:`finish` once the stream ends.
 
     ``max_length``/``max_cycles`` mean exactly what they mean on the batch
-    detector.  ``magic_reduce`` is a batch-only optimization (relation
-    reduction needs the whole relation) and is deliberately absent here.
+    detector.
+
+    ``shard_cycles=True`` (the streaming engine's pipeline default)
+    defers cycle enumeration to :meth:`finish` and runs it through the
+    deduplicated SCC-sharded search (:mod:`repro.core.sharding`) instead
+    of probing per event — same output, but loop-heavy streams stop
+    paying a DFS probe per duplicate tuple.  ``reduce=True`` likewise
+    defers enumeration and applies the MagicFuzzer reduction first (the
+    reduction needs the whole relation, so it cannot run per event).
+    Either flag trades the online per-event cycle emission for a faster
+    end-of-stream enumeration.
     """
 
-    def __init__(self, *, max_length: int = 4, max_cycles: int = 10_000) -> None:
+    def __init__(
+        self,
+        *,
+        max_length: int = 4,
+        max_cycles: int = 10_000,
+        shard_cycles: bool = False,
+        reduce: bool = False,
+    ) -> None:
         if max_length < 2:
             raise ValueError(f"max_length must be >= 2, got {max_length}")
         if max_cycles < 1:
             raise ValueError(f"max_cycles must be >= 1, got {max_cycles}")
         self.max_length = max_length
         self.max_cycles = max_cycles
+        self.shard_cycles = shard_cycles
+        self.reduce = reduce
+        #: Enumerate at finish() instead of probing per event.
+        self._deferred = shard_cycles or reduce
         #: Events consumed so far (the stream's length; the engine itself
         #: never materializes the event sequence).
         self.events_seen = 0
@@ -103,6 +151,8 @@ class StreamingDetector:
             ev, pos=pos, tau=self._vclocks.acquire_tau.get(ev.step, 1)
         )
         self._rel.add(entry)
+        if self._deferred:
+            return
         self._add_lock_edges(entry)
         self._probe(entry)
 
@@ -226,27 +276,70 @@ class StreamingDetector:
     def relation(self) -> LockDependencyRelation:
         return self._rel
 
-    def finish(self, trace: Optional[Trace] = None) -> DetectionResult:
+    def finish(
+        self,
+        trace: Optional[Trace] = None,
+        *,
+        shard_engine: Optional["ExecutionEngine"] = None,
+        policy: Optional["SupervisionPolicy"] = None,
+        trace_path: Optional[str] = None,
+        chunk_spans: Optional[Sequence["ChunkSpan"]] = None,
+    ) -> DetectionResult:
         """Seal the stream and return the batch-equivalent result.
 
         ``trace`` optionally attaches the materialized trace (when the
         caller happens to hold one, e.g. the in-memory pipeline); without
         it the result carries an empty placeholder — downstream stages
         (Pruner, Generator) consume only the relation and clocks.
+
+        In deferred mode (``shard_cycles``/``reduce``) enumeration runs
+        here; with ``shard_cycles`` a parallel ``shard_engine`` plus the
+        backing ``.wtrc``'s ``trace_path``/``chunk_spans`` additionally
+        fan the shards out to workers via the zero-copy hand-off.
         """
-        # The batch DFS discovers cycles grouped by ascending anchor step
-        # and, within an anchor, in lexicographic step order of the rest
-        # of the tuple; sorting by the full step tuple reproduces that
-        # order exactly (steps are globally unique, so the key is total).
-        cycles = sorted(
-            self._cycles, key=lambda c: tuple(e.step for e in c.entries)
-        )
+        removed = 0
+        stats = None
+        if self._deferred:
+            search_rel = self._rel
+            if self.reduce:
+                from repro.core.reduction import reduce_relation
+
+                search_rel, removed = reduce_relation(self._rel)
+            if self.shard_cycles:
+                from repro.core.sharding import find_cycles_sharded
+
+                cycles, self.truncated, stats = find_cycles_sharded(
+                    search_rel,
+                    max_length=self.max_length,
+                    max_cycles=self.max_cycles,
+                    engine=shard_engine,
+                    policy=policy,
+                    trace_path=trace_path,
+                    chunk_spans=chunk_spans,
+                )
+            else:
+                cycles, self.truncated = find_cycles(
+                    search_rel,
+                    max_length=self.max_length,
+                    max_cycles=self.max_cycles,
+                )
+        else:
+            # The batch DFS discovers cycles grouped by ascending anchor
+            # step and, within an anchor, in lexicographic step order of
+            # the rest of the tuple; sorting by the full step tuple
+            # reproduces that order exactly (steps are globally unique,
+            # so the key is total).
+            cycles = sorted(
+                self._cycles, key=lambda c: tuple(e.step for e in c.entries)
+            )
         return DetectionResult(
             trace=trace if trace is not None else Trace(),
             relation=self._rel,
             cycles=cycles,
             vclocks=self._vclocks,
             truncated=self.truncated,
+            reduced_away=removed,
+            sharding=stats,
         )
 
     def analyze(self, trace: Trace) -> DetectionResult:
@@ -262,8 +355,15 @@ def analyze_stream(
     max_length: int = 4,
     max_cycles: int = 10_000,
     trace: Optional[Trace] = None,
+    shard_cycles: bool = False,
+    reduce: bool = False,
 ) -> DetectionResult:
     """Analyze an event stream in one pass without materializing it."""
-    det = StreamingDetector(max_length=max_length, max_cycles=max_cycles)
+    det = StreamingDetector(
+        max_length=max_length,
+        max_cycles=max_cycles,
+        shard_cycles=shard_cycles,
+        reduce=reduce,
+    )
     det.feed_many(events)
     return det.finish(trace)

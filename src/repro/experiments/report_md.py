@@ -89,8 +89,8 @@ def render_health_section(reports: Sequence[WolfReport]) -> List[str]:
         "## Run health — supervision, degradation, replay fidelity",
         "",
         "| Benchmark | Workers | Faults (error/timeout/crashed) | "
-        "Forced releases | Degradation |",
-        "|---|---|---|---|---|",
+        "Forced releases | Reduced tuples | Degradation |",
+        "|---|---|---|---|---|---|",
     ]
     for rep in reports:
         faults = (
@@ -100,6 +100,7 @@ def render_health_section(reports: Sequence[WolfReport]) -> List[str]:
         out.append(
             f"| {rep.program} | {rep.workers} | {faults} "
             f"| {total_forced_releases(rep)} "
+            f"| {rep.reduced_tuples} "
             f"| {rep.fallback_reason or 'none'} |"
         )
     total_faults = sum(rep.n_faults for rep in reports)

@@ -30,9 +30,16 @@ class ExperimentSettings:
     task_timeout: Optional[float] = None
     #: Retries before a failing detection/replay task is quarantined.
     task_retries: int = 2
-    #: Analysis engine for WOLF detections: ``"batch"`` or ``"streaming"``
-    #: (identical results; see :mod:`repro.core.streaming`).
+    #: Analysis engine for WOLF detections: ``"batch"``, ``"streaming"``,
+    #: or ``"auto"`` (pick by event count; identical results either way —
+    #: see :mod:`repro.core.streaming`).
     engine: str = "batch"
+    #: Sharded, deduplicated cycle enumeration (``None`` = engine default:
+    #: on for streaming, off for batch; see :mod:`repro.core.sharding`).
+    shard_cycles: Optional[bool] = None
+    #: Drop provably cycle-free tuples before enumeration
+    #: (:func:`repro.core.reduction.reduce_relation`).
+    reduce: bool = False
 
     def seed_for(self, b: Benchmark) -> int:
         return self.seed if self.seed is not None else b.detect_seed
@@ -56,6 +63,8 @@ def run_wolf(b: Benchmark, settings: ExperimentSettings) -> WolfReport:
         task_timeout=settings.task_timeout,
         task_retries=settings.task_retries,
         engine=settings.engine,
+        shard_cycles=settings.shard_cycles,
+        reduce=settings.reduce,
     )
     return Wolf(config=cfg).analyze(b.program, name=b.name)
 

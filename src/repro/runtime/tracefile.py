@@ -39,7 +39,8 @@ from __future__ import annotations
 
 import io
 import os
-from typing import BinaryIO, Dict, Iterator, List, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import BinaryIO, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.runtime.events import (
     AcquireEvent,
@@ -77,6 +78,33 @@ _EV_CLASSES: Tuple[type, ...] = (
 _EV_TAG: Dict[type, int] = {cls: i for i, cls in enumerate(_EV_CLASSES)}
 
 PathOrIO = Union[str, "os.PathLike[str]", BinaryIO]
+
+
+@dataclass(frozen=True)
+class ChunkSpan:
+    """Address of one EVENTS chunk, for selective decoding.
+
+    Spans are recorded by :class:`TraceFileWriter` as chunks are flushed
+    and by :class:`TraceFileReader` as chunks are decoded (seekable
+    sources only).  ``base_step`` is the step of the last event *before*
+    the chunk: steps are delta-encoded across chunk boundaries, so a
+    reader jumping straight to this chunk must seed its step accumulator
+    with it.  Since trace steps increase monotonically, the chunk holds
+    exactly the events with steps in ``(base_step, last_step]`` — which
+    is what :meth:`TraceFileReader.iter_events_in` and the sharded
+    enumeration's zero-copy hand-off use to pick chunks by step.
+    """
+
+    #: absolute file offset of the chunk header (kind byte)
+    offset: int
+    #: payload byte length
+    length: int
+    #: step of the event immediately preceding this chunk (delta base)
+    base_step: int
+    #: step of this chunk's final event
+    last_step: int
+    #: number of events in the chunk
+    events: int
 
 
 # ---------------------------------------------------------------------------
@@ -178,6 +206,11 @@ class TraceFileWriter:
         self._ev_buf = bytearray()
         self._ev_count = 0
         self._last_step = 0
+        #: Spans of the EVENTS chunks written so far (empty when the
+        #: destination is not tellable) — the writer-side half of the
+        #: zero-copy hand-off: record to disk, then ship spans to workers.
+        self.event_spans: List[ChunkSpan] = []
+        self._chunk_base_step = 0
 
         self._fh.write(MAGIC + bytes([FORMAT_VERSION]))
         meta = bytearray()
@@ -244,6 +277,8 @@ class TraceFileWriter:
         if self._closed:
             raise ValueError("trace file writer is closed")
         buf = self._ev_buf
+        if self._ev_count == 0:
+            self._chunk_base_step = self._last_step
         buf.append(_EV_TAG[type(ev)])
         _put_svarint(buf, ev.step - self._last_step)
         self._last_step = ev.step
@@ -325,9 +360,26 @@ class TraceFileWriter:
             payload = bytearray()
             _put_uvarint(payload, self._ev_count)
             payload += self._ev_buf
+            offset = self._tell()
             self._write_chunk(_EVENTS, payload)
+            if offset is not None:
+                self.event_spans.append(
+                    ChunkSpan(
+                        offset=offset,
+                        length=len(payload),
+                        base_step=self._chunk_base_step,
+                        last_step=self._last_step,
+                        events=self._ev_count,
+                    )
+                )
             self._ev_buf = bytearray()
             self._ev_count = 0
+
+    def _tell(self) -> Optional[int]:
+        try:
+            return self._fh.tell()
+        except (OSError, io.UnsupportedOperation):
+            return None
 
     def close(self) -> None:
         if self._closed:
@@ -383,6 +435,12 @@ class TraceFileReader:
         #: END-chunk event count (``None`` until the END chunk is reached —
         #: a missing END chunk means the writer died mid-trace).
         self.declared_events: Optional[int] = None
+        #: Spans of the EVENTS chunks decoded so far (empty for
+        #: non-tellable sources) — lets a full sequential pass double as
+        #: the index a later selective pass (:meth:`iter_events_in`) or a
+        #: zero-copy worker hand-off needs.
+        self.event_spans: List[ChunkSpan] = []
+        self._chunk_offset: Optional[int] = None
         kind, payload = self._next_chunk(required=True)
         if kind != _META:
             raise ValueError("trace file must start with a META chunk")
@@ -392,7 +450,14 @@ class TraceFileReader:
 
     # -- chunk plumbing ------------------------------------------------------
 
+    def _tell(self) -> Optional[int]:
+        try:
+            return self._fh.tell()
+        except (OSError, io.UnsupportedOperation):
+            return None
+
     def _next_chunk(self, required: bool = False) -> Tuple[int, bytes]:
+        self._chunk_offset = self._tell()
         kind_b = self._fh.read(1)
         if not kind_b:
             if required:
@@ -568,7 +633,20 @@ class TraceFileReader:
             elif kind == _LOCKS:
                 self._load_locks(payload)
             elif kind == _EVENTS:
+                offset = self._chunk_offset
+                base_step = self._last_step
+                events_before = self.events_read
                 yield from self._decode_events(payload)
+                if offset is not None:
+                    self.event_spans.append(
+                        ChunkSpan(
+                            offset=offset,
+                            length=len(payload),
+                            base_step=base_step,
+                            last_step=self._last_step,
+                            events=self.events_read - events_before,
+                        )
+                    )
             elif kind == _END:
                 self.declared_events, _ = _get_uvarint(payload, 0)
                 if self.declared_events != self.events_read:
@@ -576,6 +654,49 @@ class TraceFileReader:
                         f"trace file declares {self.declared_events} events "
                         f"but {self.events_read} were decoded"
                     )
+                return
+            elif kind == _META:
+                raise ValueError("duplicate META chunk")
+            else:
+                raise ValueError(f"unknown chunk kind {kind}")
+
+    def iter_events_in(self, spans: Sequence[ChunkSpan]) -> Iterator[TraceEvent]:
+        """Decode only the EVENTS chunks named by ``spans``.
+
+        The zero-copy worker path: identity-table chunks are always
+        processed (they are tiny and later chunks reference them), but
+        EVENTS chunks not in ``spans`` are seeked past undecoded, and
+        each selected chunk's step accumulator is seeded from its span's
+        ``base_step``.  Must be called on a freshly opened reader over a
+        seekable source.  The END completeness check is skipped —
+        deliberately decoding a subset is the point.
+        """
+        wanted = {s.offset: s for s in spans}
+        while True:
+            offset = self._tell()
+            kind_b = self._fh.read(1)
+            if not kind_b:
+                return
+            kind = kind_b[0]
+            length = _read_uvarint_io(self._fh)
+            if length is None:
+                raise ValueError("truncated trace file (chunk header)")
+            if kind == _EVENTS and offset not in wanted:
+                self._fh.seek(length, os.SEEK_CUR)
+                continue
+            payload = self._fh.read(length)
+            if len(payload) != length:
+                raise ValueError("truncated trace file (chunk payload)")
+            if kind == _EVENTS:
+                self._last_step = wanted[offset].base_step
+                yield from self._decode_events(payload)
+            elif kind == _STRINGS:
+                self._load_strings(payload)
+            elif kind == _THREADS:
+                self._load_threads(payload)
+            elif kind == _LOCKS:
+                self._load_locks(payload)
+            elif kind == _END:
                 return
             elif kind == _META:
                 raise ValueError("duplicate META chunk")

@@ -364,7 +364,7 @@ class TestHealthSection:
 
     def test_clean_reports_say_so(self):
         text = "\n".join(render_health_section([self._report()]))
-        assert "| bench | 1 | 0/0/0 | 0 | none |" in text
+        assert "| bench | 1 | 0/0/0 | 0 | 0 | none |" in text
         assert "No supervised task faulted" in text
 
 
