@@ -1,0 +1,129 @@
+"""CI corpus-health gate: the committed mini-corpus vs CORPUS_health.json.
+
+The perf gate (check_perf_regression.py) protects speed ratios; this gate
+protects *findings*.  It re-runs the full offline analysis — streaming
+detection, Pruner, Generator — over every ``.wtrc`` trace committed under
+``corpus/`` and fails when, relative to the committed baseline:
+
+* any **defect key is lost** (corpus-wide, or from the specific trace
+  that used to witness it), or
+* any trace's **replay-candidate count regresses** (cycles the Generator
+  certifies replayable from the trace alone — the offline stand-in for
+  replay success, since committed traces carry no live program), or
+* the corpus fails **validation** (torn/duplicate/stray/manifest-divergent
+  traces) — a corrupted corpus must not silently pass.
+
+When a loss is intentional (e.g. a soundness fix removed a false cycle),
+refresh the baseline in the same PR —
+
+    PYTHONPATH=src python benchmarks/check_corpus_health.py --write-baseline
+
+— or apply the ``corpus-baseline-reset`` label to the PR, which skips the
+baseline diff (validation still runs; see .github/workflows/ci.yml).
+
+Usage::
+
+    python benchmarks/check_corpus_health.py [--corpus corpus]
+        [--baseline CORPUS_health.json] [--out CORPUS_health.fresh.json]
+        [--write-baseline] [--validate-only]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.corpus import (
+    CorpusManifest,
+    compare_health,
+    compute_health,
+    load_health,
+    save_health,
+    validate_corpus,
+)
+from repro.corpus.manifest import MANIFEST_NAME
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--corpus", default="corpus", help="corpus directory (default: corpus)"
+    )
+    parser.add_argument(
+        "--baseline",
+        default="CORPUS_health.json",
+        help="committed health baseline (default: CORPUS_health.json)",
+    )
+    parser.add_argument(
+        "--out",
+        default="CORPUS_health.fresh.json",
+        help="where to write the fresh health document "
+        "(default: CORPUS_health.fresh.json)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="overwrite --baseline with the fresh health document",
+    )
+    parser.add_argument(
+        "--validate-only",
+        action="store_true",
+        help="run corpus validation only; skip the baseline diff",
+    )
+    args = parser.parse_args(argv)
+
+    problems = validate_corpus(args.corpus, deep=True)
+    for p in problems:
+        print(f"FAIL  validate: {p}")
+    if problems:
+        print(
+            f"\n{len(problems)} validation problem(s) in {args.corpus}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"ok    corpus {args.corpus} validates (deep)")
+    if args.validate_only:
+        return 0
+
+    manifest = CorpusManifest.load(os.path.join(args.corpus, MANIFEST_NAME))
+    fresh = compute_health(args.corpus, manifest)
+    save_health(fresh, args.out)
+    totals = fresh["totals"]
+    print(
+        f"ok    re-analyzed {totals['traces']} trace(s): "
+        f"{totals['defect_keys']} defect key(s), {totals['cycles']} cycle(s), "
+        f"{totals['replay_candidates']} replay candidate(s)"
+    )
+
+    if args.write_baseline:
+        save_health(fresh, args.baseline)
+        print(f"wrote baseline {args.baseline}")
+        return 0
+
+    if not os.path.exists(args.baseline):
+        print(
+            f"FAIL  missing baseline {args.baseline}; run with "
+            "--write-baseline and commit it",
+            file=sys.stderr,
+        )
+        return 1
+
+    failures = compare_health(fresh, load_health(args.baseline))
+    for f in failures:
+        print(f"FAIL  {f}")
+    if failures:
+        print(
+            f"\n{len(failures)} corpus defect(s) lost/regressed vs "
+            f"{args.baseline}. If intentional, refresh the baseline in this "
+            "PR (--write-baseline) or apply the 'corpus-baseline-reset' "
+            "label.",
+            file=sys.stderr,
+        )
+        return 1
+    print("\nno lost defects vs baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

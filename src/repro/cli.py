@@ -14,6 +14,9 @@ Commands:
   (binary auto-detected; the streaming engine analyzes without
   materializing the event list, and ``--workers N`` fans the cycle
   shards out to processes that re-read only their own chunks);
+* ``wolf corpus build|minimize|validate|gate`` — run the fuzzing campaign
+  into the governed trace corpus, minimize traces, check the strict
+  manifest, and gate on lost defect keys vs ``CORPUS_health.json``;
 * ``wolf df <benchmark>`` — run the DeadlockFuzzer baseline;
 * ``wolf table1`` / ``wolf table2`` — regenerate the paper's tables;
 * ``wolf fig8`` / ``wolf fig10`` — regenerate the paper's figures;
@@ -361,6 +364,86 @@ def cmd_analyze_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_corpus_build(args: argparse.Namespace) -> int:
+    """Run a fuzzing campaign and admit new-coverage traces."""
+    from repro.corpus import CampaignConfig, build_corpus
+
+    cfg = CampaignConfig(
+        benchmarks=args.benchmarks or None,
+        seeds_per_benchmark=args.seeds_per_benchmark,
+        randprog=args.randprog,
+        chaos_seeds=args.chaos,
+        max_traces=args.max_traces,
+    )
+    report = build_corpus(cfg, args.corpus, log=print)
+    print(report.summary())
+    return 0
+
+
+def cmd_corpus_minimize(args: argparse.Namespace) -> int:
+    """Minimize one trace, preserving its defect-key set."""
+    from repro.corpus import minimize_trace_file
+
+    res = minimize_trace_file(args.trace_file, args.out)
+    print(
+        f"minimized {args.trace_file}: {res.events_before} -> "
+        f"{res.events_after} events ({res.bytes_before} -> {res.bytes_after} "
+        f"bytes; thread cut removed {res.thread_cut}, "
+        f"{res.probes} delta-debug probe(s))"
+    )
+    return 0
+
+
+def cmd_corpus_validate(args: argparse.Namespace) -> int:
+    """Check the corpus directory against its manifest."""
+    from repro.corpus import validate_corpus
+
+    problems = validate_corpus(args.corpus, deep=args.deep)
+    for p in problems:
+        print(f"FAIL  {p}")
+    if problems:
+        print(f"\n{len(problems)} problem(s) in {args.corpus}", file=sys.stderr)
+        return 1
+    print(f"corpus {args.corpus} valid" + (" (deep)" if args.deep else ""))
+    return 0
+
+
+def cmd_corpus_gate(args: argparse.Namespace) -> int:
+    """Re-detect the corpus and fail on any lost defect."""
+    from repro.corpus import run_gate, save_health
+
+    if args.write_baseline:
+        from repro.corpus import CorpusManifest, compute_health, validate_corpus
+        from repro.corpus.manifest import MANIFEST_NAME
+        import os
+
+        problems = validate_corpus(args.corpus, deep=True)
+        for p in problems:
+            print(f"FAIL  {p}")
+        if problems:
+            return 1
+        manifest = CorpusManifest.load(os.path.join(args.corpus, MANIFEST_NAME))
+        save_health(compute_health(args.corpus, manifest), args.baseline)
+        print(f"wrote baseline {args.baseline}")
+        return 0
+    failures, fresh = run_gate(
+        args.corpus, args.baseline, fresh_out=args.out
+    )
+    for f in failures:
+        print(f"FAIL  {f}")
+    totals = fresh["totals"]
+    print(
+        f"corpus health: {totals['traces']} trace(s), "
+        f"{totals['defect_keys']} defect key(s), "
+        f"{totals['replay_candidates']} replay candidate(s)"
+    )
+    if failures:
+        print(f"\n{len(failures)} gate failure(s)", file=sys.stderr)
+        return 1
+    print("corpus gate passed")
+    return 0
+
+
 def cmd_df(args: argparse.Namespace) -> int:
     b = get_benchmark(args.benchmark)
     cfg = DfConfig(
@@ -663,6 +746,97 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workers(p)
     _add_engine(p)
     p.set_defaults(func=cmd_analyze_trace)
+
+    p = sub.add_parser(
+        "corpus",
+        help="build / minimize / validate / gate the governed trace corpus",
+    )
+    csub = p.add_subparsers(dest="corpus_command", required=True)
+
+    cp = csub.add_parser(
+        "build",
+        help="run a fuzzing campaign; admit minimized traces with new "
+        "defect-key coverage",
+    )
+    cp.add_argument("--corpus", default="corpus", help="corpus directory")
+    cp.add_argument(
+        "--benchmarks",
+        nargs="*",
+        default=None,
+        metavar="NAME",
+        help="registry subset (default: the whole registry incl. extras)",
+    )
+    cp.add_argument(
+        "--seeds-per-benchmark",
+        type=int,
+        default=2,
+        metavar="N",
+        help="detection seeds per registry benchmark (default: 2)",
+    )
+    cp.add_argument(
+        "--randprog",
+        type=int,
+        default=24,
+        metavar="N",
+        help="random generated programs to fuzz (default: 24)",
+    )
+    cp.add_argument(
+        "--chaos",
+        type=int,
+        default=4,
+        metavar="N",
+        help="chaos-harness seeds, odd ones hostile (default: 4)",
+    )
+    cp.add_argument(
+        "--max-traces",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after admitting N traces (default: unbounded)",
+    )
+    cp.set_defaults(func=cmd_corpus_build)
+
+    cp = csub.add_parser(
+        "minimize", help="minimize one .wtrc trace, preserving its defect keys"
+    )
+    cp.add_argument("trace_file")
+    cp.add_argument("--out", required=True)
+    cp.set_defaults(func=cmd_corpus_minimize)
+
+    cp = csub.add_parser(
+        "validate", help="check corpus files against the strict manifest"
+    )
+    cp.add_argument("--corpus", default="corpus", help="corpus directory")
+    cp.add_argument(
+        "--deep",
+        action="store_true",
+        help="also re-detect every trace and require manifest-identical keys",
+    )
+    cp.set_defaults(func=cmd_corpus_validate)
+
+    cp = csub.add_parser(
+        "gate",
+        help="re-detect the corpus; fail on lost defect keys or "
+        "replay-candidate regressions vs the committed baseline",
+    )
+    cp.add_argument("--corpus", default="corpus", help="corpus directory")
+    cp.add_argument(
+        "--baseline",
+        default="CORPUS_health.json",
+        help="committed health baseline (default: CORPUS_health.json)",
+    )
+    cp.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="also write the fresh health document",
+    )
+    cp.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="validate, recompute health and overwrite the baseline",
+    )
+    cp.set_defaults(func=cmd_corpus_gate)
 
     p = sub.add_parser("df", help="run the DeadlockFuzzer baseline")
     p.add_argument("benchmark")

@@ -1,0 +1,251 @@
+"""The corpus campaign driver: run sources, keep defect-witnessing traces.
+
+A *campaign* sweeps three families of sources — the benchmark registry,
+random nested-lock programs (:mod:`repro.workloads.randomgen`, the same
+generator ``wolf fuzz`` and the hypothesis suites draw from), and the
+chaos harness (:mod:`repro.testing.chaos`, whose injected faults exercise
+partial/hostile traces) — each under several detection seeds.  Every run
+streams its events straight to a ``.wtrc`` file through ``trace_sink``
+(:class:`~repro.runtime.events.SinkTrace` → ``TraceFileWriter``): the run
+never materializes an event list, and the file on disk *is* the record
+that gets analyzed, exactly as a production recorder would hand traces
+to the fleet.
+
+Admission is coverage-greedy: the recorded file is re-detected offline
+(streaming engine over the file), and the trace joins the corpus only if
+it witnesses at least one coverage key — ``program :: defect sites`` —
+no already-admitted trace witnesses.  Admitted traces are minimized
+(:mod:`repro.corpus.minimize`) before they are sealed into the manifest,
+so a governed corpus stays tens of KBs at hundreds of covered defects.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Sequence
+
+from repro.core.detector import DetectionResult
+from repro.core.streaming import StreamingDetector
+from repro.corpus.manifest import (
+    DETECTOR_PARAMS,
+    MANIFEST_NAME,
+    CorpusManifest,
+    TraceRecord,
+    canonical_keys,
+    coverage_key,
+    sha256_file,
+)
+from repro.corpus.minimize import minimize_trace_file
+from repro.runtime.sim.runtime import run_program
+from repro.runtime.sim.strategy import RandomStrategy
+from repro.runtime.tracefile import TraceFileReader, TraceFileWriter
+from repro.testing.chaos import ChaosProgram
+from repro.util.rng import DeterministicRNG
+from repro.workloads.randomgen import build_program, random_spec
+from repro.workloads.registry import all_benchmarks
+
+
+@dataclass(frozen=True)
+class CampaignSource:
+    """One (program, detection seed) cell of the campaign grid."""
+
+    kind: str  # one of manifest.SOURCES
+    name: str
+    program: Callable
+    seed: int
+    #: regenerates the program (randprog spec seed); None for named sources
+    generator_seed: Optional[int] = None
+
+
+@dataclass
+class CampaignConfig:
+    """Campaign shape; defaults produce the committed mini-corpus."""
+
+    #: registry benchmark names (None = the whole registry incl. extras)
+    benchmarks: Optional[Sequence[str]] = None
+    #: detection seeds per registry benchmark (derived from its table seed)
+    seeds_per_benchmark: int = 2
+    #: number of random programs (spec seeds 0..n-1, one detection run each)
+    randprog: int = 24
+    #: chaos-harness detection seeds (even seeds run clean AB/BA, odd
+    #: seeds raise mid-trace — hostile partial traces must not wedge or
+    #: corrupt the campaign)
+    chaos_seeds: int = 4
+    #: scheduler step budget per run (campaign sources are small programs)
+    max_steps: int = 50_000
+    #: admission cap (None = admit every new-coverage trace)
+    max_traces: Optional[int] = None
+    detect_stickiness: float = 0.9
+
+
+@dataclass
+class BuildReport:
+    """What one campaign did."""
+
+    runs: int = 0
+    admitted: int = 0
+    rejected_covered: int = 0
+    rejected_clean: int = 0
+    run_errors: int = 0
+    events_recorded: int = 0
+    events_admitted: int = 0
+    admitted_files: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        return (
+            f"campaign: {self.runs} runs, {self.admitted} admitted "
+            f"({self.events_admitted} events after minimization), "
+            f"{self.rejected_clean} defect-free, "
+            f"{self.rejected_covered} already covered, "
+            f"{self.run_errors} run errors"
+        )
+
+
+def iter_campaign_sources(cfg: CampaignConfig) -> Iterator[CampaignSource]:
+    for b in all_benchmarks():
+        if cfg.benchmarks is not None and b.name not in cfg.benchmarks:
+            continue
+        for i in range(cfg.seeds_per_benchmark):
+            seed = (
+                b.detect_seed
+                if i == 0
+                else DeterministicRNG(b.detect_seed).fork(f"corpus:{i}").seed
+            )
+            # Detection runs with the corpus-wide DETECTOR_PARAMS (not the
+            # benchmark's own max_cycle_length): the gate re-detects with
+            # the manifest's recorded knobs, so admission must use them too.
+            yield CampaignSource(
+                kind="registry", name=b.name, program=b.program, seed=seed
+            )
+    for spec_seed in range(cfg.randprog):
+        spec = random_spec(spec_seed)
+        program = build_program(spec)
+        yield CampaignSource(
+            kind="randprog",
+            name=program.__name__,
+            program=program,
+            seed=spec_seed,
+            generator_seed=spec_seed,
+        )
+    if cfg.chaos_seeds:
+        seeds = range(cfg.chaos_seeds)
+        chaos = ChaosProgram(faults={s: "raise" for s in seeds if s % 2})
+        for seed in seeds:
+            yield CampaignSource(
+                kind="chaos", name="chaos_program", program=chaos, seed=seed
+            )
+
+
+def record_source(source: CampaignSource, dest: str, cfg: CampaignConfig) -> bool:
+    """Run one source, streaming events to ``dest``; True if the run
+    raised a workload error (the partial trace is still on disk, sealed)."""
+    with TraceFileWriter(dest, program=source.name, seed=source.seed) as writer:
+        result = run_program(
+            source.program,
+            RandomStrategy(source.seed, stickiness=cfg.detect_stickiness),
+            seed=source.seed,
+            name=source.name,
+            max_steps=cfg.max_steps,
+            trace_sink=writer,
+        )
+    return bool(result.errors)
+
+
+def analyze_trace_file(
+    path: str,
+    *,
+    max_length: int = DETECTOR_PARAMS["max_length"],
+    max_cycles: int = DETECTOR_PARAMS["max_cycles"],
+) -> tuple[DetectionResult, int]:
+    """Offline detection over a ``.wtrc`` file, one event at a time;
+    returns ``(detection, events_in_file)``."""
+    det = StreamingDetector(max_length=max_length, max_cycles=max_cycles)
+    with TraceFileReader(path) as reader:
+        det.feed_many(reader)
+    return det.finish(), det.events_seen
+
+
+def _safe_name(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_.-]", "_", name)
+
+
+def build_corpus(
+    cfg: CampaignConfig,
+    corpus_dir: str,
+    *,
+    manifest: Optional[CorpusManifest] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> BuildReport:
+    """Run the campaign into ``corpus_dir``; returns the build report.
+
+    Resumes an existing corpus when ``corpus_dir`` already holds a
+    manifest (or when ``manifest`` is passed): coverage accumulates, so
+    re-running a campaign admits only traces with genuinely new keys.
+    """
+    os.makedirs(corpus_dir, exist_ok=True)
+    manifest_path = os.path.join(corpus_dir, MANIFEST_NAME)
+    if manifest is None:
+        if os.path.exists(manifest_path):
+            manifest = CorpusManifest.load(manifest_path)
+        else:
+            manifest = CorpusManifest()
+    say = log or (lambda _msg: None)
+    report = BuildReport()
+
+    for source in iter_campaign_sources(cfg):
+        if cfg.max_traces is not None and report.admitted >= cfg.max_traces:
+            break
+        report.runs += 1
+        scratch = os.path.join(
+            corpus_dir, f".campaign-{_safe_name(source.name)}-s{source.seed}.wtrc"
+        )
+        try:
+            errored = record_source(source, scratch, cfg)
+            if errored:
+                report.run_errors += 1
+            detection, n_events = analyze_trace_file(scratch)
+            report.events_recorded += n_events
+            keys = canonical_keys(detection.defect_keys())
+            if not keys:
+                report.rejected_clean += 1
+                continue
+            coverage = {coverage_key(source.name, k) for k in keys}
+            if coverage <= manifest.coverage():
+                report.rejected_covered += 1
+                continue
+
+            filename = f"{_safe_name(source.name)}-s{source.seed}.wtrc"
+            final = os.path.join(corpus_dir, filename)
+            minimized = minimize_trace_file(scratch, final)
+            # Keys are re-derived from the *minimized* file: the manifest
+            # must describe the committed artifact, not its ancestor.
+            final_detection, _ = analyze_trace_file(final)
+            final_keys = canonical_keys(final_detection.defect_keys())
+            record = TraceRecord(
+                file=filename,
+                sha256=sha256_file(final),
+                bytes=os.path.getsize(final),
+                events=minimized.events_after,
+                program=source.name,
+                seed=source.seed,
+                source=source.kind,
+                generator_seed=source.generator_seed,
+                defect_keys=final_keys,
+            )
+            manifest.traces.append(record)
+            report.admitted += 1
+            report.events_admitted += minimized.events_after
+            report.admitted_files.append(filename)
+            say(
+                f"admitted {filename}: {len(final_keys)} key(s), "
+                f"{minimized.events_before} -> {minimized.events_after} events "
+                f"({minimized.bytes_after} bytes)"
+            )
+        finally:
+            if os.path.exists(scratch):
+                os.unlink(scratch)
+
+    manifest.save(manifest_path)
+    return report

@@ -1,0 +1,245 @@
+"""The governed corpus manifest (``corpus_manifest.json``).
+
+A corpus is a directory of minimized ``.wtrc`` traces plus one manifest
+describing every admitted trace: content hash, size, event count, the
+defect keys the trace witnesses, and provenance (which campaign source
+produced it, from which seed).  The manifest is the governance contract —
+:mod:`repro.corpus.validate` rejects any divergence between it and the
+files on disk, and :mod:`repro.corpus.gate` diffs the detector's fresh
+findings against the committed :data:`HEALTH_SCHEMA` baseline.
+
+The schema is *strict* in both directions: unknown keys are rejected on
+load (a hand-edited manifest with a typo must fail loudly, not silently
+drop governance), and every required key must be present with the right
+shape.  Ordering is meaningful — traces appear in admission order, and
+each must have contributed at least one coverage key new at its position
+(the validator re-checks this, so a corpus cannot silently accumulate
+redundant traces).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.util.ids import Site
+
+#: Manifest document schema tag; bump on any wire-format change.
+CORPUS_SCHEMA = "wolf-corpus/1"
+#: Health-baseline document schema tag (see :mod:`repro.corpus.gate`).
+HEALTH_SCHEMA = "wolf-corpus-health/1"
+
+#: Default artifact names.
+MANIFEST_NAME = "corpus_manifest.json"
+HEALTH_BASELINE_NAME = "CORPUS_health.json"
+
+#: Detector knobs every corpus pass runs with, recorded in the manifest so
+#: a future default change cannot silently alter what "covered" means.
+DETECTOR_PARAMS = {"max_length": 4, "max_cycles": 10_000}
+
+#: Campaign source kinds (provenance).
+SOURCES = ("registry", "randprog", "chaos")
+
+
+class ManifestError(ValueError):
+    """A manifest document violates the strict schema."""
+
+
+def sha256_file(path: str) -> str:
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for block in iter(lambda: fh.read(1 << 16), b""):
+            h.update(block)
+    return h.hexdigest()
+
+
+def canonical_keys(keys: Iterable[FrozenSet[Site]]) -> Tuple[Tuple[str, ...], ...]:
+    """Defect keys in wire form: each key's sites sorted, keys sorted."""
+    return tuple(sorted(tuple(sorted(k)) for k in keys))
+
+
+def coverage_key(program: str, sites: Sequence[str]) -> str:
+    """One defect's corpus-wide coverage identity.
+
+    Site strings are only unique within a program (two random programs
+    both have a ``t0:0`` site), so the program name is part of the key.
+    """
+    return f"{program}::{'|'.join(sorted(sites))}"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One admitted trace's manifest row."""
+
+    file: str
+    sha256: str
+    bytes: int
+    events: int
+    program: str
+    seed: int
+    #: provenance: one of :data:`SOURCES`
+    source: str
+    #: seed that regenerates the program itself (randprog specs); ``None``
+    #: for sources addressed by name (registry benchmarks, chaos).
+    generator_seed: Optional[int]
+    #: sites of each witnessed defect, canonical order (see
+    #: :func:`canonical_keys`)
+    defect_keys: Tuple[Tuple[str, ...], ...]
+
+    def coverage_keys(self) -> FrozenSet[str]:
+        return frozenset(coverage_key(self.program, k) for k in self.defect_keys)
+
+    def to_doc(self) -> Dict[str, object]:
+        return {
+            "file": self.file,
+            "sha256": self.sha256,
+            "bytes": self.bytes,
+            "events": self.events,
+            "program": self.program,
+            "seed": self.seed,
+            "source": self.source,
+            "generator_seed": self.generator_seed,
+            "defect_keys": [list(k) for k in self.defect_keys],
+        }
+
+
+_RECORD_FIELDS: Dict[str, type] = {
+    "file": str,
+    "sha256": str,
+    "bytes": int,
+    "events": int,
+    "program": str,
+    "seed": int,
+    "source": str,
+    "generator_seed": (int, type(None)),  # type: ignore[dict-item]
+    "defect_keys": list,
+}
+
+
+def _record_from_doc(doc: object, where: str) -> TraceRecord:
+    if not isinstance(doc, dict):
+        raise ManifestError(f"{where}: trace record must be an object")
+    unknown = set(doc) - set(_RECORD_FIELDS)
+    if unknown:
+        raise ManifestError(f"{where}: unknown key(s) {sorted(unknown)}")
+    missing = set(_RECORD_FIELDS) - set(doc)
+    if missing:
+        raise ManifestError(f"{where}: missing key(s) {sorted(missing)}")
+    for key, typ in _RECORD_FIELDS.items():
+        if not isinstance(doc[key], typ) or isinstance(doc[key], bool):
+            raise ManifestError(f"{where}: {key} has wrong type")
+    if doc["source"] not in SOURCES:
+        raise ManifestError(
+            f"{where}: source {doc['source']!r} not one of {SOURCES}"
+        )
+    keys: List[Tuple[str, ...]] = []
+    for i, k in enumerate(doc["defect_keys"]):
+        if not isinstance(k, list) or not k or not all(
+            isinstance(s, str) for s in k
+        ):
+            raise ManifestError(
+                f"{where}: defect_keys[{i}] must be a non-empty list of sites"
+            )
+        keys.append(tuple(k))
+    canonical = canonical_keys(frozenset(k) for k in keys)
+    if tuple(keys) != canonical:
+        raise ManifestError(f"{where}: defect_keys not in canonical order")
+    if os.path.basename(doc["file"]) != doc["file"] or not doc["file"].endswith(
+        ".wtrc"
+    ):
+        raise ManifestError(
+            f"{where}: file must be a bare *.wtrc name, got {doc['file']!r}"
+        )
+    return TraceRecord(
+        file=doc["file"],
+        sha256=doc["sha256"],
+        bytes=doc["bytes"],
+        events=doc["events"],
+        program=doc["program"],
+        seed=doc["seed"],
+        source=doc["source"],
+        generator_seed=doc["generator_seed"],
+        defect_keys=canonical,
+    )
+
+
+@dataclass
+class CorpusManifest:
+    """The whole corpus contract, in admission order."""
+
+    traces: List[TraceRecord] = field(default_factory=list)
+    detector: Dict[str, int] = field(default_factory=lambda: dict(DETECTOR_PARAMS))
+
+    def coverage(self) -> FrozenSet[str]:
+        out: set = set()
+        for rec in self.traces:
+            out |= rec.coverage_keys()
+        return frozenset(out)
+
+    def covers(self, keys: Iterable[str]) -> bool:
+        return set(keys) <= self.coverage()
+
+    def to_doc(self) -> Dict[str, object]:
+        return {
+            "schema": CORPUS_SCHEMA,
+            "detector": dict(self.detector),
+            "traces": [rec.to_doc() for rec in self.traces],
+        }
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_doc(), indent=2, sort_keys=False) + "\n"
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.dumps())
+
+    @classmethod
+    def from_doc(cls, doc: object) -> "CorpusManifest":
+        if not isinstance(doc, dict):
+            raise ManifestError("manifest must be a JSON object")
+        allowed = {"schema", "detector", "traces"}
+        unknown = set(doc) - allowed
+        if unknown:
+            raise ManifestError(f"manifest: unknown key(s) {sorted(unknown)}")
+        missing = allowed - set(doc)
+        if missing:
+            raise ManifestError(f"manifest: missing key(s) {sorted(missing)}")
+        if doc["schema"] != CORPUS_SCHEMA:
+            raise ManifestError(
+                f"manifest schema {doc['schema']!r} != {CORPUS_SCHEMA!r}"
+            )
+        det = doc["detector"]
+        if (
+            not isinstance(det, dict)
+            or set(det) != set(DETECTOR_PARAMS)
+            or not all(isinstance(v, int) and not isinstance(v, bool) for v in det.values())
+        ):
+            raise ManifestError(
+                f"manifest: detector must carry integer {sorted(DETECTOR_PARAMS)}"
+            )
+        if not isinstance(doc["traces"], list):
+            raise ManifestError("manifest: traces must be a list")
+        traces = [
+            _record_from_doc(t, f"traces[{i}]")
+            for i, t in enumerate(doc["traces"])
+        ]
+        files = [t.file for t in traces]
+        if len(set(files)) != len(files):
+            raise ManifestError("manifest: duplicate trace file names")
+        return cls(traces=traces, detector=dict(det))
+
+    @classmethod
+    def loads(cls, text: str) -> "CorpusManifest":
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ManifestError(f"manifest is not valid JSON: {exc}") from exc
+        return cls.from_doc(doc)
+
+    @classmethod
+    def load(cls, path: str) -> "CorpusManifest":
+        with open(path) as fh:
+            return cls.loads(fh.read())

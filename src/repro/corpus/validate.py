@@ -1,0 +1,145 @@
+"""Corpus validation: the manifest and the directory must agree exactly.
+
+``validate_corpus`` is the cheap structural pass (hashes, sizes, torn-file
+detection, duplicates, strays, incremental-coverage governance);
+``deep=True`` adds the expensive semantic pass that re-detects every
+trace and rejects manifest-divergent defect keys.  Both return a flat
+list of problem strings — an empty list is a healthy corpus — so callers
+(CLI, CI gate, tests) decide how loudly to fail.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Set
+
+from repro.corpus.manifest import (
+    MANIFEST_NAME,
+    CorpusManifest,
+    ManifestError,
+    canonical_keys,
+    sha256_file,
+)
+from repro.runtime.tracefile import TraceFileReader, is_tracefile
+
+
+def _check_readable(path: str) -> Optional[str]:
+    """Fully stream the file; the reason it is unreadable/torn, or None.
+
+    A writer that died mid-trace leaves no END chunk (or a truncated
+    chunk); :class:`TraceFileReader` surfaces both, and a clean EOF
+    without END is reported by ``declared_events is None``.
+    """
+    try:
+        with TraceFileReader(path) as reader:
+            for _ in reader:
+                pass
+            if reader.declared_events is None:
+                return "torn trace (no END chunk)"
+            return None
+    except ValueError as exc:
+        return f"unreadable trace: {exc}"
+    except (IndexError, KeyError, UnicodeDecodeError) as exc:
+        # Bit rot inside a chunk payload surfaces as whatever the decoder
+        # trips over (bad table index, mangled utf-8) rather than a clean
+        # ValueError; the verdict is the same.
+        return f"corrupt trace payload: {exc!r}"
+
+
+def validate_corpus(
+    corpus_dir: str,
+    manifest: Optional[CorpusManifest] = None,
+    *,
+    deep: bool = False,
+) -> List[str]:
+    """Return every problem found (empty = valid)."""
+    problems: List[str] = []
+    if manifest is None:
+        manifest_path = os.path.join(corpus_dir, MANIFEST_NAME)
+        if not os.path.exists(manifest_path):
+            return [f"missing manifest {manifest_path}"]
+        try:
+            manifest = CorpusManifest.load(manifest_path)
+        except ManifestError as exc:
+            return [f"invalid manifest: {exc}"]
+
+    seen_sha: dict = {}
+    covered: Set[str] = set()
+    for rec in manifest.traces:
+        where = rec.file
+        path = os.path.join(corpus_dir, rec.file)
+        if not os.path.exists(path):
+            problems.append(f"{where}: listed in manifest but missing on disk")
+            continue
+        actual_bytes = os.path.getsize(path)
+        if actual_bytes != rec.bytes:
+            problems.append(
+                f"{where}: size mismatch (manifest {rec.bytes}, disk {actual_bytes})"
+            )
+        digest = None
+        try:
+            digest = sha256_file(path)
+        except OSError as exc:  # pragma: no cover - unreadable file
+            problems.append(f"{where}: unreadable ({exc})")
+        if digest is not None and digest != rec.sha256:
+            problems.append(f"{where}: sha256 divergence from manifest")
+        if digest is not None:
+            dup = seen_sha.get(digest)
+            if dup is not None:
+                problems.append(f"{where}: duplicate trace (same content as {dup})")
+            else:
+                seen_sha[digest] = rec.file
+        if not is_tracefile(path):
+            problems.append(f"{where}: not a .wtrc trace (bad magic)")
+            continue
+        reason = _check_readable(path)
+        if reason is not None:
+            problems.append(f"{where}: {reason}")
+            continue
+        with TraceFileReader(path) as reader:
+            n = sum(1 for _ in reader)
+        if n != rec.events:
+            problems.append(
+                f"{where}: event count mismatch (manifest {rec.events}, file {n})"
+            )
+        if not rec.defect_keys:
+            problems.append(f"{where}: witnesses no defect (empty defect_keys)")
+        # Governance: every admitted trace must have contributed new
+        # coverage at its manifest position, or the corpus is accumulating
+        # dead weight that admission should have rejected.
+        contribution = rec.coverage_keys() - covered
+        if rec.defect_keys and not contribution:
+            problems.append(
+                f"{where}: redundant trace (all keys covered earlier in manifest)"
+            )
+        covered |= rec.coverage_keys()
+
+    listed = {rec.file for rec in manifest.traces}
+    for entry in sorted(os.listdir(corpus_dir)):
+        if entry.endswith(".wtrc") and entry not in listed:
+            problems.append(f"{entry}: on disk but not in manifest")
+
+    if deep and not problems:
+        problems.extend(_deep_validate(corpus_dir, manifest))
+    return problems
+
+
+def _deep_validate(corpus_dir: str, manifest: CorpusManifest) -> List[str]:
+    """Re-detect every trace; keys must match the manifest exactly."""
+    from repro.corpus.build import analyze_trace_file
+
+    problems: List[str] = []
+    for rec in manifest.traces:
+        path = os.path.join(corpus_dir, rec.file)
+        detection, _ = analyze_trace_file(
+            path,
+            max_length=manifest.detector["max_length"],
+            max_cycles=manifest.detector["max_cycles"],
+        )
+        fresh = canonical_keys(detection.defect_keys())
+        if fresh != rec.defect_keys:
+            problems.append(
+                f"{rec.file}: defect keys diverge from manifest "
+                f"(manifest {len(rec.defect_keys)}, detector {len(fresh)})"
+            )
+    return problems

@@ -2,9 +2,29 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.runtime.sim.runtime import SimRuntime
+
+try:
+    from hypothesis import settings
+except ImportError:  # pragma: no cover - hypothesis is a test extra
+    settings = None
+
+if settings is not None:
+    # CI selects this via HYPOTHESIS_PROFILE=ci (.github/workflows/ci.yml):
+    # derandomized so a red fuzz job is a real regression rather than a
+    # lucky draw, with a bounded per-example deadline so a pathological
+    # generated schedule fails the example instead of wedging the job.
+    settings.register_profile(
+        "ci",
+        derandomize=True,
+        deadline=2_000,
+        print_blob=True,
+    )
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 def two_lock_program(rt: SimRuntime) -> None:
