@@ -510,19 +510,32 @@ def main(argv=None) -> int:
 
     import tempfile
 
-    with tempfile.TemporaryDirectory() as tmp:
+    from repro.util.interrupt import INTERRUPT_EXIT_CODE, GracefulInterrupt
+
+    # Ctrl-C between stages flushes whatever completed as a partial
+    # document (interrupted=true) and exits EX_TEMPFAIL instead of
+    # losing minutes of timings to a traceback.
+    macro = sharding = micro = None
+    with GracefulInterrupt() as interrupt, tempfile.TemporaryDirectory() as tmp:
         macro = run_macro(args.events, tmp)
-        sharding = run_macro_sharded(args.events, tmp)
-    micro = run_micro()
+        if not interrupt.triggered:
+            sharding = run_macro_sharded(args.events, tmp)
+        if not interrupt.triggered:
+            micro = run_micro()
     doc = {
         "schema": "bench-core/2",
         "macro": macro,
         "sharding": sharding,
         "micro": micro,
     }
+    if interrupt.triggered:
+        doc["interrupted"] = True
     with open(args.out, "w") as fh:
         json.dump(doc, fh, indent=2)
         fh.write("\n")
+    if interrupt.triggered:
+        print(f"interrupted: partial results flushed to {args.out}", file=sys.stderr)
+        return INTERRUPT_EXIT_CODE
     speedup = macro["end_to_end_s"]["speedup"]
     print(
         f"{macro['events']} events: end-to-end "

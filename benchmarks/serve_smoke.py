@@ -1,0 +1,184 @@
+"""CI smoke for the fleet-mode ingestion daemon (`wolf serve`).
+
+One real daemon process, eight concurrent producers over the unix
+socket — six honest, two chaos (one shipping garbage bytes, one killing
+its connection mid-chunk and never returning).  The gate:
+
+* every healthy stream is analyzed, its report byte-identical to the
+  batch analyzer (``wolf analyze-trace --json``) on the same ``.wtrc``;
+* both chaos streams are quarantined under their expected taxonomy
+  codes (``unreadable``; ``aborted`` at drain);
+* ``wolf serve --healthz`` and ``wolf serve --status`` answer while the
+  daemon is live, and the stats document accounts for every stream;
+* SIGTERM drains cleanly: exit status 0 and a sealed ``run_manifest.json``
+  whose totals match.
+
+Exit status: 0 on success, 1 with a diagnostic on any violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.core.pipeline import run_detection  # noqa: E402
+from repro.runtime.tracefile import write_trace  # noqa: E402
+from repro.serve import RUN_MANIFEST_NAME, chaos_client, send_trace  # noqa: E402
+from repro.workloads.registry import all_benchmarks  # noqa: E402
+
+HEALTHY = 6
+
+
+def wolf(*args: str, check: bool = True) -> subprocess.CompletedProcess:
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO, "src"))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        env=env,
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    if check and proc.returncode != 0:
+        raise RuntimeError(f"wolf {' '.join(args)} failed:\n{proc.stderr}\n{proc.stdout}")
+    return proc
+
+
+def fail(msg: str) -> int:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--keep", action="store_true", help="keep the run dir")
+    args = parser.parse_args(argv)
+
+    tmp = tempfile.mkdtemp(prefix="serve-smoke-")
+    sock = os.path.join(tmp, "wolf.sock")
+    out = os.path.join(tmp, "run")
+
+    # Fabricate real traces from the benchmark registry.
+    benches = all_benchmarks()[:3]
+    traces = []
+    for b in benches:
+        run = run_detection(b.program, b.detect_seed, name=b.name)
+        path = os.path.join(tmp, f"{b.name}.wtrc")
+        write_trace(run.trace, path, events_per_chunk=32)
+        traces.append(path)
+
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO, "src"))
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--socket", sock, "--out", out],
+        env=env,
+        cwd=REPO,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        deadline = time.monotonic() + 60
+        while True:
+            probe = wolf("serve", "--socket", sock, "--healthz", check=False)
+            if probe.returncode == 0 and '"status": "ok"' in probe.stdout:
+                break
+            if daemon.poll() is not None:
+                return fail(f"daemon died at startup:\n{daemon.stdout.read()}")
+            if time.monotonic() > deadline:
+                return fail("daemon did not come up")
+            time.sleep(0.1)
+
+        # Eight concurrent producers: six honest, two chaos.
+        results: dict = {}
+
+        def honest(i: int) -> None:
+            results[f"s{i}"] = send_trace(
+                traces[i % len(traces)], f"s{i}", socket_path=sock
+            )
+
+        def chaos(mode: str, sid: str) -> None:
+            results[sid] = chaos_client(mode, traces[0], sid, socket_path=sock)
+
+        threads = [
+            threading.Thread(target=honest, args=(i,)) for i in range(HEALTHY)
+        ] + [
+            threading.Thread(target=chaos, args=("garbage", "chaos-garbage")),
+            threading.Thread(target=chaos, args=("kill", "chaos-kill")),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+
+        for i in range(HEALTHY):
+            r = results[f"s{i}"]
+            if not r.ok:
+                return fail(f"healthy stream s{i} failed: {r.error_code} {r.response}")
+        garbage = results["chaos-garbage"]
+        if not garbage.err or garbage.err["code"] != "unreadable":
+            return fail(f"garbage stream misclassified: {garbage.err}")
+
+        # Introspection through the CLI while streams are settled/parked.
+        status = json.loads(wolf("serve", "--socket", sock, "--status").stdout)
+        if status["streams"]["analyzed"] != HEALTHY:
+            return fail(f"status undercounts analyzed: {status['streams']}")
+        if status["internal_errors"] != 0:
+            return fail(f"internal errors under chaos: {status['internal_errors']}")
+
+        # Graceful drain: SIGTERM -> exit 0 + sealed manifest.
+        daemon.send_signal(signal.SIGTERM)
+        code = daemon.wait(timeout=60)
+        if code != 0:
+            return fail(f"drain exited {code}:\n{daemon.stdout.read()}")
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait(timeout=10)
+
+    manifest_path = os.path.join(out, RUN_MANIFEST_NAME)
+    if not os.path.exists(manifest_path):
+        return fail("no sealed run_manifest.json after drain")
+    with open(manifest_path) as fh:
+        doc = json.load(fh)
+    rows = {r["stream"]: r for r in doc["streams"]}
+    if doc["totals"]["analyzed"] != HEALTHY:
+        return fail(f"manifest totals wrong: {doc['totals']}")
+    if rows.get("chaos-garbage", {}).get("code") != "unreadable":
+        return fail(f"chaos-garbage row wrong: {rows.get('chaos-garbage')}")
+    if rows.get("chaos-kill", {}).get("code") != "aborted":
+        return fail(f"chaos-kill row wrong: {rows.get('chaos-kill')}")
+
+    # Byte-identity gate: daemon report == `wolf analyze-trace --json`.
+    for i in range(HEALTHY):
+        trace = traces[i % len(traces)]
+        with open(os.path.join(out, "reports", f"s{i}.json"), "rb") as fh:
+            daemon_bytes = fh.read()
+        batch = wolf("analyze-trace", trace, "--json")
+        if daemon_bytes.decode() != batch.stdout:
+            return fail(f"report for s{i} diverges from batch analyze-trace")
+
+    print(
+        f"serve-smoke OK: {HEALTHY} healthy analyzed byte-identical, "
+        f"2 chaos quarantined ({rows['chaos-garbage']['code']}, "
+        f"{rows['chaos-kill']['code']}), drained with exit 0"
+    )
+    if args.keep:
+        print(f"run dir kept at {out}")
+    else:
+        import shutil
+
+        shutil.rmtree(tmp, ignore_errors=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,7 +16,15 @@ Commands:
   shards out to processes that re-read only their own chunks);
 * ``wolf corpus build|minimize|validate|gate`` — run the fuzzing campaign
   into the governed trace corpus, minimize traces, check the strict
-  manifest, and gate on lost defect keys vs ``CORPUS_health.json``;
+  manifest, and gate on lost defect keys vs ``CORPUS_health.json``
+  (``build`` drains gracefully on SIGINT/SIGTERM: the manifest is sealed
+  with the admissions so far and the exit status is 75/EX_TEMPFAIL);
+* ``wolf serve`` — the fleet-mode trace-ingestion daemon: accept
+  concurrent ``.wtrc`` streams over a unix socket (or TCP), analyze each
+  incrementally, quarantine hostile producers, journal for crash
+  recovery, drain gracefully on SIGTERM.  ``--status``/``--healthz``
+  query a running daemon; ``--send`` is the producer shim and
+  ``--chaos`` its misbehaving twin;
 * ``wolf df <benchmark>`` — run the DeadlockFuzzer baseline;
 * ``wolf table1`` / ``wolf table2`` — regenerate the paper's tables;
 * ``wolf fig8`` / ``wolf fig10`` — regenerate the paper's figures;
@@ -285,6 +293,22 @@ def cmd_analyze_trace(args: argparse.Namespace) -> int:
     from repro.runtime.serialize import load_trace
     from repro.runtime.tracefile import TraceFileReader, is_tracefile
 
+    if getattr(args, "json", False):
+        # Canonical report bytes — identical to the file the ingestion
+        # daemon writes for the same trace (tests assert equality).
+        from repro.serve.report import render_report, report_doc_for_file
+
+        if not is_tracefile(args.trace_file):
+            print(
+                f"{args.trace_file}: --json needs a binary .wtrc trace",
+                file=sys.stderr,
+            )
+            return 1
+        sys.stdout.buffer.write(
+            render_report(report_doc_for_file(args.trace_file))
+        )
+        return 0
+
     engine = getattr(args, "engine", "auto")
     shard = getattr(args, "shard_cycles", None)
     reduce = getattr(args, "reduce", False)
@@ -365,8 +389,15 @@ def cmd_analyze_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_corpus_build(args: argparse.Namespace) -> int:
-    """Run a fuzzing campaign and admit new-coverage traces."""
+    """Run a fuzzing campaign and admit new-coverage traces.
+
+    SIGINT/SIGTERM drain gracefully: the campaign stops at the next
+    workload boundary, the manifest is sealed with the admissions so far,
+    and the exit status is 75 (EX_TEMPFAIL) so callers can tell a drained
+    partial campaign from a completed one.  A second signal aborts.
+    """
     from repro.corpus import CampaignConfig, build_corpus
+    from repro.util.interrupt import INTERRUPT_EXIT_CODE, GracefulInterrupt
 
     cfg = CampaignConfig(
         benchmarks=args.benchmarks or None,
@@ -375,8 +406,13 @@ def cmd_corpus_build(args: argparse.Namespace) -> int:
         chaos_seeds=args.chaos,
         max_traces=args.max_traces,
     )
-    report = build_corpus(cfg, args.corpus, log=print)
-    print(report.summary())
+    with GracefulInterrupt() as interrupt:
+        report = build_corpus(
+            cfg, args.corpus, log=print, stop=lambda: interrupt.triggered
+        )
+        print(report.summary())
+        if interrupt.triggered:
+            return INTERRUPT_EXIT_CODE
     return 0
 
 
@@ -441,6 +477,125 @@ def cmd_corpus_gate(args: argparse.Namespace) -> int:
         print(f"\n{len(failures)} gate failure(s)", file=sys.stderr)
         return 1
     print("corpus gate passed")
+    return 0
+
+
+def _parse_tcp(spec: Optional[str]):
+    if spec is None:
+        return None
+    host, _, port = spec.rpartition(":")
+    return (host or "127.0.0.1", int(port))
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """The fleet-mode ingestion daemon, plus its query and producer modes.
+
+    Daemon mode runs until SIGTERM/SIGINT, then drains: stops accepting,
+    settles every stream (quarantining the unfinished as ``aborted``),
+    seals ``run_manifest.json``, and exits 0.  ``--status``/``--healthz``
+    query a running daemon over the same socket; ``--send`` ships one
+    ``.wtrc`` as an honest producer; ``--chaos`` misbehaves in one named
+    way and reports the daemon's verdict (the chaos suite's tool).
+    """
+    import json as jsonlib
+
+    from repro.serve import query_server
+
+    tcp = _parse_tcp(args.tcp)
+    socket_path = args.socket if tcp is None or args.socket else None
+
+    if args.status or args.healthz:
+        doc = query_server(
+            socket_path=socket_path,
+            tcp=tcp,
+            query="healthz" if args.healthz else "stats",
+        )
+        print(jsonlib.dumps(doc, indent=2, sort_keys=True))
+        return 0
+
+    if args.send is not None:
+        from repro.serve import chaos_client, send_trace
+
+        stream_id = args.stream_id or "stream-0"
+        if args.chaos is not None:
+            outcome = chaos_client(
+                args.chaos,
+                args.send,
+                stream_id,
+                socket_path=socket_path,
+                tcp=tcp,
+            )
+            print(
+                jsonlib.dumps(
+                    {
+                        "mode": outcome.mode,
+                        "stream": outcome.stream_id,
+                        "err": outcome.err,
+                        "fin_ack": outcome.fin_ack,
+                        "bytes_sent": outcome.bytes_sent,
+                        "reconnected": outcome.reconnected,
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+            return 0
+        result = send_trace(
+            args.send, stream_id, socket_path=socket_path, tcp=tcp
+        )
+        if result.ok:
+            print(
+                f"analyzed {stream_id}: {result.response.get('events')} "
+                f"event(s), {result.response.get('defect_keys')} defect "
+                f"key(s) -> {result.response.get('report')}"
+            )
+            return 0
+        print(
+            f"stream {stream_id} not analyzed: {result.error_code} "
+            f"{result.response}",
+            file=sys.stderr,
+        )
+        return 1
+
+    # Daemon mode.
+    import asyncio
+    import signal
+
+    from repro.serve import ServeConfig, WolfServer
+
+    cfg = ServeConfig(
+        out_dir=args.out,
+        socket_path=socket_path,
+        tcp=tcp,
+        idle_timeout=args.idle_timeout,
+        window=args.window,
+        max_total_buffer=args.max_total_buffer,
+        max_stream_bytes=args.max_stream_bytes,
+        workers=args.workers or 1,
+    )
+    server = WolfServer(cfg)
+
+    async def main() -> None:
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, server.request_drain)
+        where = cfg.socket_path or f"{cfg.tcp[0]}:{server.tcp_address[1]}"
+        print(f"wolf serve: listening on {where}, run dir {cfg.out_dir}")
+        sys.stdout.flush()
+        assert server._drain_requested is not None
+        await server._drain_requested.wait()
+        print("wolf serve: draining")
+        sys.stdout.flush()
+        await server.drain()
+
+    asyncio.run(main())
+    st = server.stats
+    print(
+        f"wolf serve: drained — {st.analyzed} analyzed, "
+        f"{sum(st.quarantined.values())} quarantined, "
+        f"{st.rejected} rejected -> {cfg.out_dir}/run_manifest.json"
+    )
     return 0
 
 
@@ -745,6 +900,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("trace_file")
     _add_workers(p)
     _add_engine(p)
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the canonical defect-report JSON (byte-identical to the "
+        "report `wolf serve` writes for the same .wtrc)",
+    )
     p.set_defaults(func=cmd_analyze_trace)
 
     p = sub.add_parser(
@@ -837,6 +998,101 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate, recompute health and overwrite the baseline",
     )
     cp.set_defaults(func=cmd_corpus_gate)
+
+    p = sub.add_parser(
+        "serve",
+        help="fleet-mode trace-ingestion daemon (accept concurrent .wtrc "
+        "streams, analyze incrementally, drain on SIGTERM)",
+    )
+    p.add_argument(
+        "--socket",
+        default="wolf.sock",
+        metavar="PATH",
+        help="unix socket to listen on / query (default: wolf.sock)",
+    )
+    p.add_argument(
+        "--tcp",
+        default=None,
+        metavar="[HOST:]PORT",
+        help="also (or instead) listen on TCP; with --status/--send, "
+        "query/ship over TCP instead of the unix socket",
+    )
+    p.add_argument(
+        "--out",
+        default="serve-out",
+        metavar="DIR",
+        help="run directory: reports/, quarantine/, spool/, journal, "
+        "run_manifest.json (default: serve-out)",
+    )
+    p.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="evict producers silent this long (default: 30)",
+    )
+    p.add_argument(
+        "--window",
+        type=int,
+        default=256 * 1024,
+        metavar="BYTES",
+        help="per-stream credit window (default: 256 KiB)",
+    )
+    p.add_argument(
+        "--max-total-buffer",
+        type=int,
+        default=8 * 1024 * 1024,
+        metavar="BYTES",
+        help="global partial-chunk budget before credit is withheld "
+        "(default: 8 MiB)",
+    )
+    p.add_argument(
+        "--max-stream-bytes",
+        type=int,
+        default=64 * 1024 * 1024,
+        metavar="BYTES",
+        help="largest stream accepted (default: 64 MiB)",
+    )
+    _add_workers(p)
+    p.add_argument(
+        "--status",
+        action="store_true",
+        help="query a running daemon's /stats document and exit",
+    )
+    p.add_argument(
+        "--healthz",
+        action="store_true",
+        help="query a running daemon's /healthz document and exit",
+    )
+    p.add_argument(
+        "--send",
+        default=None,
+        metavar="TRACE",
+        help="producer mode: ship one .wtrc to the daemon and exit",
+    )
+    p.add_argument(
+        "--stream-id",
+        default=None,
+        metavar="ID",
+        help="stream id for --send (default: stream-0)",
+    )
+    p.add_argument(
+        "--chaos",
+        default=None,
+        choices=(
+            "kill",
+            "stall",
+            "garbage",
+            "corrupt",
+            "oversized",
+            "overdraft",
+            "dup",
+            "reconnect",
+        ),
+        help="with --send: misbehave in one named way and report the "
+        "daemon's verdict",
+    )
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("df", help="run the DeadlockFuzzer baseline")
     p.add_argument("benchmark")

@@ -266,6 +266,26 @@ class StreamingDetector:
         k = min(range(len(entries)), key=lambda i: entries[i].step)
         self._cycles.append(PotentialDeadlock(entries[k:] + entries[:k]))
 
+    # -- introspection --------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Live counters for a long-running ingestion tier's ``/stats``.
+
+        Cheap (no enumeration, no copies): the daemon polls this per
+        stream to report detector progress.  ``cycles_found`` is only
+        populated in per-event probe mode — deferred mode (``shard_cycles``
+        / ``reduce``) enumerates at :meth:`finish`, which is exactly what
+        ``deferred`` tells the caller.
+        """
+        return {
+            "events_seen": self.events_seen,
+            "tuples": len(self._rel),
+            "lock_edges": sum(len(v) for v in self._lock_adj.values()),
+            "cycles_found": len(self._cycles),
+            "deferred": int(self._deferred),
+            "truncated": int(self.truncated),
+        }
+
     # -- finalization ---------------------------------------------------------
 
     @property

@@ -52,9 +52,17 @@ from repro.corpus.minimize import (
     minimize_trace,
     minimize_trace_file,
 )
-from repro.corpus.validate import validate_corpus
+from repro.corpus.validate import (
+    Corruption,
+    classify_decode_error,
+    classify_trace_file,
+    validate_corpus,
+)
 
 __all__ = [
+    "Corruption",
+    "classify_decode_error",
+    "classify_trace_file",
     "BuildReport",
     "CampaignConfig",
     "CampaignSource",

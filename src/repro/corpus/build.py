@@ -177,12 +177,18 @@ def build_corpus(
     *,
     manifest: Optional[CorpusManifest] = None,
     log: Optional[Callable[[str], None]] = None,
+    stop: Optional[Callable[[], bool]] = None,
 ) -> BuildReport:
     """Run the campaign into ``corpus_dir``; returns the build report.
 
     Resumes an existing corpus when ``corpus_dir`` already holds a
     manifest (or when ``manifest`` is passed): coverage accumulates, so
     re-running a campaign admits only traces with genuinely new keys.
+
+    ``stop`` is polled between sources (the graceful-interrupt hook): a
+    True return drains the campaign early, and the manifest is still
+    sealed with everything admitted so far — a partial campaign is a
+    valid, resumable corpus, never a torn one.
     """
     os.makedirs(corpus_dir, exist_ok=True)
     manifest_path = os.path.join(corpus_dir, MANIFEST_NAME)
@@ -195,6 +201,9 @@ def build_corpus(
     report = BuildReport()
 
     for source in iter_campaign_sources(cfg):
+        if stop is not None and stop():
+            say("campaign interrupted: sealing manifest with admissions so far")
+            break
         if cfg.max_traces is not None and report.admitted >= cfg.max_traces:
             break
         report.runs += 1

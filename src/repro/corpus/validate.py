@@ -11,6 +11,7 @@ list of problem strings — an empty list is a healthy corpus — so callers
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass
 from typing import List, Optional, Set
 
 from repro.corpus.manifest import (
@@ -20,30 +21,83 @@ from repro.corpus.manifest import (
     canonical_keys,
     sha256_file,
 )
-from repro.runtime.tracefile import TraceFileReader, is_tracefile
+from repro.runtime.tracefile import OversizedChunkError, TraceFileReader, is_tracefile
+
+# ---------------------------------------------------------------------------
+# corruption taxonomy (shared with the ingestion daemon)
+# ---------------------------------------------------------------------------
+
+#: Stable corruption codes.  The corpus validator renders them as problem
+#: strings; the ingestion daemon (:mod:`repro.serve`) records them as
+#: quarantine reasons — one taxonomy, so a trace that fails validation
+#: here is quarantined with the *same* code when it arrives over a socket.
+TORN = "torn"
+UNREADABLE = "unreadable"
+CORRUPT_PAYLOAD = "corrupt-payload"
+OVERSIZED_CHUNK = "oversized-chunk"
+
+#: Every code :func:`classify_decode_error` / :func:`classify_trace_file`
+#: can produce (serve adds its transport-level codes on top).
+CORRUPTION_CODES = (TORN, UNREADABLE, CORRUPT_PAYLOAD, OVERSIZED_CHUNK)
 
 
-def _check_readable(path: str) -> Optional[str]:
-    """Fully stream the file; the reason it is unreadable/torn, or None.
+@dataclass(frozen=True)
+class Corruption:
+    """One classified defect in a trace byte stream."""
 
-    A writer that died mid-trace leaves no END chunk (or a truncated
-    chunk); :class:`TraceFileReader` surfaces both, and a clean EOF
-    without END is reported by ``declared_events is None``.
+    code: str
+    detail: str
+
+    def render(self) -> str:
+        """The corpus validator's historical problem-string form."""
+        if self.code == TORN:
+            return self.detail
+        if self.code == UNREADABLE:
+            return f"unreadable trace: {self.detail}"
+        if self.code == OVERSIZED_CHUNK:
+            return f"oversized chunk: {self.detail}"
+        return f"corrupt trace payload: {self.detail}"
+
+
+def classify_decode_error(exc: BaseException) -> Corruption:
+    """Map a decoder exception onto the corruption taxonomy.
+
+    Deterministic: the same hostile bytes trip the same decoder check and
+    classify identically whether they came from a file or a socket.
+    """
+    if isinstance(exc, OversizedChunkError):
+        return Corruption(OVERSIZED_CHUNK, str(exc))
+    if isinstance(exc, ValueError) and not isinstance(exc, UnicodeDecodeError):
+        return Corruption(UNREADABLE, str(exc))
+    # Bit rot inside a chunk payload surfaces as whatever the decoder
+    # trips over (bad table index, mangled utf-8) rather than a clean
+    # ValueError; the verdict is the same.
+    return Corruption(CORRUPT_PAYLOAD, repr(exc))
+
+
+def classify_trace_file(path: str) -> Optional[Corruption]:
+    """Fully stream the file; its corruption classification, or ``None``.
+
+    A writer that died mid-trace (or deliberately called
+    :meth:`~repro.runtime.tracefile.TraceFileWriter.abort`) leaves no END
+    chunk, or a truncated chunk; :class:`TraceFileReader` surfaces both,
+    and a clean EOF without END is reported by ``declared_events is None``.
     """
     try:
         with TraceFileReader(path) as reader:
             for _ in reader:
                 pass
             if reader.declared_events is None:
-                return "torn trace (no END chunk)"
+                return Corruption(TORN, "torn trace (no END chunk)")
             return None
-    except ValueError as exc:
-        return f"unreadable trace: {exc}"
-    except (IndexError, KeyError, UnicodeDecodeError) as exc:
-        # Bit rot inside a chunk payload surfaces as whatever the decoder
-        # trips over (bad table index, mangled utf-8) rather than a clean
-        # ValueError; the verdict is the same.
-        return f"corrupt trace payload: {exc!r}"
+    except (ValueError, IndexError, KeyError, UnicodeDecodeError) as exc:
+        return classify_decode_error(exc)
+
+
+def _check_readable(path: str) -> Optional[str]:
+    """Problem-string form of :func:`classify_trace_file` (None = clean)."""
+    corruption = classify_trace_file(path)
+    return None if corruption is None else corruption.render()
 
 
 def validate_corpus(

@@ -170,7 +170,13 @@ class TraceFileWriter:
     up to ``events_per_chunk`` and then flushed.  Accepts a path (opened
     and owned) or a writable binary file object (caller keeps ownership).
     Usable as a context manager; :meth:`close` seals the file with an END
-    chunk carrying the total event count.
+    chunk carrying the total event count, while :meth:`abort` flushes the
+    buffered chunks as crash evidence and deliberately leaves the file
+    *unsealed* (no END chunk) so downstream torn-trace detection stays
+    trustworthy.  The context manager routes exceptional exits through
+    ``abort()``: a producer that dies mid-trace must never look complete.
+    Owned files are fsynced on both paths before the descriptor is
+    released.
     """
 
     def __init__(
@@ -194,6 +200,8 @@ class TraceFileWriter:
         self.events_written = 0
         self._chunk_limit = events_per_chunk
         self._closed = False
+        #: True once :meth:`abort` ran — the file is torn by design.
+        self.aborted = False
         # Interners (identity -> table index) and their pending wire rows.
         self._strings: Dict[str, int] = {}
         self._threads: Dict[ThreadId, int] = {}
@@ -389,44 +397,54 @@ class TraceFileWriter:
         _put_uvarint(end, self.events_written)
         self._write_chunk(_END, end)
         self._closed = True
+        self._sync_and_release()
+
+    def abort(self) -> None:
+        """Stop writing WITHOUT sealing the file.
+
+        Buffered chunks are flushed (the partial trace is evidence worth
+        keeping) but no END chunk is written, so every reader — the
+        corpus validator, the ingestion daemon, ``trace info`` — sees the
+        file for what it is: torn.  Idempotent; a no-op after ``close``.
+        """
+        if self._closed:
+            return
+        self._flush()
+        self._closed = True
+        self.aborted = True
+        self._sync_and_release()
+
+    def _sync_and_release(self) -> None:
+        self._fh.flush()
+        try:
+            os.fsync(self._fh.fileno())
+        except (OSError, ValueError, io.UnsupportedOperation, AttributeError):
+            pass  # non-file destinations (BytesIO, sockets) have no fsync
         if self._owns:
             self._fh.close()
-        else:
-            self._fh.flush()
 
     def __enter__(self) -> "TraceFileWriter":
         return self
 
-    def __exit__(self, *exc) -> None:
-        self.close()
-
-
-# ---------------------------------------------------------------------------
-# reader
-# ---------------------------------------------------------------------------
-
-
-class TraceFileReader:
-    """Sequential event iterator over a binary trace file.
-
-    Decodes one chunk at a time: peak memory is the identity tables plus a
-    single chunk, independent of the trace length.  Accepts a path (opened
-    and owned) or a readable binary file object.
-    """
-
-    def __init__(self, src: PathOrIO) -> None:
-        if isinstance(src, (str, os.PathLike)):
-            self._fh: BinaryIO = open(src, "rb")
-            self._owns = True
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # An exception unwinding through the block means the producer died
+        # mid-trace: leave the file torn instead of forging completeness.
+        if exc_type is not None:
+            self.abort()
         else:
-            self._fh = src
-            self._owns = False
-        header = self._fh.read(len(MAGIC) + 1)
-        if header[: len(MAGIC)] != MAGIC:
-            raise ValueError("not a WOLF binary trace file (bad magic)")
-        version = header[len(MAGIC)]
-        if version != FORMAT_VERSION:
-            raise ValueError(f"unsupported trace file version {version}")
+            self.close()
+
+
+# ---------------------------------------------------------------------------
+# shared decode core (tables + event decoding)
+# ---------------------------------------------------------------------------
+
+
+class _DecodeCore:
+    """Identity tables plus chunk-payload decoding, shared by the file
+    reader (pull) and the incremental :class:`ChunkDecoder` (push)."""
+
+    def _init_decode_state(self) -> None:
         self._strings: List[str] = []
         self._threads: List[ThreadId] = []
         self._locks: List[LockId] = []
@@ -435,41 +453,21 @@ class TraceFileReader:
         #: END-chunk event count (``None`` until the END chunk is reached —
         #: a missing END chunk means the writer died mid-trace).
         self.declared_events: Optional[int] = None
-        #: Spans of the EVENTS chunks decoded so far (empty for
-        #: non-tellable sources) — lets a full sequential pass double as
-        #: the index a later selective pass (:meth:`iter_events_in`) or a
-        #: zero-copy worker hand-off needs.
-        self.event_spans: List[ChunkSpan] = []
-        self._chunk_offset: Optional[int] = None
-        kind, payload = self._next_chunk(required=True)
-        if kind != _META:
-            raise ValueError("trace file must start with a META chunk")
+        self.program = ""
+        self.seed = 0
+
+    def _load_meta(self, payload: bytes) -> None:
         n, pos = _get_uvarint(payload, 0)
         self.program = payload[pos : pos + n].decode("utf-8")
         self.seed, _ = _get_svarint(payload, pos + n)
 
-    # -- chunk plumbing ------------------------------------------------------
-
-    def _tell(self) -> Optional[int]:
-        try:
-            return self._fh.tell()
-        except (OSError, io.UnsupportedOperation):
-            return None
-
-    def _next_chunk(self, required: bool = False) -> Tuple[int, bytes]:
-        self._chunk_offset = self._tell()
-        kind_b = self._fh.read(1)
-        if not kind_b:
-            if required:
-                raise ValueError("truncated trace file")
-            return -1, b""
-        length = _read_uvarint_io(self._fh)
-        if length is None:
-            raise ValueError("truncated trace file (chunk header)")
-        payload = self._fh.read(length)
-        if len(payload) != length:
-            raise ValueError("truncated trace file (chunk payload)")
-        return kind_b[0], payload
+    def _load_end(self, payload: bytes) -> None:
+        self.declared_events, _ = _get_uvarint(payload, 0)
+        if self.declared_events != self.events_read:
+            raise ValueError(
+                f"trace file declares {self.declared_events} events "
+                f"but {self.events_read} were decoded"
+            )
 
     def _load_strings(self, payload: bytes) -> None:
         n, pos = _get_uvarint(payload, 0)
@@ -621,6 +619,68 @@ class TraceFileReader:
             yield ev
         self._last_step = step
 
+
+# ---------------------------------------------------------------------------
+# reader
+# ---------------------------------------------------------------------------
+
+
+class TraceFileReader(_DecodeCore):
+    """Sequential event iterator over a binary trace file.
+
+    Decodes one chunk at a time: peak memory is the identity tables plus a
+    single chunk, independent of the trace length.  Accepts a path (opened
+    and owned) or a readable binary file object.
+    """
+
+    def __init__(self, src: PathOrIO) -> None:
+        if isinstance(src, (str, os.PathLike)):
+            self._fh: BinaryIO = open(src, "rb")
+            self._owns = True
+        else:
+            self._fh = src
+            self._owns = False
+        header = self._fh.read(len(MAGIC) + 1)
+        if header[: len(MAGIC)] != MAGIC:
+            raise ValueError("not a WOLF binary trace file (bad magic)")
+        version = header[len(MAGIC)]
+        if version != FORMAT_VERSION:
+            raise ValueError(f"unsupported trace file version {version}")
+        self._init_decode_state()
+        #: Spans of the EVENTS chunks decoded so far (empty for
+        #: non-tellable sources) — lets a full sequential pass double as
+        #: the index a later selective pass (:meth:`iter_events_in`) or a
+        #: zero-copy worker hand-off needs.
+        self.event_spans: List[ChunkSpan] = []
+        self._chunk_offset: Optional[int] = None
+        kind, payload = self._next_chunk(required=True)
+        if kind != _META:
+            raise ValueError("trace file must start with a META chunk")
+        self._load_meta(payload)
+
+    # -- chunk plumbing ------------------------------------------------------
+
+    def _tell(self) -> Optional[int]:
+        try:
+            return self._fh.tell()
+        except (OSError, io.UnsupportedOperation):
+            return None
+
+    def _next_chunk(self, required: bool = False) -> Tuple[int, bytes]:
+        self._chunk_offset = self._tell()
+        kind_b = self._fh.read(1)
+        if not kind_b:
+            if required:
+                raise ValueError("truncated trace file")
+            return -1, b""
+        length = _read_uvarint_io(self._fh)
+        if length is None:
+            raise ValueError("truncated trace file (chunk header)")
+        payload = self._fh.read(length)
+        if len(payload) != length:
+            raise ValueError("truncated trace file (chunk payload)")
+        return kind_b[0], payload
+
     def __iter__(self) -> Iterator[TraceEvent]:
         while True:
             kind, payload = self._next_chunk()
@@ -648,12 +708,7 @@ class TraceFileReader:
                         )
                     )
             elif kind == _END:
-                self.declared_events, _ = _get_uvarint(payload, 0)
-                if self.declared_events != self.events_read:
-                    raise ValueError(
-                        f"trace file declares {self.declared_events} events "
-                        f"but {self.events_read} were decoded"
-                    )
+                self._load_end(payload)
                 return
             elif kind == _META:
                 raise ValueError("duplicate META chunk")
@@ -719,6 +774,164 @@ class TraceFileReader:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+# ---------------------------------------------------------------------------
+# incremental push decoder (network ingestion)
+# ---------------------------------------------------------------------------
+
+
+class OversizedChunkError(ValueError):
+    """A chunk declares a payload beyond the configured ceiling.
+
+    Raised *from the header alone*, before any payload bytes are
+    buffered — the defense that keeps a hostile producer from making the
+    decoder allocate its declared (arbitrarily large) chunk.
+    """
+
+
+def _try_uvarint(buf: bytearray, pos: int) -> Optional[Tuple[int, int]]:
+    """Decode one uvarint from ``buf[pos:]`` or ``None`` if incomplete."""
+    result = 0
+    shift = 0
+    while pos < len(buf):
+        b = buf[pos]
+        pos += 1
+        result |= (b & 0x7F) << shift
+        if not b & 0x80:
+            return result, pos
+        shift += 7
+    return None
+
+
+class ChunkDecoder(_DecodeCore):
+    """Incremental ``.wtrc`` decoder for bytes arriving in arbitrary slices.
+
+    The ingestion daemon's workhorse: a producer streams a trace file over
+    a socket in whatever frame sizes it likes, and each :meth:`push`
+    returns the events of every chunk that is now complete — identity
+    tables resolve exactly as in the sequential reader because chunks are
+    processed in stream order.  State the daemon's journal and flow
+    control need is exposed as it advances:
+
+    ``bytes_consumed``
+        absolute stream offset of the last fully-decoded chunk boundary —
+        the resume point a crash-recovery journal records (re-feeding the
+        first ``bytes_consumed`` bytes reproduces this decoder's state
+        exactly);
+    ``buffered``
+        bytes received but not yet attributable to a complete chunk (the
+        partial-chunk residue counted against backpressure budgets);
+    ``complete``
+        whether the END seal arrived and matched.
+
+    ``max_chunk_bytes`` bounds any single chunk's declared payload;
+    violation raises :class:`OversizedChunkError` before the payload is
+    buffered.  All other corruption surfaces exactly as
+    :class:`TraceFileReader` would raise it (``ValueError`` for framing,
+    ``IndexError``/``KeyError``/``UnicodeDecodeError`` for bit rot inside
+    payloads), so one taxonomy classifies both batch and streaming
+    ingestion.
+    """
+
+    def __init__(self, *, max_chunk_bytes: Optional[int] = None) -> None:
+        if max_chunk_bytes is not None and max_chunk_bytes < 1:
+            raise ValueError(f"max_chunk_bytes must be >= 1, got {max_chunk_bytes}")
+        self._init_decode_state()
+        self.max_chunk_bytes = max_chunk_bytes
+        self._buf = bytearray()
+        #: absolute offset of ``_buf[0]`` in the whole stream
+        self._base = 0
+        self._header_done = False
+        self._meta_done = False
+        self.complete = False
+        #: Spans of every decoded EVENTS chunk, offsets relative to the
+        #: stream start — identical to what :class:`TraceFileReader` would
+        #: record over the same bytes, so they address the daemon's spool
+        #: file for the zero-copy shard hand-off.
+        self.event_spans: List[ChunkSpan] = []
+
+    @property
+    def bytes_consumed(self) -> int:
+        """Stream offset of the last fully-decoded chunk boundary."""
+        return self._base
+
+    @property
+    def buffered(self) -> int:
+        """Bytes held waiting for their chunk to complete."""
+        return len(self._buf)
+
+    def push(self, data: bytes) -> List[TraceEvent]:
+        """Consume a slice of the stream; return newly-decoded events."""
+        if self.complete and data:
+            raise ValueError("data after END chunk")
+        self._buf += data
+        out: List[TraceEvent] = []
+        while True:
+            if not self._header_done:
+                if len(self._buf) < len(MAGIC) + 1:
+                    break
+                if bytes(self._buf[: len(MAGIC)]) != MAGIC:
+                    raise ValueError("not a WOLF binary trace file (bad magic)")
+                version = self._buf[len(MAGIC)]
+                if version != FORMAT_VERSION:
+                    raise ValueError(f"unsupported trace file version {version}")
+                self._advance(len(MAGIC) + 1)
+                self._header_done = True
+            got = _try_uvarint(self._buf, 1) if len(self._buf) >= 1 else None
+            if got is None:
+                break
+            length, payload_at = got
+            if self.max_chunk_bytes is not None and length > self.max_chunk_bytes:
+                raise OversizedChunkError(
+                    f"chunk declares {length} payload bytes "
+                    f"(limit {self.max_chunk_bytes})"
+                )
+            if len(self._buf) < payload_at + length:
+                break
+            kind = self._buf[0]
+            payload = bytes(self._buf[payload_at : payload_at + length])
+            chunk_offset = self._base
+            self._advance(payload_at + length)
+            if kind == _EVENTS:
+                if not self._meta_done:
+                    raise ValueError("trace file must start with a META chunk")
+                base_step = self._last_step
+                events_before = self.events_read
+                out.extend(self._decode_events(payload))
+                self.event_spans.append(
+                    ChunkSpan(
+                        offset=chunk_offset,
+                        length=length,
+                        base_step=base_step,
+                        last_step=self._last_step,
+                        events=self.events_read - events_before,
+                    )
+                )
+            elif kind == _STRINGS:
+                self._load_strings(payload)
+            elif kind == _THREADS:
+                self._load_threads(payload)
+            elif kind == _LOCKS:
+                self._load_locks(payload)
+            elif kind == _META:
+                if self._meta_done:
+                    raise ValueError("duplicate META chunk")
+                self._load_meta(payload)
+                self._meta_done = True
+            elif kind == _END:
+                self._load_end(payload)
+                self.complete = True
+                if self._buf:
+                    raise ValueError("data after END chunk")
+                break
+            else:
+                raise ValueError(f"unknown chunk kind {kind}")
+        return out
+
+    def _advance(self, n: int) -> None:
+        del self._buf[:n]
+        self._base += n
 
 
 # ---------------------------------------------------------------------------

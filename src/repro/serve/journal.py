@@ -1,0 +1,131 @@
+"""Chunk-granularity crash-recovery journal for one ingestion run.
+
+The daemon's durability story: every state transition that must survive a
+``kill -9`` is one fsynced JSONL line in ``journal.jsonl`` inside the run
+directory.  Three facts are journaled:
+
+* ``chunk`` — a stream's spool has been durably ingested up to byte
+  ``bytes`` (always a ``.wtrc`` chunk boundary, so re-feeding the spool
+  prefix reproduces the detector's state exactly);
+* ``complete`` — a stream finished: its report row (events, defect keys,
+  report filename, sha256) is recorded so a restarted daemon can rebuild
+  the run manifest *without re-analyzing the trace*;
+* ``quarantine`` / ``reject`` — a stream (or a connection attempt) was
+  classified hostile, with its taxonomy code.
+
+Recovery (:meth:`RunJournal.load_state`) replays the journal into a
+:class:`JournalState`: completed and quarantined streams are terminal,
+anything else with journaled bytes is resumable from that offset.  A torn
+final line (the crash landed mid-write) is ignored — everything before it
+was fsynced.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TextIO
+
+JOURNAL_NAME = "journal.jsonl"
+
+
+@dataclass
+class JournalState:
+    """What a journal says survived the previous daemon incarnation."""
+
+    #: stream id -> durably-ingested byte count (chunk boundary)
+    bytes_ingested: Dict[str, int] = field(default_factory=dict)
+    #: stream id -> sealed manifest row (status "analyzed")
+    completed: Dict[str, dict] = field(default_factory=dict)
+    #: stream id -> sealed manifest row (status "quarantined")
+    quarantined: Dict[str, dict] = field(default_factory=dict)
+    #: connection attempts rejected before a session existed
+    rejected: List[dict] = field(default_factory=list)
+
+    def terminal(self, stream_id: str) -> bool:
+        return stream_id in self.completed or stream_id in self.quarantined
+
+    def resumable(self) -> Dict[str, int]:
+        """Streams with durable bytes but no terminal verdict."""
+        return {
+            s: n
+            for s, n in self.bytes_ingested.items()
+            if not self.terminal(s)
+        }
+
+
+class RunJournal:
+    """Append-only fsynced JSONL journal (one per run directory)."""
+
+    def __init__(self, path: str, *, fsync: bool = True) -> None:
+        self.path = path
+        self._fsync = fsync
+        self._fh: Optional[TextIO] = open(path, "a", encoding="utf-8")
+
+    # -- writing -------------------------------------------------------------
+
+    def _append(self, doc: dict) -> None:
+        assert self._fh is not None, "journal is closed"
+        self._fh.write(json.dumps(doc, sort_keys=True) + "\n")
+        self._fh.flush()
+        if self._fsync:
+            os.fsync(self._fh.fileno())
+
+    def chunk(self, stream_id: str, bytes_ingested: int) -> None:
+        self._append(
+            {"op": "chunk", "stream": stream_id, "bytes": bytes_ingested}
+        )
+
+    def complete(self, stream_id: str, row: dict) -> None:
+        self._append({"op": "complete", "stream": stream_id, "row": row})
+
+    def quarantine(self, stream_id: str, row: dict) -> None:
+        self._append({"op": "quarantine", "stream": stream_id, "row": row})
+
+    def reject(self, stream_id: str, code: str, detail: str) -> None:
+        self._append(
+            {"op": "reject", "stream": stream_id, "code": code, "detail": detail}
+        )
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    # -- recovery ------------------------------------------------------------
+
+    @staticmethod
+    def load_state(path: str) -> JournalState:
+        """Replay a journal file (missing file = empty state)."""
+        state = JournalState()
+        if not os.path.exists(path):
+            return state
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    doc = json.loads(line)
+                except json.JSONDecodeError:
+                    # Torn final line from a crash mid-write: everything
+                    # before it was fsynced, so stop here.
+                    break
+                op = doc.get("op")
+                stream = doc.get("stream", "")
+                if op == "chunk":
+                    state.bytes_ingested[stream] = int(doc["bytes"])
+                elif op == "complete":
+                    state.completed[stream] = doc["row"]
+                elif op == "quarantine":
+                    state.quarantined[stream] = doc["row"]
+                elif op == "reject":
+                    state.rejected.append(
+                        {
+                            "stream": stream,
+                            "code": doc.get("code", ""),
+                            "detail": doc.get("detail", ""),
+                        }
+                    )
+        return state

@@ -1,0 +1,112 @@
+"""Canonical per-stream defect reports.
+
+One function produces the report document and one function renders it to
+bytes, and *both* the ingestion daemon and ``wolf analyze-trace --json``
+go through them — which is what makes the acceptance property checkable
+at the byte level: a healthy stream ingested over a socket yields a
+report file byte-identical to the batch CLI run on the same ``.wtrc``.
+
+The document is deliberately timestamp- and hostname-free: a defect
+report is a pure function of the trace bytes and the detector knobs, so
+identical inputs must produce identical bytes on any machine at any time.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional, Sequence
+
+from repro.core.detector import DetectionResult
+from repro.core.generator import Generator, GeneratorVerdict
+from repro.core.pruner import Pruner
+from repro.core.streaming import StreamingDetector
+from repro.corpus.manifest import DETECTOR_PARAMS, canonical_keys
+from repro.runtime.tracefile import TraceFileReader
+
+REPORT_SCHEMA = "wolf-defect-report/1"
+
+
+def defect_report_doc(
+    detection: DetectionResult,
+    *,
+    program: str,
+    seed: int,
+    events: int,
+    max_length: int = DETECTOR_PARAMS["max_length"],
+    max_cycles: int = DETECTOR_PARAMS["max_cycles"],
+) -> dict:
+    """Build the canonical report document from a finished detection.
+
+    Runs the trace-side pipeline tail (Pruner → Generator) exactly as
+    ``wolf analyze-trace`` does; replay needs the live producer and is
+    deliberately out of scope for the ingestion tier (the sound-prediction
+    ROADMAP item picks it up from here).
+    """
+    prune = Pruner(detection.vclocks).prune(detection.cycles)
+    gen = Generator(detection.relation).run(prune.survivors)
+    decisions = [
+        {
+            "sites": sorted(dec.cycle.sites),
+            "threads": len(dec.cycle.entries),
+            "verdict": (
+                "false" if dec.verdict is GeneratorVerdict.FALSE else "replayable"
+            ),
+        }
+        for dec in gen.decisions
+    ]
+    return {
+        "schema": REPORT_SCHEMA,
+        "program": program,
+        "seed": seed,
+        "events": events,
+        "engine": "streaming",
+        "detector": {"max_length": max_length, "max_cycles": max_cycles},
+        "cycles": len(detection.cycles),
+        "truncated": detection.truncated,
+        "defect_keys": [list(k) for k in canonical_keys(detection.defect_keys())],
+        "pruned_false": len(prune.false_positives),
+        "generator_false": len(gen.false_positives),
+        "replay_candidates": len(gen.survivors),
+        "decisions": decisions,
+    }
+
+
+def report_doc_for_file(
+    path: str,
+    *,
+    max_length: int = DETECTOR_PARAMS["max_length"],
+    max_cycles: int = DETECTOR_PARAMS["max_cycles"],
+) -> dict:
+    """The batch path: stream a ``.wtrc`` file through a fresh detector.
+
+    This is the reference the daemon's incremental path must match
+    byte-for-byte — same detector construction, same finish, same
+    document builder.
+    """
+    det = StreamingDetector(max_length=max_length, max_cycles=max_cycles)
+    with TraceFileReader(path) as reader:
+        det.feed_many(reader)
+        program, seed = reader.program, reader.seed
+    detection = det.finish()
+    return defect_report_doc(
+        detection,
+        program=program,
+        seed=seed,
+        events=det.events_seen,
+        max_length=max_length,
+        max_cycles=max_cycles,
+    )
+
+
+def render_report(doc: dict) -> bytes:
+    """Canonical byte rendering: sorted keys, two-space indent, ``\\n``."""
+    return (json.dumps(doc, indent=2, sort_keys=True) + "\n").encode("utf-8")
+
+
+def summarize_keys(doc: dict) -> Sequence[str]:
+    """Flat ``site|site`` strings for manifest rows and logs."""
+    return ["|".join(k) for k in doc.get("defect_keys", [])]
+
+
+def events_of(doc: Optional[dict]) -> int:
+    return 0 if doc is None else int(doc.get("events", 0))

@@ -1,0 +1,70 @@
+"""Graceful SIGINT/SIGTERM handling for long-running CLI paths.
+
+A corpus campaign or bench driver interrupted with Ctrl-C used to die
+with a raw ``KeyboardInterrupt`` traceback, leaving whatever manifest it
+was accumulating unwritten.  :class:`GracefulInterrupt` converts the
+first SIGINT/SIGTERM into a *drain request* the work loop polls at its
+checkpoints — flush partial results, then exit with
+:data:`INTERRUPT_EXIT_CODE` — while a second signal restores the
+impatient historical behavior (raises ``KeyboardInterrupt`` immediately).
+
+Signal handlers can only be installed from the main thread; elsewhere the
+context manager degrades to an inert flag so library code can use it
+unconditionally.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from types import FrameType
+from typing import Optional
+
+#: Distinct exit status for "interrupted, partial results flushed" —
+#: deliberately neither 0 (success), 1 (failure) nor 130 (killed by
+#: SIGINT without cleanup).  75 is sysexits.h EX_TEMPFAIL: try again.
+INTERRUPT_EXIT_CODE = 75
+
+
+class GracefulInterrupt:
+    """Context manager turning the first SIGINT/SIGTERM into a flag.
+
+    Usage::
+
+        with GracefulInterrupt() as stop:
+            for item in work:
+                if stop.triggered:
+                    break
+                ...
+        if stop.triggered:
+            ...flush + sys.exit(INTERRUPT_EXIT_CODE)
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._installed = False
+        self._previous: dict = {}
+
+    @property
+    def triggered(self) -> bool:
+        return self._event.is_set()
+
+    def _handle(self, signum: int, frame: Optional[FrameType]) -> None:
+        if self._event.is_set():
+            # Second signal: the user means it.
+            raise KeyboardInterrupt
+        self._event.set()
+
+    def __enter__(self) -> "GracefulInterrupt":
+        if threading.current_thread() is threading.main_thread():
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                self._previous[sig] = signal.signal(sig, self._handle)
+            self._installed = True
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._installed:
+            for sig, prev in self._previous.items():
+                signal.signal(sig, prev)
+            self._previous.clear()
+            self._installed = False

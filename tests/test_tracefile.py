@@ -233,3 +233,160 @@ class TestStreamingIO:
         write_trace(run.trace, str(path))
         with pytest.raises(ValueError, match="truncated"):
             trace_info(io.BytesIO(path.read_bytes()[:-1]))
+
+
+class TestWriterAbort:
+    """A producer that dies mid-trace must never forge completeness."""
+
+    def _trace(self):
+        return run_detection(all_benchmarks()[0].program, 0, name="p").trace
+
+    def test_abort_leaves_file_unsealed(self, tmp_path):
+        trace = self._trace()
+        path = tmp_path / "t.wtrc"
+        w = TraceFileWriter(str(path), program="p", seed=0, events_per_chunk=4)
+        for ev in trace.events:
+            w(ev)
+        w.abort()
+        assert w.aborted
+        # Evidence survives (flushed chunks decode) but the seal does not.
+        info = trace_info(str(path))
+        assert info["complete"] is False
+        assert info["events"] == len(trace)
+
+    def test_exit_on_exception_aborts(self, tmp_path):
+        """The satellite property: an exception unwinding the with-block
+        routes through abort(), so the file classifies as torn."""
+        trace = self._trace()
+        path = tmp_path / "t.wtrc"
+        with pytest.raises(RuntimeError, match="producer died"):
+            with TraceFileWriter(str(path), program="p", seed=0) as w:
+                for ev in trace.events:
+                    w(ev)
+                raise RuntimeError("producer died mid-trace")
+        assert w.aborted
+        assert trace_info(str(path))["complete"] is False
+
+    def test_exit_clean_seals(self, tmp_path):
+        trace = self._trace()
+        path = tmp_path / "t.wtrc"
+        with TraceFileWriter(str(path), program="p", seed=0) as w:
+            for ev in trace.events:
+                w(ev)
+        assert not w.aborted
+        assert trace_info(str(path))["complete"] is True
+
+    def test_abort_idempotent_and_noop_after_close(self, tmp_path):
+        path = tmp_path / "t.wtrc"
+        w = TraceFileWriter(str(path), program="p", seed=0)
+        w.close()
+        w.abort()  # no-op: already sealed
+        assert not w.aborted
+        assert trace_info(str(path))["complete"] is True
+
+    def test_abort_quarantines_as_torn(self, tmp_path):
+        """The aborted file lands in the same taxonomy bucket the corpus
+        validator and the ingestion daemon use for torn streams."""
+        from repro.corpus.validate import classify_trace_file
+
+        trace = self._trace()
+        path = tmp_path / "t.wtrc"
+        with pytest.raises(RuntimeError):
+            with TraceFileWriter(str(path), program="p", seed=0) as w:
+                for ev in trace.events:
+                    w(ev)
+                raise RuntimeError("boom")
+        verdict = classify_trace_file(str(path))
+        assert verdict is not None and verdict.code == "torn"
+
+
+class TestChunkDecoder:
+    """The incremental decoder behind the ingestion daemon."""
+
+    def _file_bytes(self, events_per_chunk=8):
+        run = run_detection(all_benchmarks()[0].program, 0, name="p")
+        buf = io.BytesIO()
+        write_trace(run.trace, buf, events_per_chunk=events_per_chunk)
+        return run.trace, buf.getvalue()
+
+    @pytest.mark.parametrize("step", [1, 3, 17, 1 << 16])
+    def test_arbitrary_slices_equal_batch(self, step):
+        """Any slicing of the byte stream decodes to the reader's events."""
+        from repro.runtime.tracefile import ChunkDecoder
+
+        trace, data = self._file_bytes()
+        dec = ChunkDecoder()
+        events = []
+        for i in range(0, len(data), step):
+            events.extend(dec.push(data[i : i + step]))
+        assert dec.complete
+        assert dec.buffered == 0
+        assert dec.bytes_consumed == len(data)
+        assert events == trace.events
+        assert dec.program == trace.program
+        assert dec.seed == trace.seed
+
+    def test_event_spans_match_reader(self):
+        from repro.runtime.tracefile import ChunkDecoder
+
+        _, data = self._file_bytes()
+        dec = ChunkDecoder()
+        dec.push(data)
+        with TraceFileReader(io.BytesIO(data)) as r:
+            list(r)
+            assert dec.event_spans == list(r.event_spans)
+
+    def test_bytes_consumed_is_chunk_aligned(self):
+        """Mid-chunk bytes stay buffered: bytes_consumed only advances at
+        chunk boundaries — the resume invariant the journal leans on."""
+        from repro.runtime.tracefile import ChunkDecoder
+
+        _, data = self._file_bytes()
+        dec = ChunkDecoder()
+        boundaries = set()
+        for i in range(len(data)):
+            dec.push(data[i : i + 1])
+            assert dec.bytes_consumed + dec.buffered == i + 1
+            boundaries.add(dec.bytes_consumed)
+        # Re-feeding any journaled prefix lands exactly on its boundary.
+        for cut in sorted(boundaries)[1:]:
+            fresh = ChunkDecoder()
+            fresh.push(data[:cut])
+            assert fresh.bytes_consumed == cut
+
+    def test_oversized_chunk_rejected_before_buffering(self):
+        from repro.runtime.tracefile import (
+            _EVENTS,
+            ChunkDecoder,
+            OversizedChunkError,
+        )
+
+        evil = MAGIC + bytes([FORMAT_VERSION, _EVENTS]) + b"\x80\x80\x80\x80\x01"
+        dec = ChunkDecoder(max_chunk_bytes=1 << 20)
+        with pytest.raises(OversizedChunkError):
+            dec.push(evil)
+
+    def test_data_after_end_rejected(self):
+        from repro.runtime.tracefile import ChunkDecoder
+
+        _, data = self._file_bytes()
+        dec = ChunkDecoder()
+        dec.push(data)
+        assert dec.complete
+        with pytest.raises(ValueError, match="data after END"):
+            dec.push(b"\x00")
+
+    def test_corruption_matches_batch_reader(self):
+        """Bit rot raises through push() just as the batch reader would,
+        so one taxonomy classifies both ingestion paths."""
+        _, data = self._file_bytes()
+        broken = bytearray(data)
+        broken[24] ^= 0xFF
+        from repro.runtime.tracefile import ChunkDecoder
+
+        with pytest.raises(Exception) as streamed:
+            dec = ChunkDecoder()
+            dec.push(bytes(broken))
+        with pytest.raises(Exception) as batch:
+            read_trace(io.BytesIO(bytes(broken)))
+        assert type(streamed.value) is type(batch.value)
