@@ -473,6 +473,58 @@ def run_macro_sharded(n_events: int, tmp_dir: str) -> dict:
     }
 
 
+def run_prediction() -> dict:
+    """Sync-preserving prediction over every registry benchmark.
+
+    Measures what the prediction tentpole claims: how many Generator
+    survivors the pass decides (certifies or refutes) without replay,
+    and what the pass itself costs on top of detection.  The decided
+    ratio is machine-independent (pure trace analysis), so the perf gate
+    can hold a floor under it.
+    """
+    from repro.core.generator import Generator, GeneratorVerdict
+    from repro.core.parallel import predict_decisions
+    from repro.core.pipeline import run_detection
+    from repro.core.prediction import ClosureIndex
+    from repro.core.pruner import Pruner
+    from repro.workloads.registry import all_benchmarks
+
+    counts = {"certified": 0, "refuted": 0, "undecided": 0}
+    n_bench = 0
+    candidates = 0
+    predict_s = 0.0
+    for b in all_benchmarks():
+        n_bench += 1
+        run = run_detection(b.program, b.detect_seed, name=b.name)
+        detection = ExtendedDetector(max_length=b.max_cycle_length).analyze(
+            run.trace
+        )
+        prune = Pruner(detection.vclocks).prune(detection.cycles)
+        gen = Generator(detection.relation).run(prune.survivors)
+        unknown = [
+            d for d in gen.decisions if d.verdict is GeneratorVerdict.UNKNOWN
+        ]
+        if not unknown:
+            continue
+        candidates += len(unknown)
+        t0 = time.perf_counter()
+        index = ClosureIndex.from_events(run.trace)
+        preds = predict_decisions(index, gen.decisions)
+        predict_s += time.perf_counter() - t0
+        for p in preds:
+            if p is not None:
+                counts[p.verdict.value] += 1
+    decided = counts["certified"] + counts["refuted"]
+    examined = sum(counts.values())
+    return {
+        "benchmarks": n_bench,
+        "candidates": candidates,
+        **counts,
+        "decided_ratio": round(decided / examined, 4) if examined else None,
+        "predict_s": round(predict_s, 6),
+    }
+
+
 def run_micro() -> dict:
     """Single-shot stage timings on the module's heavy trace (best of 3)."""
     result = run_program(heavy_program(), RandomStrategy(0, stickiness=0.9))
@@ -515,18 +567,21 @@ def main(argv=None) -> int:
     # Ctrl-C between stages flushes whatever completed as a partial
     # document (interrupted=true) and exits EX_TEMPFAIL instead of
     # losing minutes of timings to a traceback.
-    macro = sharding = micro = None
+    macro = sharding = micro = prediction = None
     with GracefulInterrupt() as interrupt, tempfile.TemporaryDirectory() as tmp:
         macro = run_macro(args.events, tmp)
         if not interrupt.triggered:
             sharding = run_macro_sharded(args.events, tmp)
         if not interrupt.triggered:
             micro = run_micro()
+        if not interrupt.triggered:
+            prediction = run_prediction()
     doc = {
-        "schema": "bench-core/2",
+        "schema": "bench-core/3",
         "macro": macro,
         "sharding": sharding,
         "micro": micro,
+        "prediction": prediction,
     }
     if interrupt.triggered:
         doc["interrupted"] = True
@@ -553,6 +608,14 @@ def main(argv=None) -> int:
         f"hand-off {sharding['handoff_bytes']['largest_shard_task']} B/task "
         f"vs {sharding['handoff_bytes']['pickled_trace']} B pickled trace"
     )
+    print(
+        f"prediction over {prediction['benchmarks']} benchmark(s): "
+        f"{prediction['candidates']} candidate(s), "
+        f"{prediction['certified']} certified, {prediction['refuted']} "
+        f"refuted, {prediction['undecided']} undecided "
+        f"({100.0 * prediction['decided_ratio']:.1f}% decided without "
+        f"replay, {prediction['predict_s']:.3f}s)"
+    )
     ok = True
     if speedup <= 1.0:
         print("FAIL: streaming+binary not faster end-to-end", file=sys.stderr)
@@ -561,6 +624,13 @@ def main(argv=None) -> int:
         print(
             "FAIL: sharded enumeration not >=3x faster than monolithic "
             f"DFS on the loop-heavy macro (got {sharding['speedup']}x)",
+            file=sys.stderr,
+        )
+        ok = False
+    if prediction["decided_ratio"] is None or prediction["decided_ratio"] < 0.6:
+        print(
+            "FAIL: prediction decides < 60% of registry candidates without "
+            f"replay (got {prediction['decided_ratio']})",
             file=sys.stderr,
         )
         ok = False

@@ -2,14 +2,18 @@
 
 The perf gate (check_perf_regression.py) protects speed ratios; this gate
 protects *findings*.  It re-runs the full offline analysis — streaming
-detection, Pruner, Generator — over every ``.wtrc`` trace committed under
-``corpus/`` and fails when, relative to the committed baseline:
+detection, Pruner, Generator, sync-preserving prediction — over every
+``.wtrc`` trace committed under ``corpus/`` and fails when, relative to
+the committed baseline:
 
 * any **defect key is lost** (corpus-wide, or from the specific trace
   that used to witness it), or
 * any trace's **replay-candidate count regresses** (cycles the Generator
   certifies replayable from the trace alone — the offline stand-in for
   replay success, since committed traces carry no live program), or
+* any trace key the baseline **certified is demoted** (the prediction
+  pass stopped proving the cycle feasible — a lost proof gates exactly
+  like a lost defect), or
 * the corpus fails **validation** (torn/duplicate/stray/manifest-divergent
   traces) — a corrupted corpus must not silently pass.
 
@@ -94,6 +98,17 @@ def main(argv=None) -> int:
         f"ok    re-analyzed {totals['traces']} trace(s): "
         f"{totals['defect_keys']} defect key(s), {totals['cycles']} cycle(s), "
         f"{totals['replay_candidates']} replay candidate(s)"
+    )
+    pred = totals["predicted"]
+    ratio = totals["decided_ratio"]
+    print(
+        f"ok    prediction: {pred['certified']} certified, "
+        f"{pred['refuted']} refuted, {pred['undecided']} undecided"
+        + (
+            f" ({100.0 * ratio:.1f}% decided without replay)"
+            if ratio is not None
+            else ""
+        )
     )
 
     if args.write_baseline:

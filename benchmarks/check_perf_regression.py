@@ -10,7 +10,11 @@ same box, in the same process.  This gate therefore compares ratios:
 * ``sharding.speedup`` — sharded+deduplicated cycle enumeration vs the
   monolithic DFS on the loop-heavy macro;
 * ``macro.file_bytes.ratio`` — JSON vs binary trace size (fully
-  deterministic, so any drop is a real format regression).
+  deterministic, so any drop is a real format regression);
+* ``prediction.decided_ratio`` — the fraction of registry replay
+  candidates the sync-preserving prediction pass certifies or refutes
+  without replay (pure trace analysis, fully deterministic — a drop
+  means the predictor lost precision).
 
 A fresh ratio more than ``--tolerance`` (default 25%) below the committed
 baseline fails the gate.  When a regression is intentional (an accepted
@@ -39,6 +43,7 @@ GATED_RATIOS = [
     ("end-to-end streaming speedup", ("macro", "end_to_end_s", "speedup")),
     ("sharded enumeration speedup", ("sharding", "speedup")),
     ("trace file size ratio", ("macro", "file_bytes", "ratio")),
+    ("prediction decided ratio", ("prediction", "decided_ratio")),
 ]
 
 

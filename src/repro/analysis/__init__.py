@@ -17,12 +17,19 @@ happened to exercise.  This package pairs it with two cross-checks:
   ``(S, J)`` clock preconditions, ``Gs`` edge typing), turning silent
   trace corruption into structured :class:`SanitizerDiagnostic` records;
 * :mod:`repro.analysis.crossval` — the **cross-validation harness**
-  intersecting static candidates with dynamic cycles per workload and
-  classifying every candidate as static-only / dynamic-only /
-  confirmed-by-both (``wolf analyze``).
+  intersecting static candidates with dynamic cycles per workload
+  (static-only / dynamic-only / confirmed-by-both) and, with the
+  sync-preserving prediction pass and one replay per defect key, the
+  **three-way static/predicted/replayed agreement matrix** whose
+  soundness corner must stay empty (``wolf analyze``).
 """
 
-from repro.analysis.crossval import CrossValReport, render_crossval, run_crossval
+from repro.analysis.crossval import (
+    CrossValReport,
+    DefectTriple,
+    render_crossval,
+    run_crossval,
+)
 from repro.analysis.lockgraph import (
     StaticCycle,
     StaticLockOrderGraph,
@@ -31,6 +38,7 @@ from repro.analysis.lockgraph import (
 from repro.analysis.locksets import CorpusSummary, analyze_corpus, analyze_source
 from repro.analysis.sanitizer import (
     SanitizerDiagnostic,
+    check_cycle_closure,
     check_sync_graph,
     sanitize_trace,
 )
@@ -38,12 +46,14 @@ from repro.analysis.sanitizer import (
 __all__ = [
     "CorpusSummary",
     "CrossValReport",
+    "DefectTriple",
     "SanitizerDiagnostic",
     "StaticCycle",
     "StaticLockOrderGraph",
     "analyze_corpus",
     "analyze_source",
     "build_lock_order_graph",
+    "check_cycle_closure",
     "check_sync_graph",
     "render_crossval",
     "run_crossval",

@@ -14,8 +14,19 @@ For every registry workload this harness
   order, e.g. through an unanalyzable alias); static cycles covering no
   dynamic defect are **static-only** (the schedule never exercised them —
   exactly the recall gap the static pass exists to expose);
-* optionally (``sanitize=True``) runs the trace sanitizer over the
-  detection trace and attaches its diagnostics.
+* runs the trace tail (Pruner → Generator) plus the sync-preserving
+  **prediction** pass over every surviving cycle, and (``replay=True``)
+  one **replay** per dynamic defect key — witness-steered when the key
+  certified — so every key carries a :class:`DefectTriple` verdict from
+  all three oracles: static / predicted / replayed;
+* optionally (``sanitize=True``) runs the trace sanitizer (including the
+  ``cycle-closure`` invariant) over the detection trace and attaches its
+  diagnostics.
+
+The triples aggregate into the three-way agreement matrix ``wolf
+analyze`` renders, whose soundness corner must stay empty: a CERTIFIED
+key that replay misses without witness divergence, or a REFUTED key that
+replay reproduces, is a prediction soundness violation.
 
 The result renders to deterministic markdown (:func:`render_crossval`):
 no timings, no timestamps — two runs are byte-identical.
@@ -38,6 +49,37 @@ from repro.analysis.sanitizer import SanitizerDiagnostic, sanitize_trace
 #: A dynamic defect key, sorted for deterministic rendering.
 DefectKey = Tuple[str, ...]
 
+#: Column order of the replay axis in the agreement matrix.
+REPLAY_AXIS: Tuple[str, ...] = ("reproduced", "missed", "skipped")
+#: Row order of the prediction axis in the agreement matrix.
+PREDICT_AXIS: Tuple[str, ...] = ("certified", "refuted", "undecided", "false")
+
+
+@dataclass(frozen=True)
+class DefectTriple:
+    """One dynamic defect key seen through all three oracles."""
+
+    key: DefectKey
+    #: "covered" (a static cycle covers every site) or "uncovered".
+    static: str
+    #: "certified" / "refuted" / "undecided" (prediction verdicts) or
+    #: "false" (every cycle of the key died in the Pruner/Generator).
+    predicted: str
+    #: "reproduced" / "missed" (replay ran) or "skipped" (it did not).
+    replayed: str
+    #: A certified key's witness diverged at replay (untracked
+    #: synchronization demoted the certificate — not a soundness bug).
+    diverged: bool = False
+
+    @property
+    def soundness_violation(self) -> bool:
+        """True when prediction and replay genuinely disagree."""
+        if self.predicted == "certified":
+            return self.replayed == "missed" and not self.diverged
+        if self.predicted == "refuted":
+            return self.replayed == "reproduced"
+        return False
+
 
 @dataclass
 class BenchmarkCrossVal:
@@ -51,6 +93,8 @@ class BenchmarkCrossVal:
     confirmed: List[Tuple[DefectKey, StaticCycle]] = field(default_factory=list)
     dynamic_only: List[DefectKey] = field(default_factory=list)
     static_only: List[StaticCycle] = field(default_factory=list)
+    #: One triple per dynamic defect key (prediction pass enabled).
+    triples: List[DefectTriple] = field(default_factory=list)
     diagnostics: List[SanitizerDiagnostic] = field(default_factory=list)
 
 
@@ -63,6 +107,8 @@ class CrossValReport:
     graph: StaticLockOrderGraph = field(default_factory=StaticLockOrderGraph)
     all_cycles: List[StaticCycle] = field(default_factory=list)
     sanitized: bool = False
+    predicted: bool = False
+    replayed: bool = False
 
     @property
     def n_diagnostics(self) -> int:
@@ -71,6 +117,23 @@ class CrossValReport:
     @property
     def n_confirmed(self) -> int:
         return sum(len(b.confirmed) for b in self.benchmarks)
+
+    @property
+    def triples(self) -> List[DefectTriple]:
+        return [t for b in self.benchmarks for t in b.triples]
+
+    def matrix(self) -> Dict[Tuple[str, str], int]:
+        """(predicted, replayed) → count over every defect triple."""
+        out: Dict[Tuple[str, str], int] = {}
+        for t in self.triples:
+            out[(t.predicted, t.replayed)] = (
+                out.get((t.predicted, t.replayed), 0) + 1
+            )
+        return out
+
+    @property
+    def soundness_violations(self) -> List[DefectTriple]:
+        return [t for t in self.triples if t.soundness_violation]
 
 
 def covers(cycle: StaticCycle, key: FrozenSet[str]) -> bool:
@@ -116,11 +179,82 @@ def static_candidates_for(
     return [c for c in cycles if _cycle_modules(c) <= closure]
 
 
+def _predict_benchmark(bench, run, run_seed: int, detection, replay: bool):
+    """Prediction + (optional) replay for one benchmark's cycles.
+
+    Returns ``(triples_by_key, index)`` where ``triples_by_key`` maps
+    each dynamic defect key to its ``(predicted, replayed, diverged)``
+    partial triple — the static axis is filled in by the caller.  One
+    replay runs per key (witness-steered when the key certified), not
+    per cycle: feasibility is a property of the site set, which is what
+    ``is_hit`` checks.
+    """
+    from repro.core.generator import Generator, GeneratorVerdict
+    from repro.core.parallel import predict_decisions
+    from repro.core.prediction import ClosureIndex
+    from repro.core.pruner import Pruner
+    from repro.core.replayer import Replayer
+
+    prune = Pruner(detection.vclocks).prune(detection.cycles)
+    gen = Generator(detection.relation).run(prune.survivors)
+    index = ClosureIndex.from_events(run.trace)
+    preds = predict_decisions(index, gen.decisions)
+
+    by_key: Dict[DefectKey, List] = {}
+    for dec, pred in zip(gen.decisions, preds):
+        key = tuple(sorted(dec.cycle.sites))
+        by_key.setdefault(key, []).append((dec, pred))
+    # Cycles the Pruner killed never reach the Generator; their keys may
+    # still be dynamic defect keys — classified "false" below.
+    triples: Dict[DefectKey, Tuple[str, str, bool]] = {}
+    for key, rows in sorted(by_key.items()):
+        unknown = [
+            (d, p)
+            for d, p in rows
+            if d.verdict is GeneratorVerdict.UNKNOWN and p is not None
+        ]
+        if not unknown:
+            triples[key] = ("false", "skipped", False)
+            continue
+        verdicts = {p.verdict.value for _, p in unknown}
+        if "certified" in verdicts:
+            predicted = "certified"
+        elif "undecided" in verdicts:
+            predicted = "undecided"
+        else:
+            predicted = "refuted"
+        replayed, diverged = "skipped", False
+        if replay:
+            # Representative decision: the certified one carries the
+            # witness; otherwise the first survivor in generator order.
+            dec, pred = next(
+                (
+                    (d, p)
+                    for d, p in unknown
+                    if p.verdict.value == predicted
+                ),
+                unknown[0],
+            )
+            rep = Replayer(
+                bench.program,
+                name=bench.name,
+                attempts=bench.replay_attempts,
+                seed=run_seed,
+            )
+            out = rep.replay(dec, witness=pred.witness)
+            replayed = "reproduced" if out.reproduced else "missed"
+            diverged = bool(out.witness_diverged)
+        triples[key] = (predicted, replayed, diverged)
+    return triples, index
+
+
 def run_crossval(
     names: Optional[Sequence[str]] = None,
     *,
     seed: Optional[int] = None,
     sanitize: bool = False,
+    predict: bool = True,
+    replay: bool = True,
     max_cycles_per_benchmark: int = 64,
 ) -> CrossValReport:
     """Cross-validate ``names`` (default: the full registry)."""
@@ -146,6 +280,8 @@ def run_crossval(
         graph=graph,
         all_cycles=all_cycles,
         sanitized=sanitize,
+        predicted=predict,
+        replayed=predict and replay,
     )
     for b in benchmarks:
         run_seed = b.detect_seed if seed is None else seed
@@ -156,6 +292,11 @@ def run_crossval(
         row = BenchmarkCrossVal(name=b.name, seed=run_seed)
         row.dynamic_keys = sorted(
             tuple(sorted(k)) for k in detection.defect_keys()
+        )
+        key_triples, index = (
+            _predict_benchmark(b, run, run_seed, detection, replay)
+            if predict
+            else ({}, None)
         )
         row.static_cycles = static_candidates_for(
             corpus, all_cycles, b.program
@@ -178,8 +319,29 @@ def run_crossval(
         row.static_only = [
             c for i, c in enumerate(row.static_cycles) if i not in used
         ]
+        if predict:
+            covered = {key for key, _ in row.confirmed}
+            for key in row.dynamic_keys:
+                predicted, replayed, diverged = key_triples.get(
+                    key, ("false", "skipped", False)
+                )
+                row.triples.append(
+                    DefectTriple(
+                        key=key,
+                        static="covered" if key in covered else "uncovered",
+                        predicted=predicted,
+                        replayed=replayed,
+                        diverged=diverged,
+                    )
+                )
         if sanitize:
             row.diagnostics = sanitize_trace(run.trace)
+            if index is not None:
+                from repro.analysis.sanitizer import check_cycle_closure
+
+                row.diagnostics.extend(
+                    check_cycle_closure(index, detection.cycles)
+                )
         report.benchmarks.append(row)
     return report
 
@@ -192,6 +354,63 @@ def _workloads_dir() -> Path:
 
 def _fmt_key(key: DefectKey) -> str:
     return "{" + ", ".join(key) + "}"
+
+
+def _render_matrix(report: CrossValReport) -> List[str]:
+    """The three-way agreement matrix over every defect triple."""
+    out: List[str] = []
+    matrix = report.matrix()
+    triples = report.triples
+    out.append("## Three-way agreement (static / predicted / replayed)")
+    out.append("")
+    out.append("| Predicted | Keys | Static-covered | " + " | ".join(REPLAY_AXIS) + " |")
+    out.append("|---|---|---|" + "---|" * len(REPLAY_AXIS))
+    for verdict in PREDICT_AXIS:
+        keys = [t for t in triples if t.predicted == verdict]
+        covered = sum(1 for t in keys if t.static == "covered")
+        cells = " | ".join(
+            str(matrix.get((verdict, r), 0)) for r in REPLAY_AXIS
+        )
+        out.append(f"| {verdict} | {len(keys)} | {covered} | {cells} |")
+    out.append("")
+    decided = sum(
+        1 for t in triples if t.predicted in ("certified", "refuted")
+    )
+    if triples:
+        out.append(
+            f"{decided}/{len(triples)} dynamic defect keys decided without "
+            "replay "
+            f"({100.0 * decided / len(triples):.1f}% — certified or refuted)."
+        )
+    demoted = [
+        t
+        for t in triples
+        if t.predicted == "certified" and t.replayed == "missed" and t.diverged
+    ]
+    if demoted:
+        out.append(
+            f"{len(demoted)} certified key(s) demoted: the witness diverged "
+            "at replay (untracked synchronization), and the Gs-steered "
+            "fallback did not reproduce within the attempt budget."
+        )
+    violations = report.soundness_violations
+    if violations:
+        out.append(
+            f"{len(violations)} SOUNDNESS DISAGREEMENT(S) — certified keys "
+            "missed without divergence, or refuted keys reproduced:"
+        )
+        for t in violations:
+            out.append(
+                f"- {_fmt_key(t.key)}: predicted {t.predicted}, "
+                f"replay {t.replayed}"
+            )
+    elif report.replayed:
+        out.append(
+            "0 soundness disagreements: no certified key was missed "
+            "without witness divergence, no refuted key was reproduced."
+        )
+    out.append("")
+    return out
 
 
 def render_crossval(report: CrossValReport) -> str:
@@ -211,6 +430,12 @@ def render_crossval(report: CrossValReport) -> str:
         "Dynamic-only | Static-only |"
     )
     rule = "|---|---|---|---|---|---|"
+    if report.predicted:
+        header += " Certified | Refuted | Undecided |"
+        rule += "---|---|---|"
+    if report.replayed:
+        header += " Reproduced |"
+        rule += "---|"
     if report.sanitized:
         header += " Sanitizer diagnostics |"
         rule += "---|"
@@ -222,10 +447,22 @@ def render_crossval(report: CrossValReport) -> str:
             f"| {len(row.static_cycles)} | {len(row.confirmed)} "
             f"| {len(row.dynamic_only)} | {len(row.static_only)} |"
         )
+        if report.predicted:
+            n = {v: 0 for v in PREDICT_AXIS}
+            for t in row.triples:
+                n[t.predicted] += 1
+            line += (
+                f" {n['certified']} | {n['refuted']} | {n['undecided']} |"
+            )
+        if report.replayed:
+            repro = sum(1 for t in row.triples if t.replayed == "reproduced")
+            line += f" {repro} |"
         if report.sanitized:
             line += f" {len(row.diagnostics)} |"
         out.append(line)
     out.append("")
+    if report.predicted:
+        out.extend(_render_matrix(report))
     for row in report.benchmarks:
         details: List[str] = []
         for key, cycle in row.confirmed:
@@ -241,6 +478,19 @@ def render_crossval(report: CrossValReport) -> str:
             details.append(
                 f"- **static-only** {cycle.describe()} — not exercised by "
                 f"the recorded schedule (seed {row.seed})"
+            )
+        for t in row.triples:
+            parts = [f"static {t.static}", f"predicted {t.predicted}"]
+            if t.replayed != "skipped":
+                tail = t.replayed
+                if t.diverged:
+                    tail += " (witness diverged)"
+                parts.append(f"replay {tail}")
+            marker = " ⚠ SOUNDNESS" if t.soundness_violation else ""
+            details.append(
+                f"- **three-way** {_fmt_key(t.key)} — "
+                + ", ".join(parts)
+                + marker
             )
         for diag in row.diagnostics:
             details.append(f"- **sanitizer** {diag.pretty()}")

@@ -7,7 +7,9 @@ silently yields wrong ``D_sigma`` entries, wrong clocks, wrong cycles.
 through nine invariants and returns a structured
 :class:`SanitizerDiagnostic` per violation; :func:`check_sync_graph`
 applies the ``Gs`` edge-typing invariant to a built synchronization
-graph.  A clean trace yields an empty list.
+graph, and :func:`check_cycle_closure` the prediction layer's
+closure-reachability invariant to enumerated cycles.  A clean trace
+yields an empty list.
 
 Invariant codes (each violation carries exactly one):
 
@@ -38,13 +40,23 @@ Invariant codes (each violation carries exactly one):
 ``gs-typing``
     ``Gs`` vertices belong to cycle threads; type-P edges are
     intra-thread, type-D/C edges are inter-thread
-    (:func:`check_sync_graph`).
+    (:func:`check_sync_graph`);
+``cycle-closure``
+    every acquisition a candidate cycle references — the deadlocking
+    acquire and each held-context acquisition — is reachable in the
+    trace's sync-preserving closure: present in the
+    :class:`~repro.core.prediction.ClosureIndex` as a non-reentrant
+    acquisition of the right thread, with every context acquisition
+    preceding the deadlocking acquire and still unreleased at it
+    (:func:`check_cycle_closure`).  Corrupt traces that violate this
+    used to surface only as wrong verdicts deep inside the prediction
+    closures or cycle enumeration.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.syncgraph import EdgeKind, SyncGraph
 from repro.runtime.events import (
@@ -60,7 +72,11 @@ from repro.runtime.events import (
 )
 from repro.util.ids import ExecIndex, LockId, ThreadId
 
-#: The nine invariant codes, in check order.
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.detector import PotentialDeadlock
+    from repro.core.prediction import ClosureIndex
+
+#: The ten invariant codes, in check order.
 INVARIANT_CODES: Tuple[str, ...] = (
     "step-monotonic",
     "begin-order",
@@ -71,6 +87,7 @@ INVARIANT_CODES: Tuple[str, ...] = (
     "lockset-snapshot",
     "vclock-monotonic",
     "gs-typing",
+    "cycle-closure",
 )
 
 
@@ -363,6 +380,89 @@ def sanitize_trace(trace: Trace) -> List[SanitizerDiagnostic]:
     trace are *not* violations — truncation is how deadlocking runs end.
     """
     return _TraceSanitizer().run(trace)
+
+
+def check_cycle_closure(
+    index: "ClosureIndex", cycles: Sequence["PotentialDeadlock"]
+) -> List[SanitizerDiagnostic]:
+    """The ``cycle-closure`` invariant: cycles reference real acquisitions.
+
+    Every entry of every candidate cycle names one deadlocking
+    acquisition (``entry.index``) and the acquisitions that built its
+    lockset (``entry.context``).  For the prediction closures — and for
+    replay steering — to be meaningful, each of those must be reachable
+    in the trace's sync-preserving closure index: recorded as a
+    non-reentrant acquisition *by the entry's own thread*, with every
+    context acquisition strictly preceding the deadlocking one and its
+    matching release not yet emitted at that point (the lock is really
+    held where the cycle claims it is).  A trace corrupted between
+    recording and analysis breaks these lookups; without this check the
+    failure only shows up as a wrong closure verdict or an unexplained
+    miss deep in cycle enumeration.
+    """
+    out: List[SanitizerDiagnostic] = []
+
+    def bad(entry, message: str) -> None:
+        out.append(
+            SanitizerDiagnostic(
+                code="cycle-closure",
+                message=message,
+                step=entry.step,
+                thread=entry.thread.pretty(),
+            )
+        )
+
+    for cycle in cycles:
+        for entry in cycle.entries:
+            home = index.acq_by_index.get(entry.index)
+            if home is None:
+                bad(
+                    entry,
+                    f"deadlocking acquire {entry.index.pretty()} is not a "
+                    "recorded non-reentrant acquisition",
+                )
+                continue
+            if home[0] != entry.thread:
+                bad(
+                    entry,
+                    f"deadlocking acquire {entry.index.pretty()} belongs to "
+                    f"{home[0].pretty()}, not the cycle entry's thread",
+                )
+                continue
+            acq_pos = home[1]
+            for lock, ctx in zip(entry.lockset, entry.context):
+                held = index.acq_by_index.get(ctx)
+                if held is None:
+                    bad(
+                        entry,
+                        f"context acquisition {ctx.pretty()} of "
+                        f"{lock.pretty()} is not a recorded non-reentrant "
+                        "acquisition",
+                    )
+                    continue
+                if held[0] != entry.thread:
+                    bad(
+                        entry,
+                        f"context acquisition {ctx.pretty()} belongs to "
+                        f"{held[0].pretty()}, not the cycle entry's thread",
+                    )
+                    continue
+                if held[1] >= acq_pos:
+                    bad(
+                        entry,
+                        f"context acquisition {ctx.pretty()} does not "
+                        "precede the deadlocking acquire in its thread",
+                    )
+                    continue
+                rel = index.release_pos(entry.thread, held[1])
+                if rel != -1 and rel <= acq_pos:
+                    bad(
+                        entry,
+                        f"context lock {lock.pretty()} is released before "
+                        "the deadlocking acquire — the cycle's lockset is "
+                        "not live in the closure",
+                    )
+    return out
 
 
 def check_sync_graph(gs: SyncGraph) -> List[SanitizerDiagnostic]:

@@ -98,6 +98,26 @@ def _add_engine(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_predict(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--predict",
+        choices=("off", "filter", "certify"),
+        default="off",
+        help="sync-preserving prediction pass between Generator and "
+        "Replayer: 'filter' drops REFUTED cycles and replays CERTIFIED "
+        "ones with their witness schedule (deterministic first-attempt "
+        "hit); 'certify' confirms CERTIFIED cycles without replaying at "
+        "all (default: off)",
+    )
+    p.add_argument(
+        "--witness-dir",
+        default=None,
+        metavar="DIR",
+        help="write one witness-<sha>.json per CERTIFIED cycle into DIR "
+        "(for later --replay-witness use)",
+    )
+
+
 def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=None, help="detection seed")
     p.add_argument(
@@ -145,6 +165,14 @@ def _supervision_kw(args: argparse.Namespace) -> dict:
 
 def cmd_detect(args: argparse.Namespace) -> int:
     b = get_benchmark(args.benchmark)
+    replay_witness = None
+    if getattr(args, "replay_witness", None):
+        import json
+
+        from repro.core.prediction import WitnessSchedule
+
+        with open(args.replay_witness) as fh:
+            replay_witness = WitnessSchedule.from_doc(json.load(fh))
     cfg = WolfConfig(
         seed=args.seed if args.seed is not None else b.detect_seed,
         replay_attempts=args.attempts or b.replay_attempts,
@@ -154,6 +182,9 @@ def cmd_detect(args: argparse.Namespace) -> int:
         engine=getattr(args, "engine", "auto"),
         shard_cycles=getattr(args, "shard_cycles", None),
         reduce=getattr(args, "reduce", False),
+        predict=getattr(args, "predict", "off"),
+        witness_dir=getattr(args, "witness_dir", None),
+        replay_witness=replay_witness,
         **_supervision_kw(args),
     )
     report = Wolf(config=cfg).analyze(b.program, name=b.name)
@@ -171,11 +202,15 @@ def cmd_detect(args: argparse.Namespace) -> int:
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
-    """Static lock-order analysis + cross-validation (+ sanitizer)."""
+    """Static lock-order analysis + three-way cross-validation."""
     from repro.analysis import render_crossval, run_crossval
 
     rep = run_crossval(
-        args.benchmarks or None, seed=args.seed, sanitize=args.sanitize
+        args.benchmarks or None,
+        seed=args.seed,
+        sanitize=args.sanitize,
+        predict=not args.no_predict,
+        replay=not args.no_replay,
     )
     text = render_crossval(rep)
     if args.out:
@@ -193,6 +228,13 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     if rep.sanitized and rep.n_diagnostics:
         print(
             f"FAIL: {rep.n_diagnostics} sanitizer diagnostic(s)",
+            file=sys.stderr,
+        )
+        return 1
+    if rep.soundness_violations:
+        print(
+            f"FAIL: {len(rep.soundness_violations)} prediction soundness "
+            "disagreement(s)",
             file=sys.stderr,
         )
         return 1
@@ -367,6 +409,19 @@ def cmd_analyze_trace(args: argparse.Namespace) -> int:
             ).analyze(trace)
     prune = Pruner(detection.vclocks).prune(detection.cycles)
     gen = Generator(detection.relation).run(prune.survivors)
+    predictions = None
+    if getattr(args, "predict", "off") != "off":
+        from repro.core.parallel import predict_decisions
+        from repro.core.prediction import ClosureIndex
+
+        if len(detection.trace.events) > 0:
+            index = ClosureIndex.from_events(detection.trace)
+        elif is_tracefile(args.trace_file):
+            with TraceFileReader(args.trace_file) as reader:
+                index = ClosureIndex.from_events(reader)
+        else:
+            index = ClosureIndex()
+        predictions = predict_decisions(index, gen.decisions)
     print(f"trace: {program!r}, {n_events} events, seed {seed}")
     print(f"cycles detected      : {len(detection.cycles)}")
     if detection.reduced_away:
@@ -382,8 +437,30 @@ def cmd_analyze_trace(args: argparse.Namespace) -> int:
     print(f"false (pruner)       : {len(prune.false_positives)}")
     print(f"false (generator)    : {len(gen.false_positives)}")
     print(f"replay candidates    : {len(gen.survivors)}")
-    for dec in gen.decisions:
-        tag = "FALSE" if dec.verdict is GeneratorVerdict.FALSE else "REPLAYABLE"
+    if predictions is not None:
+        from repro.core.prediction import PredictionVerdict
+
+        real = [p for p in predictions if p is not None]
+        decided = sum(1 for p in real if p.decided)
+        print(
+            f"prediction           : "
+            f"{sum(1 for p in real if p.verdict is PredictionVerdict.CERTIFIED)}"
+            f" certified, "
+            f"{sum(1 for p in real if p.verdict is PredictionVerdict.REFUTED)}"
+            f" refuted, "
+            f"{sum(1 for p in real if p.verdict is PredictionVerdict.UNDECIDED)}"
+            f" undecided"
+            + (f" ({decided / len(real):.0%} decided)" if real else "")
+        )
+    for i, dec in enumerate(gen.decisions):
+        if dec.verdict is GeneratorVerdict.FALSE:
+            tag = "FALSE"
+        elif predictions is not None and predictions[i] is not None:
+            tag = predictions[i].verdict.value.upper()
+            if tag == "UNDECIDED":
+                tag = "REPLAYABLE"
+        else:
+            tag = "REPLAYABLE"
         print(f"  [{tag}] {dec.cycle.pretty()}")
     return 0
 
@@ -818,6 +895,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--attempts", type=int, default=None)
     _add_workers(p)
     _add_engine(p)
+    _add_predict(p)
+    p.add_argument(
+        "--replay-witness",
+        default=None,
+        metavar="FILE",
+        help="witness schedule JSON (from --witness-dir): replay "
+        "candidates with matching sites follow it on the first attempt",
+    )
     p.add_argument("-v", "--verbose", action="store_true")
     p.add_argument(
         "--rank",
@@ -848,6 +933,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--sanitize",
         action="store_true",
         help="also sanitize every detection trace; exit 1 on any diagnostic",
+    )
+    p.add_argument(
+        "--no-predict",
+        action="store_true",
+        help="skip the sync-preserving prediction pass (two-way matrix only)",
+    )
+    p.add_argument(
+        "--no-replay",
+        action="store_true",
+        help="skip the per-key replay axis (static/predicted matrix only)",
     )
     p.add_argument("--out", default=None, help="output markdown file")
     p.add_argument(
@@ -900,6 +995,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("trace_file")
     _add_workers(p)
     _add_engine(p)
+    p.add_argument(
+        "--predict",
+        choices=("off", "filter", "certify"),
+        default="off",
+        help="run the sync-preserving prediction pass and tag each "
+        "replay candidate CERTIFIED / REFUTED / REPLAYABLE",
+    )
     p.add_argument(
         "--json",
         action="store_true",

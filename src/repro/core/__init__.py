@@ -30,6 +30,16 @@ from repro.core.avoidance import (
     patterns_from_report,
 )
 from repro.core.pipeline import Wolf, WolfConfig
+from repro.core.prediction import (
+    ClosureIndex,
+    CyclePrediction,
+    PredictionVerdict,
+    Predictor,
+    WitnessSchedule,
+    event_token,
+    predict_cycles,
+    promote_by_defect,
+)
 from repro.core.ranking import RankedDefect, rank_defects, render_ranking
 from repro.core.reduction import reduce_relation
 from repro.core.report import Classification, CycleReport, DefectReport, WolfReport
@@ -53,6 +63,8 @@ __all__ = [
     "AvoidanceStrategy",
     "BaseDetector",
     "Classification",
+    "ClosureIndex",
+    "CyclePrediction",
     "CycleReport",
     "DedupedRelation",
     "DefectReport",
@@ -64,6 +76,8 @@ __all__ = [
     "LockDepEntry",
     "LockDependencyRelation",
     "PotentialDeadlock",
+    "PredictionVerdict",
+    "Predictor",
     "Pruner",
     "RankedDefect",
     "patterns_from_report",
@@ -77,6 +91,7 @@ __all__ = [
     "StreamingDetector",
     "SyncGraph",
     "VectorClockState",
+    "WitnessSchedule",
     "Wolf",
     "WolfConfig",
     "WolfReport",
@@ -84,7 +99,10 @@ __all__ = [
     "build_sync_graph",
     "compute_vector_clocks",
     "dedupe_relation",
+    "event_token",
     "find_cycles_sharded",
     "partition_shards",
+    "predict_cycles",
+    "promote_by_defect",
     "resolve_engine",
 ]

@@ -66,6 +66,12 @@ from repro.core.detector import DetectionResult, ExtendedDetector, find_cycles
 from repro.core.lockdep import LockDependencyRelation, entry_from_acquire
 from repro.core.streaming import StreamingDetector, resolve_engine
 from repro.core.generator import Generator, GeneratorDecision, GeneratorResult
+from repro.core.prediction import (
+    ClosureIndex,
+    CyclePrediction,
+    Predictor,
+    WitnessSchedule,
+)
 from repro.core.pruner import Pruner, PruneResult
 from repro.core.replayer import Replayer, ReplayOutcome
 from repro.runtime.events import AcquireEvent
@@ -115,6 +121,11 @@ class DetectTask:
     shard_cycles: Optional[bool] = None
     #: Apply the MagicFuzzer relation reduction before enumeration.
     reduce: bool = False
+    #: Prediction mode (``"off"``, ``"filter"`` or ``"certify"``): any
+    #: non-off value runs the sync-preserving prediction pass over the
+    #: Generator's survivors inside the worker, so fleet batches predict
+    #: shard-parallel for free.
+    predict: str = "off"
 
 
 @dataclass
@@ -128,6 +139,10 @@ class DetectStageResult:
     #: Task-seconds per stage, measured inside the (possibly remote)
     #: worker — the pipeline sums these into aggregate stage times.
     timings: Dict[str, float] = field(default_factory=dict)
+    #: Aligned with ``gen.decisions``: a :class:`CyclePrediction` for each
+    #: Generator survivor, ``None`` for FALSE decisions (and everywhere
+    #: when prediction is off).
+    predictions: Optional[Tuple[Optional[CyclePrediction], ...]] = None
 
 
 def _detect_from_task(task: DetectTask) -> DetectionResult:
@@ -198,6 +213,41 @@ def _detect_from_task(task: DetectTask) -> DetectionResult:
     ).analyze(run.trace)
 
 
+def _closure_index_for(task: DetectTask, detection: DetectionResult) -> ClosureIndex:
+    """The prediction index for one detect task's trace.
+
+    The in-memory trace is used when the detection materialized one; the
+    streaming trace-path engine never does, so that path re-reads the
+    backing ``.wtrc`` (one extra sequential pass, no materialization).
+    """
+    if len(detection.trace.events) > 0:
+        return ClosureIndex.from_events(detection.trace)
+    if task.trace_path is not None:
+        with TraceFileReader(task.trace_path) as reader:
+            return ClosureIndex.from_events(reader)
+    return ClosureIndex()
+
+
+def predict_decisions(
+    index: ClosureIndex, decisions: Sequence[GeneratorDecision]
+) -> Tuple[Optional[CyclePrediction], ...]:
+    """Predict every Generator survivor; FALSE decisions map to ``None``.
+
+    Verdicts are promoted key-level within the task (an UNDECIDED instance
+    whose ``defect_key`` certified via a sibling inherits the sibling's
+    witness); the pipeline merge promotes once more across seeds.
+    """
+    from repro.core.generator import GeneratorVerdict
+    from repro.core.prediction import promote_by_defect
+
+    predictor = Predictor(index)
+    raw = [
+        predictor.examine(d.cycle) if d.verdict is GeneratorVerdict.UNKNOWN else None
+        for d in decisions
+    ]
+    return tuple(promote_by_defect([d.cycle for d in decisions], raw))
+
+
 def run_detect_task(task: DetectTask) -> DetectStageResult:
     """Module-level worker entry point (must be importable for ``spawn``)."""
     timings: Dict[str, float] = {}
@@ -213,8 +263,20 @@ def run_detect_task(task: DetectTask) -> DetectStageResult:
     gen = Generator(detection.relation).run(prune.survivors)
     timings["generate"] = time.perf_counter() - t0
 
+    predictions: Optional[Tuple[Optional[CyclePrediction], ...]] = None
+    if task.predict != "off":
+        t0 = time.perf_counter()
+        index = _closure_index_for(task, detection)
+        predictions = predict_decisions(index, gen.decisions)
+        timings["predict"] = time.perf_counter() - t0
+
     return DetectStageResult(
-        seed=task.seed, detection=detection, prune=prune, gen=gen, timings=timings
+        seed=task.seed,
+        detection=detection,
+        prune=prune,
+        gen=gen,
+        timings=timings,
+        predictions=predictions,
     )
 
 
@@ -231,6 +293,10 @@ class ReplayTask:
     attempts: int
     max_steps: int
     step_timeout: float
+    #: Optional witness schedule (from a CERTIFIED prediction or
+    #: ``--replay-witness``): the first attempt follows it instead of the
+    #: random Gs-steered strategy, making the hit deterministic.
+    witness: Optional[WitnessSchedule] = None
 
 
 def run_replay_task(task: ReplayTask) -> ReplayOutcome:
@@ -243,7 +309,7 @@ def run_replay_task(task: ReplayTask) -> ReplayOutcome:
         max_steps=task.max_steps,
         step_timeout=task.step_timeout,
     )
-    return replayer.replay(task.decision)
+    return replayer.replay(task.decision, witness=task.witness)
 
 
 @dataclass(frozen=True)

@@ -34,6 +34,13 @@ from repro.core.parallel import (
     run_detect_task,
     run_replay_task,
 )
+from repro.core.prediction import (
+    ClosureIndex,
+    CyclePrediction,
+    PredictionVerdict,
+    WitnessSchedule,
+    promote_by_defect,
+)
 from repro.core.report import Classification, CycleReport, FaultRecord, WolfReport
 from repro.runtime.sim.result import RunResult, RunStatus
 from repro.runtime.sim.runtime import Program, run_program
@@ -149,11 +156,34 @@ class WolfConfig:
     #: (:func:`repro.core.reduction.reduce_relation`) before enumeration;
     #: removed-tuple counts surface as ``WolfReport.reduced_tuples``.
     reduce: bool = False
+    #: Sync-preserving prediction pass (:mod:`repro.core.prediction`)
+    #: between Generator and Replayer.  ``"off"`` keeps the historical
+    #: replay-everything pipeline.  ``"filter"`` drops REFUTED cycles
+    #: before replay and hands each CERTIFIED cycle's witness schedule to
+    #: the Replayer (deterministic first-attempt hit; a witness the
+    #: program *diverges* from demotes the certificate back to the plain
+    #: replay outcome).  ``"certify"`` additionally classifies CERTIFIED
+    #: cycles confirmed without any replay — the fleet mode for traces
+    #: whose producers cannot be re-executed.
+    predict: str = "off"
+    #: Directory to write one ``witness-<sha>.json`` per CERTIFIED cycle
+    #: into (``None`` = don't persist witnesses).
+    witness_dir: Optional[str] = None
+    #: Externally supplied witness schedule (``wolf detect
+    #: --replay-witness``, typically a file a previous ``witness_dir`` run
+    #: wrote): any replay candidate whose sites match follows it on the
+    #: first attempt, making the reproduction deterministic without
+    #: re-running prediction.
+    replay_witness: Optional["WitnessSchedule"] = None
 
     def __post_init__(self) -> None:
         if self.engine not in ("batch", "streaming", "auto"):
             raise ValueError(
                 f"engine must be 'batch', 'streaming' or 'auto', got {self.engine!r}"
+            )
+        if self.predict not in ("off", "filter", "certify"):
+            raise ValueError(
+                f"predict must be 'off', 'filter' or 'certify', got {self.predict!r}"
             )
         if self.replay_attempts < 1:
             raise ValueError(
@@ -196,6 +226,7 @@ class Wolf:
             program=name or getattr(program, "__name__", "program"),
             seeds=cfg.seeds(),
             engine=cfg.engine,
+            predict=cfg.predict,
         )
         timings = {"detect": 0.0, "prune": 0.0, "generate": 0.0, "replay": 0.0}
         policy = cfg.supervision()
@@ -220,6 +251,7 @@ class Wolf:
                     engine=cfg.engine,
                     shard_cycles=cfg.shard_cycles,
                     reduce=cfg.reduce,
+                    predict=cfg.predict,
                 )
                 for seed in cfg.seeds()
             ]
@@ -228,11 +260,8 @@ class Wolf:
             )
 
             # Merge in seed order: a failed seed becomes a fault record (it
-            # contributes no cycles); pruned/false reports become
-            # CycleReports immediately; Generator survivors become
-            # positional slots to be filled once their replays resolve.
-            slots: List[Union[CycleReport, int]] = []
-            candidates: List[ReplayTask] = []
+            # contributes no cycles).
+            seed_results = []
             for task, out in zip(detect_tasks, detect_outcomes, strict=True):
                 if not out.ok:
                     report.faults.append(
@@ -243,22 +272,44 @@ class Wolf:
                 report.detections.append(res.detection)
                 report.reduced_tuples += res.detection.reduced_away
                 for stage, seconds in res.timings.items():
-                    timings[stage] += seconds
+                    timings[stage] = timings.get(stage, 0.0) + seconds
                 if cfg.sanitize:
                     # Imported here: repro.analysis depends on core, so a
                     # module-level import would be circular.
                     from repro.analysis.sanitizer import (
+                        check_cycle_closure,
                         check_sync_graph,
                         sanitize_trace,
                     )
 
                     t0 = time.perf_counter()
                     report.sanitizer.extend(sanitize_trace(res.detection.trace))
+                    report.sanitizer.extend(
+                        check_cycle_closure(
+                            ClosureIndex.from_events(res.detection.trace),
+                            res.detection.cycles,
+                        )
+                    )
                     for dec in res.gen.decisions:
                         report.sanitizer.extend(check_sync_graph(dec.gs))
                     timings["sanitize"] = (
                         timings.get("sanitize", 0.0) + time.perf_counter() - t0
                     )
+                seed_results.append(res)
+
+            # Cross-seed key-level promotion: an UNDECIDED cycle whose
+            # defect key certified under *another* seed's trace inherits
+            # that certificate (feasibility is a property of the sites,
+            # and ``is_hit`` checks sites — see promote_by_defect).
+            preds_by_seed = self._merge_predictions(seed_results)
+
+            # Pruned/false/decided reports become CycleReports immediately;
+            # the cycles still headed to replay become positional slots to
+            # be filled once their replays resolve.
+            slots: List[Union[CycleReport, int]] = []
+            candidates: List[ReplayTask] = []
+            cand_preds: List[Optional[CyclePrediction]] = []
+            for res, preds in zip(seed_results, preds_by_seed, strict=True):
                 for dec in res.prune.decisions:
                     if dec.pruned:
                         slots.append(
@@ -268,7 +319,7 @@ class Wolf:
                                 prune=dec,
                             )
                         )
-                for dec in res.gen.decisions:
+                for dec, pred in zip(res.gen.decisions, preds, strict=True):
                     if dec.verdict is GeneratorVerdict.FALSE:
                         slots.append(
                             CycleReport(
@@ -278,7 +329,47 @@ class Wolf:
                             )
                         )
                         continue
+                    if (
+                        pred is not None
+                        and pred.verdict is PredictionVerdict.REFUTED
+                    ):
+                        slots.append(
+                            CycleReport(
+                                cycle=dec.cycle,
+                                classification=Classification.FALSE_PREDICTION,
+                                generator=dec,
+                                prediction=pred,
+                            )
+                        )
+                        continue
+                    if (
+                        cfg.predict == "certify"
+                        and pred is not None
+                        and pred.verdict is PredictionVerdict.CERTIFIED
+                    ):
+                        slots.append(
+                            CycleReport(
+                                cycle=dec.cycle,
+                                classification=Classification.CONFIRMED_PREDICTED,
+                                generator=dec,
+                                prediction=pred,
+                            )
+                        )
+                        continue
+                    witness = (
+                        pred.witness
+                        if pred is not None
+                        and pred.verdict is PredictionVerdict.CERTIFIED
+                        else None
+                    )
+                    if (
+                        witness is None
+                        and cfg.replay_witness is not None
+                        and frozenset(cfg.replay_witness.sites) == dec.cycle.sites
+                    ):
+                        witness = cfg.replay_witness
                     slots.append(len(candidates))
+                    cand_preds.append(pred)
                     candidates.append(
                         ReplayTask(
                             program=program,
@@ -288,10 +379,22 @@ class Wolf:
                             attempts=cfg.replay_attempts,
                             max_steps=cfg.max_steps,
                             step_timeout=cfg.step_timeout,
+                            witness=witness,
                         )
                     )
 
-            outcomes = self._resolve_replays(engine, candidates, policy)
+            # In certify mode a predicted confirmation settles its defect
+            # key exactly like a reproduced one (§4.3: one proof per
+            # location), so skip_confirmed_defects skips its siblings.
+            pre_confirmed: Set[FrozenSet[Site]] = {
+                slot.cycle.defect_key
+                for slot in slots
+                if isinstance(slot, CycleReport)
+                and slot.classification is Classification.CONFIRMED_PREDICTED
+            }
+            outcomes = self._resolve_replays(
+                engine, candidates, policy, confirmed_keys=pre_confirmed
+            )
 
         report.fallback_reason = engine.fallback_reason
         for slot in slots:
@@ -299,6 +402,7 @@ class Wolf:
                 report.cycle_reports.append(slot)
                 continue
             task, out = candidates[slot], outcomes[slot]
+            pred = cand_preds[slot]
             if out is None:
                 # Skipped: an earlier-in-order cycle already confirmed this
                 # defect (skip_confirmed_defects), exactly as in serial mode.
@@ -307,6 +411,7 @@ class Wolf:
                         cycle=task.decision.cycle,
                         classification=Classification.CONFIRMED,
                         generator=task.decision,
+                        prediction=pred,
                     )
                 )
                 continue
@@ -320,11 +425,17 @@ class Wolf:
                         cycle=task.decision.cycle,
                         classification=Classification.UNKNOWN,
                         generator=task.decision,
+                        prediction=pred,
                     )
                 )
                 continue
             outcome = out.value
             timings["replay"] += outcome.wall_time_s
+            # A CERTIFIED cycle whose witness replay *diverged* without
+            # hitting carries a void certificate (the program synchronizes
+            # through state the trace does not record); it lands here as a
+            # plain replay outcome — UNKNOWN unless a later Gs-steered
+            # attempt reproduced it anyway.
             report.cycle_reports.append(
                 CycleReport(
                     cycle=task.decision.cycle,
@@ -335,12 +446,64 @@ class Wolf:
                     ),
                     generator=task.decision,
                     replay=outcome,
+                    prediction=pred,
                 )
             )
 
+        if cfg.witness_dir is not None:
+            self._write_witnesses(report, cfg.witness_dir)
         timings["wall"] = time.perf_counter() - wall0
         report.timings = timings
         return report
+
+    @staticmethod
+    def _merge_predictions(
+        seed_results,
+    ) -> List[List[Optional[CyclePrediction]]]:
+        """Per-seed prediction lists aligned with ``gen.decisions``, with
+        key-level promotion applied across *all* seeds' cycles at once."""
+        all_cycles = []
+        flat: List[Optional[CyclePrediction]] = []
+        for res in seed_results:
+            preds = res.predictions
+            if preds is None:
+                preds = tuple([None] * len(res.gen.decisions))
+            for dec, p in zip(res.gen.decisions, preds, strict=True):
+                all_cycles.append(dec.cycle)
+                flat.append(p)
+        merged = promote_by_defect(all_cycles, flat)
+        out: List[List[Optional[CyclePrediction]]] = []
+        i = 0
+        for res in seed_results:
+            n = len(res.gen.decisions)
+            out.append(list(merged[i : i + n]))
+            i += n
+        return out
+
+    @staticmethod
+    def _write_witnesses(report: WolfReport, witness_dir: str) -> None:
+        """Persist every CERTIFIED cycle's witness schedule as an artifact
+        (``witness-<sha12>.json``, keyed by the sorted defect sites) for
+        later ``wolf run --replay-witness`` use."""
+        import hashlib
+        import json
+        import os
+
+        os.makedirs(witness_dir, exist_ok=True)
+        for cr in report.cycle_reports:
+            pred = cr.prediction
+            if (
+                pred is None
+                or pred.verdict is not PredictionVerdict.CERTIFIED
+                or pred.witness is None
+            ):
+                continue
+            key = ",".join(sorted(cr.cycle.sites))
+            sha = hashlib.sha256(key.encode()).hexdigest()[:12]
+            path = os.path.join(witness_dir, f"witness-{sha}.json")
+            with open(path, "w") as fh:
+                json.dump(pred.witness.to_doc(), fh, indent=2)
+                fh.write("\n")
 
     @staticmethod
     def _fault(kind: str, key: str, out: TaskOutcome) -> FaultRecord:
@@ -359,6 +522,7 @@ class Wolf:
         engine,
         candidates: List[ReplayTask],
         policy: SupervisionPolicy,
+        confirmed_keys: Optional[Set[FrozenSet[Site]]] = None,
     ) -> List[Optional[TaskOutcome]]:
         """Run replays and apply ``skip_confirmed_defects`` deterministically.
 
@@ -377,7 +541,7 @@ class Wolf:
         if engine.parallel and candidates:
             eager = engine.map_supervised(run_replay_task, candidates, policy)
 
-        confirmed_keys: Set[FrozenSet[Site]] = set()
+        confirmed_keys = set(confirmed_keys or ())
         outcomes: List[Optional[TaskOutcome]] = []
         for i, task in enumerate(candidates):
             key = task.decision.cycle.defect_key

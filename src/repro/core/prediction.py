@@ -1,0 +1,815 @@
+"""Sound sync-preserving deadlock prediction: certify or refute without replay.
+
+The WOLF pipeline confirms every surviving cycle by re-executing the
+program (Algorithm 4).  At fleet scale replay is the bottleneck — and for
+``wolf serve`` streams there is no program to re-run at all.  Following
+*Sound Dynamic Deadlock Prediction in Linear Time* (Tunç et al.) and
+*Partial Orders for Precise and Efficient Dynamic Deadlock Prediction*,
+this pass decides feasibility from the trace alone and returns a
+three-valued verdict per cycle:
+
+* **CERTIFIED** — a sync-preserving correct reordering of the recorded
+  trace ends with every cycle thread parked at its deadlocking
+  acquisition.  The reordering is emitted as a replay-free witness
+  schedule (per-thread event prefixes, linearized in trace order).
+* **REFUTED** — constraints that *every* correct reordering must satisfy
+  are contradictory: no reordering of this trace manifests the cycle.
+* **UNDECIDED** — neither holds (or the trace is truncated / uses
+  condition variables, where closure reasoning stops); the cycle falls
+  through to the replayer exactly as before.
+
+Both verdicts are computed as least fixpoints over per-thread *cuts*: the
+cut of thread ``t`` is the length of the prefix of ``t``'s events that
+must execute before the deadlock state.  Cycle threads are capped at
+their deadlocking acquisition — a rule that forces a cycle thread past
+its cap proves the required state unreachable.
+
+Closure rules (monotone, so the least fixpoint is unique):
+
+* **spawn** — a thread with a non-empty cut requires its parent's
+  ``SpawnEvent`` (threads do not exist before they are started);
+* **join** — a ``JoinEvent`` inside a cut requires the target's complete
+  event list, ``EndEvent`` included (joins only return after death);
+* **mutual exclusion** — at the deadlock state each cycle-relevant lock
+  is held by its *designated* acquisition (the ``mu_i`` of the entry
+  holding it), so every other included acquisition of that lock must
+  have its matching release included;
+* **sync-preservation** (certification only) — included critical
+  sections on the same lock keep their trace order, so an included
+  acquisition requires the release of every earlier included acquisition
+  of that lock.  This stronger closure is what makes the witness
+  constructive: every constraint edge points forward in trace order, so
+  executing the included events *in original trace order* satisfies all
+  of them and the pending acquisitions then deadlock at exactly the
+  cycle's sites.
+
+Refutation deliberately uses only the universally-necessary rules (spawn,
+join, mutual exclusion) — a contradiction there holds for *any* correct
+reordering, not merely sync-preserving ones, which is what the soundness
+gate (a REFUTED cycle may never be confirmed by replay) requires.
+
+**Soundness boundary.** A certificate is a statement about the *trace*:
+it assumes every inter-thread communication the program performs appears
+as a trace event (lock, spawn, join, wait/notify).  Programs that
+synchronize through plain shared memory — the paper's §4.4 limitation,
+modeled by the Jigsaw indexer/validator pair — can take a different
+branch when the witness parks a peer that the recorded run let finish.
+That divergence is *detectable*: witness order entries carry the expected
+event token (kind + site), so the replayer notices the first event that
+contradicts the certificate and reports ``witness_diverged`` instead of
+silently missing.  The pipeline demotes diverged certificates to
+ordinary replay, and the soundness gate accepts a certified miss only
+when the divergence was flagged.
+
+Within one trace, verdicts lift from cycle instances to defects
+(*key-level promotion*): replay confirmation is site-level, so an
+UNDECIDED instance whose ``defect_key`` already has a CERTIFIED sibling
+is promoted to CERTIFIED with the sibling's witness — typically the
+sibling is the same site pair in an earlier loop iteration whose window
+happens to linearize.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.detector import PotentialDeadlock
+from repro.runtime.events import (
+    AcquireEvent,
+    BlockEvent,
+    EndEvent,
+    JoinEvent,
+    NotifyEvent,
+    ReleaseEvent,
+    SpawnEvent,
+    TraceEvent,
+    WaitEvent,
+)
+from repro.util.ids import ExecIndex, ThreadId
+
+__all__ = [
+    "PredictionVerdict",
+    "WitnessSchedule",
+    "CyclePrediction",
+    "PredictionResult",
+    "ClosureIndex",
+    "Predictor",
+    "event_token",
+    "predict_cycles",
+    "promote_by_defect",
+]
+
+
+class PredictionVerdict(enum.Enum):
+    #: A sync-preserving witness reordering exists; replay is redundant.
+    CERTIFIED = "certified"
+    #: No correct reordering of the trace manifests the cycle.
+    REFUTED = "refuted"
+    #: Closure reasoning could not decide; the replayer gets the cycle.
+    UNDECIDED = "undecided"
+
+
+#: Schema tag for serialized witness schedules (bump on format change).
+WITNESS_SCHEMA = "wolf-witness/1"
+
+# Compact per-event codes (kept small: ClosureIndex stores one tuple per
+# event, so daemon streams can build the index without holding events).
+_OTHER = 0
+_ACQ = 1
+_JOIN = 2
+_CONDVAR = 3
+_BLOCK = 4
+_REL = 5
+
+
+def event_token(ev: TraceEvent) -> str:
+    """Stable identity token for one trace event, shared between witness
+    construction and replay-side cursor matching.
+
+    Tokens are deliberately coarse — kind plus the source site for lock
+    operations — so they match across the record and replay processes
+    (execution indices don't: occurrence counters restart).  A thread
+    whose next replay event tokenizes differently from the witness entry
+    has *diverged* (control flow took another branch), which is exactly
+    the condition that voids a certificate.
+    """
+    if isinstance(ev, AcquireEvent):
+        return f"acq+@{ev.index.site}" if ev.reentrant else f"acq@{ev.index.site}"
+    if isinstance(ev, ReleaseEvent):
+        return f"rel+@{ev.site}" if ev.reentrant else f"rel@{ev.site}"
+    if isinstance(ev, SpawnEvent):
+        return f"spawn:{ev.child.pretty()}"
+    if isinstance(ev, JoinEvent):
+        return f"join:{ev.target.pretty()}"
+    if isinstance(ev, WaitEvent):
+        return f"wait@{ev.site}"
+    if isinstance(ev, NotifyEvent):
+        return f"notify@{ev.site}"
+    if isinstance(ev, BlockEvent):
+        return f"block@{ev.index.site}"
+    if isinstance(ev, EndEvent):
+        return "end"
+    return type(ev).__name__.removesuffix("Event").lower()
+
+
+@dataclass(frozen=True)
+class WitnessSchedule:
+    """A replay-free witness: the included events of a certified cycle.
+
+    ``order`` lists ``(thread, token)`` for each included event in
+    original trace order — the thread by ``pretty()`` name, the event by
+    :func:`event_token` — so a scheduling strategy that follows it
+    re-creates the deadlock state deterministically *and* can tell the
+    moment the re-execution stops matching the certificate.  Names and
+    tokens are plain strings so schedules serialize and survive the
+    round-trip into a fresh replay process.
+    """
+
+    sites: Tuple[str, ...]
+    threads: Tuple[str, ...]
+    order: Tuple[Tuple[str, str], ...]
+    prefix_lens: Tuple[Tuple[str, int], ...]
+
+    def to_doc(self) -> dict:
+        return {
+            "schema": WITNESS_SCHEMA,
+            "sites": list(self.sites),
+            "threads": list(self.threads),
+            "order": [[t, tok] for t, tok in self.order],
+            "prefix_lens": {t: n for t, n in self.prefix_lens},
+        }
+
+    @staticmethod
+    def from_doc(doc: dict) -> "WitnessSchedule":
+        if doc.get("schema") != WITNESS_SCHEMA:
+            raise ValueError(f"not a witness schedule: {doc.get('schema')!r}")
+        return WitnessSchedule(
+            sites=tuple(doc["sites"]),
+            threads=tuple(doc["threads"]),
+            order=tuple((t, tok) for t, tok in doc["order"]),
+            prefix_lens=tuple(sorted(doc["prefix_lens"].items())),
+        )
+
+
+@dataclass(frozen=True)
+class CyclePrediction:
+    """One cycle's verdict plus the evidence behind it."""
+
+    verdict: PredictionVerdict
+    reason: str = ""
+    witness: Optional[WitnessSchedule] = None
+    #: True when the verdict was lifted from a same-``defect_key`` sibling
+    #: cycle rather than this instance's own closure.
+    promoted: bool = False
+
+    @property
+    def decided(self) -> bool:
+        return self.verdict is not PredictionVerdict.UNDECIDED
+
+
+@dataclass
+class PredictionResult:
+    predictions: List[CyclePrediction] = field(default_factory=list)
+
+    def count(self, verdict: PredictionVerdict) -> int:
+        return sum(1 for p in self.predictions if p.verdict is verdict)
+
+    @property
+    def decided(self) -> int:
+        return sum(1 for p in self.predictions if p.decided)
+
+
+class ClosureIndex:
+    """Per-thread compact event index the closures run over.
+
+    One trace pass (``feed`` per event, or :meth:`from_events`) builds
+    everything both closures need: per-thread ``(step, kind, aux)``
+    tuples, matching-release positions for non-reentrant acquisitions,
+    spawn positions, and acquisition lookups by trace step and execution
+    index.  Event objects are not retained, so the index can be built
+    from a ``.wtrc`` re-read (daemon / corpus paths) without
+    materializing the trace.
+    """
+
+    def __init__(self) -> None:
+        self.steps: Dict[ThreadId, List[int]] = {}
+        self.kinds: Dict[ThreadId, List[int]] = {}
+        self.aux: Dict[ThreadId, List[object]] = {}
+        self.tokens: Dict[ThreadId, List[str]] = {}
+        #: (thread, position) of each non-reentrant acquisition.
+        self.acq_by_step: Dict[int, Tuple[ThreadId, int]] = {}
+        self.acq_by_index: Dict[ExecIndex, Tuple[ThreadId, int]] = {}
+        #: position of the matching non-reentrant release, -1 while open.
+        self._rel_pos: Dict[Tuple[ThreadId, int], int] = {}
+        self._open: Dict[Tuple[ThreadId, object], int] = {}
+        self.spawn_of: Dict[ThreadId, Tuple[ThreadId, int]] = {}
+        self.has_end: Dict[ThreadId, bool] = {}
+        self.events_seen = 0
+
+    @classmethod
+    def from_events(cls, events: Iterable[TraceEvent]) -> "ClosureIndex":
+        index = cls()
+        for ev in events:
+            index.feed(ev)
+        return index
+
+    def feed(self, ev: TraceEvent) -> None:
+        self.events_seen += 1
+        t = ev.thread
+        lst = self.steps.setdefault(t, [])
+        pos = len(lst)
+        lst.append(ev.step)
+        kind, aux = _OTHER, None
+        if isinstance(ev, AcquireEvent):
+            if ev.reentrant:
+                kind = _OTHER
+            else:
+                kind, aux = _ACQ, ev.lock
+                self.acq_by_step[ev.step] = (t, pos)
+                self.acq_by_index[ev.index] = (t, pos)
+                self._rel_pos[(t, pos)] = -1
+                self._open[(t, ev.lock)] = pos
+        elif isinstance(ev, ReleaseEvent):
+            if not ev.reentrant:
+                kind, aux = _REL, ev.lock
+                acq = self._open.pop((t, ev.lock), None)
+                if acq is not None:
+                    self._rel_pos[(t, acq)] = pos
+        elif isinstance(ev, JoinEvent):
+            kind, aux = _JOIN, ev.target
+        elif isinstance(ev, SpawnEvent):
+            self.spawn_of.setdefault(ev.child, (t, pos))
+        elif isinstance(ev, (WaitEvent, NotifyEvent)):
+            kind = _CONDVAR
+        elif isinstance(ev, BlockEvent):
+            kind = _BLOCK
+        elif isinstance(ev, EndEvent):
+            self.has_end[t] = True
+        self.kinds.setdefault(t, []).append(kind)
+        self.aux.setdefault(t, []).append(aux)
+        self.tokens.setdefault(t, []).append(event_token(ev))
+
+    def release_pos(self, thread: ThreadId, acq_pos: int) -> int:
+        return self._rel_pos.get((thread, acq_pos), -1)
+
+
+class _Stuck(Exception):
+    """The schedule search could not place every required event."""
+
+
+class _Inconsistent(Exception):
+    """A rule forced a cycle thread past its deadlocking acquisition."""
+
+
+class _Incomplete(Exception):
+    """A rule needed information the trace does not carry (truncation,
+    condition variables) — the closure cannot decide soundly."""
+
+
+class _Closure:
+    """One least-fixpoint computation over per-thread cuts."""
+
+    def __init__(
+        self,
+        index: ClosureIndex,
+        caps: Dict[ThreadId, int],
+        designated: Dict[object, Tuple[ThreadId, int]],
+        *,
+        sync_preserving: bool,
+    ) -> None:
+        self.index = index
+        self.caps = caps
+        #: lock -> the acquisition that must be held at the deadlock.
+        self.designated = designated
+        self.sync_preserving = sync_preserving
+        self.need: Dict[ThreadId, int] = {}
+        self._done: Dict[ThreadId, int] = {}
+        self._dirty: List[ThreadId] = []
+        #: lock -> (step, thread, pos) of the max-step included acquire.
+        self._max_acq: Dict[object, Tuple[int, ThreadId, int]] = {}
+
+    def require(self, thread: ThreadId, n: int) -> None:
+        have = self.need.get(thread, 0)
+        if n <= have:
+            return
+        cap = self.caps.get(thread)
+        if cap is not None and n > cap:
+            raise _Inconsistent(
+                f"{thread.pretty()} is forced past its deadlocking "
+                f"acquisition (needs {n} events, capped at {cap})"
+            )
+        total = len(self.index.steps.get(thread, ()))
+        if n > total:
+            raise _Incomplete(
+                f"{thread.pretty()} is required to run {n} events but the "
+                f"trace records only {total}"
+            )
+        self.need[thread] = n
+        if thread not in self._done:
+            self._done[thread] = 0
+            parent = self.index.spawn_of.get(thread)
+            if parent is not None:
+                self.require(parent[0], parent[1] + 1)
+        self._dirty.append(thread)
+
+    def _require_release(self, thread: ThreadId, acq_pos: int, lock) -> None:
+        rel = self.index.release_pos(thread, acq_pos)
+        if rel < 0:
+            if self.index.has_end.get(thread):
+                # The thread died holding the lock: no reordering frees it.
+                raise _Inconsistent(
+                    f"{thread.pretty()} must release {lock.pretty()} for the "
+                    f"deadlock state but never does"
+                )
+            raise _Incomplete(
+                f"{thread.pretty()}'s release of {lock.pretty()} is missing "
+                f"from the (truncated) trace"
+            )
+        self.require(thread, rel + 1)
+
+    def _visit_acquire(self, thread: ThreadId, pos: int, lock) -> None:
+        step = self.index.steps[thread][pos]
+        des = self.designated.get(lock)
+        if des is not None and des != (thread, pos):
+            # Mutual exclusion: the designated owner holds `lock` at the
+            # deadlock, so this included acquisition must be released.
+            self._require_release(thread, pos, lock)
+        if not self.sync_preserving:
+            return
+        # Sync-preservation: included critical sections on one lock keep
+        # their trace order, so every included acquire except the
+        # step-maximal one needs its release included.  Tracking the max
+        # keeps the rule amortized O(1) per included acquisition.
+        prev = self._max_acq.get(lock)
+        if prev is None or step > prev[0]:
+            self._max_acq[lock] = (step, thread, pos)
+            if prev is not None:
+                self._require_release(prev[1], prev[2], lock)
+        else:
+            self._require_release(thread, pos, lock)
+
+    def run(self) -> None:
+        index = self.index
+        while self._dirty:
+            thread = self._dirty.pop()
+            done, goal = self._done.get(thread, 0), self.need.get(thread, 0)
+            if done >= goal:
+                continue
+            kinds, aux = index.kinds[thread], index.aux[thread]
+            self._done[thread] = goal
+            for pos in range(done, goal):
+                kind = kinds[pos]
+                if kind == _ACQ:
+                    self._visit_acquire(thread, pos, aux[pos])
+                elif kind == _JOIN:
+                    target = aux[pos]
+                    total = len(index.steps.get(target, ()))
+                    if total == 0 or not index.has_end.get(target):
+                        raise _Incomplete(
+                            f"{thread.pretty()} joins {target.pretty()} whose "
+                            f"termination the trace does not record"
+                        )
+                    self.require(target, total)
+                elif kind == _CONDVAR:
+                    raise _Incomplete(
+                        f"{thread.pretty()}'s required prefix crosses a "
+                        f"condition-variable operation"
+                    )
+            # Rule applications may have grown our own cut again.
+            if self.need.get(thread, 0) > goal:
+                self._dirty.append(thread)
+
+
+class _ScheduleSearch:
+    """Deterministic feasible-schedule search — the precision tier.
+
+    Sync-preservation is sufficient, not necessary: in a lock-only trace
+    every interleaving that respects per-thread program order, mutual
+    exclusion and spawn/join is a correct reordering, so same-lock
+    critical sections may swap (the *Partial Orders for Precise and
+    Efficient Dynamic Deadlock Prediction* direction).  When the
+    linearization tier fails, this search schedules the universal
+    closure's required events directly:
+
+    * among enabled events, always take the smallest trace step
+      (deterministic, least divergence from the recording);
+    * a *designated* acquisition (held at the deadlock, never released)
+      is deferred until no other required acquisition of its lock
+      remains — taking it earlier would wedge a critical section that
+      still has to complete;
+    * when nothing is enabled, the cut of the thread in the way is grown
+      on demand — a lock holder runs to its release, a join target runs
+      to its end, a spawn parent runs past the spawn — and the search
+      resumes.  Growing a cycle thread past its cap is refused: the
+      deadlock state caps it by definition.
+
+    A completed schedule *is* a certificate: it was constructed under
+    lock semantics event by event, so it is a correct reordering of the
+    trace ending in the deadlock state.
+    """
+
+    def __init__(
+        self,
+        index: ClosureIndex,
+        caps: Dict[ThreadId, int],
+        designated: Dict[object, Tuple[ThreadId, int]],
+        need: Dict[ThreadId, int],
+    ) -> None:
+        self.index = index
+        self.caps = caps
+        self.designated = designated
+        self._des_set = set(designated.values())
+        self.need: Dict[ThreadId, int] = {}
+        self.consumed: Dict[ThreadId, int] = {}
+        #: lock -> (holder, holder's acquire position) while held.
+        self._held: Dict[object, Tuple[ThreadId, int]] = {}
+        #: not-yet-scheduled required non-designated acquisitions per lock.
+        self._pending_acqs: Dict[object, int] = {}
+        for thread, n in need.items():
+            if not self._extend(thread, n):
+                raise _Stuck(f"cannot admit {thread.pretty()}'s required prefix")
+
+    def _extend(self, thread: ThreadId, n: int) -> bool:
+        """Grow ``thread``'s cut to ``n`` events if the extension is legal."""
+        cur = self.need.get(thread, 0)
+        if n <= cur:
+            return True
+        cap = self.caps.get(thread)
+        if cap is not None and n > cap:
+            return False
+        if n > len(self.index.steps.get(thread, ())):
+            return False
+        kinds = self.index.kinds[thread]
+        aux = self.index.aux[thread]
+        if any(kinds[pos] == _CONDVAR for pos in range(cur, n)):
+            return False
+        for pos in range(cur, n):
+            if kinds[pos] == _ACQ and (thread, pos) not in self._des_set:
+                lock = aux[pos]
+                self._pending_acqs[lock] = self._pending_acqs.get(lock, 0) + 1
+        if thread not in self.need:
+            self.consumed[thread] = 0
+        self.need[thread] = n
+        return True
+
+    def _enabled(self, thread: ThreadId) -> bool:
+        pos = self.consumed[thread]
+        if pos >= self.need[thread]:
+            return False
+        if pos == 0:
+            spawned = self.index.spawn_of.get(thread)
+            if spawned is not None and self.consumed.get(spawned[0], 0) <= spawned[1]:
+                return False
+        kind = self.index.kinds[thread][pos]
+        if kind == _ACQ:
+            lock = self.index.aux[thread][pos]
+            if lock in self._held:
+                return False
+            if (thread, pos) in self._des_set and self._pending_acqs.get(lock, 0):
+                return False
+            return True
+        if kind == _JOIN:
+            target = self.index.aux[thread][pos]
+            return self.consumed.get(target, 0) >= len(
+                self.index.steps.get(target, ())
+            )
+        return True
+
+    def _consume(self, thread: ThreadId, pos: int) -> None:
+        kind = self.index.kinds[thread][pos]
+        if kind == _ACQ:
+            lock = self.index.aux[thread][pos]
+            if (thread, pos) not in self._des_set:
+                self._pending_acqs[lock] -= 1
+            self._held[lock] = (thread, pos)
+        elif kind == _REL:
+            self._held.pop(self.index.aux[thread][pos], None)
+        self.consumed[thread] = pos + 1
+
+    def _unblock(self) -> None:
+        """Apply one demand-driven cut extension, or give up."""
+        blocked = sorted(
+            (self.index.steps[t][self.consumed[t]], t)
+            for t in self.need
+            if self.consumed[t] < self.need[t]
+        )
+        for _, thread in blocked:
+            pos = self.consumed[thread]
+            if pos == 0:
+                spawned = self.index.spawn_of.get(thread)
+                if spawned is not None and self.consumed.get(spawned[0], 0) <= spawned[1]:
+                    if self._extend(spawned[0], spawned[1] + 1):
+                        return
+                    continue
+            kind = self.index.kinds[thread][pos]
+            if kind == _ACQ:
+                holder = self._held.get(self.index.aux[thread][pos])
+                if holder is not None:
+                    rel = self.index.release_pos(holder[0], holder[1])
+                    if rel >= 0 and self._extend(holder[0], rel + 1):
+                        return
+            elif kind == _JOIN:
+                target = self.index.aux[thread][pos]
+                total = len(self.index.steps.get(target, ()))
+                if (
+                    total
+                    and self.index.has_end.get(target)
+                    and self._extend(target, total)
+                ):
+                    return
+        raise _Stuck("no required event is schedulable and no cut can grow")
+
+    def run(self) -> List[Tuple[ThreadId, int]]:
+        order: List[Tuple[ThreadId, int]] = []
+        while True:
+            best: Optional[Tuple[int, ThreadId]] = None
+            remaining = False
+            for thread in self.need:
+                if self.consumed[thread] >= self.need[thread]:
+                    continue
+                remaining = True
+                if self._enabled(thread):
+                    step = self.index.steps[thread][self.consumed[thread]]
+                    if best is None or step < best[0]:
+                        best = (step, thread)
+            if not remaining:
+                break
+            if best is None:
+                self._unblock()
+                continue
+            thread = best[1]
+            pos = self.consumed[thread]
+            self._consume(thread, pos)
+            order.append((thread, pos))
+        for lock, owner in self.designated.items():
+            if self._held.get(lock) != owner:
+                raise _Stuck(f"{lock.pretty()} not held by its designated owner")
+        return order
+
+
+class Predictor:
+    """Three-valued feasibility verdicts over one trace's candidate cycles."""
+
+    def __init__(self, index: ClosureIndex) -> None:
+        self.index = index
+
+    def _base(
+        self, cycle: PotentialDeadlock
+    ) -> Tuple[Dict[ThreadId, int], Dict[object, Tuple[ThreadId, int]]]:
+        """Caps (deadlocking-acquisition positions) and designated owners."""
+        caps: Dict[ThreadId, int] = {}
+        designated: Dict[object, Tuple[ThreadId, int]] = {}
+        for entry in cycle.entries:
+            found = self.index.acq_by_step.get(entry.step)
+            if found is None or found[0] != entry.thread:
+                raise _Incomplete(
+                    f"cycle acquisition at step {entry.step} is not in the trace"
+                )
+            caps[entry.thread] = found[1]
+            for lock in entry.lockset:
+                des = self.index.acq_by_index.get(entry.mu(lock))
+                if des is None:
+                    raise _Incomplete(
+                        f"held acquisition of {lock.pretty()} is not in the trace"
+                    )
+                designated[lock] = des
+        return caps, designated
+
+    def _close(
+        self, cycle: PotentialDeadlock, *, sync_preserving: bool
+    ) -> _Closure:
+        caps, designated = self._base(cycle)
+        closure = _Closure(
+            self.index, caps, designated, sync_preserving=sync_preserving
+        )
+        for thread, cap in caps.items():
+            closure.require(thread, cap)
+        closure.run()
+        return closure
+
+    def _witness(
+        self, cycle: PotentialDeadlock, closure: _Closure
+    ) -> WitnessSchedule:
+        included: List[Tuple[int, str, str]] = []
+        prefix_lens: List[Tuple[str, int]] = []
+        for thread, n in closure.need.items():
+            name = thread.pretty()
+            prefix_lens.append((name, n))
+            steps = self.index.steps[thread]
+            kinds = self.index.kinds[thread]
+            tokens = self.index.tokens[thread]
+            included.extend(
+                (steps[pos], name, tokens[pos])
+                for pos in range(n)
+                # Blocked attempts are schedule artifacts of the recorded
+                # run; the witness linearization never blocks mid-prefix.
+                if kinds[pos] != _BLOCK
+            )
+        included.sort()
+        return WitnessSchedule(
+            sites=tuple(sorted(cycle.sites)),
+            threads=tuple(t.pretty() for t in cycle.threads),
+            order=tuple((name, token) for _, name, token in included),
+            prefix_lens=tuple(sorted(prefix_lens)),
+        )
+
+    def _search_witness(
+        self,
+        cycle: PotentialDeadlock,
+        search: _ScheduleSearch,
+        order: List[Tuple[ThreadId, int]],
+    ) -> WitnessSchedule:
+        """A witness from a discovered schedule: already in execution
+        order, so no linearization — just tokens, minus blocked attempts."""
+        kinds, tokens = self.index.kinds, self.index.tokens
+        return WitnessSchedule(
+            sites=tuple(sorted(cycle.sites)),
+            threads=tuple(t.pretty() for t in cycle.threads),
+            order=tuple(
+                (thread.pretty(), tokens[thread][pos])
+                for thread, pos in order
+                if kinds[thread][pos] != _BLOCK
+            ),
+            prefix_lens=tuple(
+                sorted((t.pretty(), n) for t, n in search.need.items())
+            ),
+        )
+
+    def _witness_valid(self, cycle: PotentialDeadlock, closure: _Closure) -> bool:
+        """Defensive self-check: simulate the witness linearization under
+        pure lock semantics and confirm it really ends in the deadlock
+        state (no included acquisition conflicts, every designated lock
+        held by its owner, every pending acquisition blocked on a held
+        lock).  The closure rules guarantee this by construction; the
+        check keeps a bug here from ever producing an unsound
+        certificate."""
+        index = self.index
+        included: List[Tuple[int, ThreadId, int]] = []
+        for thread, n in closure.need.items():
+            steps = index.steps[thread]
+            included.extend((steps[pos], thread, pos) for pos in range(n))
+        included.sort()
+        held: Dict[object, ThreadId] = {}
+        for _, thread, pos in included:
+            kind = index.kinds[thread][pos]
+            lock = index.aux[thread][pos]
+            if kind == _ACQ:
+                if held.get(lock) is not None:
+                    return False
+                held[lock] = thread
+            elif kind == _REL:
+                held.pop(lock, None)
+        for entry in cycle.entries:
+            for lock in entry.lockset:
+                if held.get(lock) != entry.thread:
+                    return False
+            if held.get(entry.lock) is None:
+                return False
+        return True
+
+    def examine(self, cycle: PotentialDeadlock) -> CyclePrediction:
+        if self.index.events_seen == 0:
+            return CyclePrediction(
+                PredictionVerdict.UNDECIDED, reason="no trace events available"
+            )
+        try:
+            closure = self._close(cycle, sync_preserving=True)
+        except _Inconsistent:
+            # No *sync-preserving* witness — but a non-sync-preserving
+            # reordering may still exist, so try the universal closure
+            # before claiming infeasibility.
+            pass
+        except _Incomplete as exc:
+            return CyclePrediction(PredictionVerdict.UNDECIDED, reason=str(exc))
+        else:
+            if not self._witness_valid(cycle, closure):
+                return CyclePrediction(
+                    PredictionVerdict.UNDECIDED,
+                    reason="closure consistent but witness failed lock-"
+                    "semantics validation",
+                )
+            return CyclePrediction(
+                PredictionVerdict.CERTIFIED,
+                reason="sync-preserving witness reordering constructed",
+                witness=self._witness(cycle, closure),
+            )
+        try:
+            universal = self._close(cycle, sync_preserving=False)
+        except _Inconsistent as exc:
+            return CyclePrediction(PredictionVerdict.REFUTED, reason=str(exc))
+        except _Incomplete as exc:
+            return CyclePrediction(PredictionVerdict.UNDECIDED, reason=str(exc))
+        # The universal closure is consistent but no sync-preserving
+        # linearization exists — search for a schedule that reorders
+        # same-lock critical sections.
+        try:
+            search = _ScheduleSearch(
+                self.index, universal.caps, universal.designated, universal.need
+            )
+            order = search.run()
+        except _Stuck as exc:
+            return CyclePrediction(
+                PredictionVerdict.UNDECIDED,
+                reason=f"no feasible schedule found: {exc}",
+            )
+        return CyclePrediction(
+            PredictionVerdict.CERTIFIED,
+            reason="feasible reordering constructed by schedule search",
+            witness=self._search_witness(cycle, search, order),
+        )
+
+    def run(self, cycles: Iterable[PotentialDeadlock]) -> PredictionResult:
+        cycle_list = list(cycles)
+        predictions = [self.examine(c) for c in cycle_list]
+        return PredictionResult(promote_by_defect(cycle_list, predictions))
+
+
+def promote_by_defect(
+    cycles: List[PotentialDeadlock], predictions: List[Optional[CyclePrediction]]
+) -> List[Optional[CyclePrediction]]:
+    """Key-level promotion: lift an UNDECIDED instance to CERTIFIED when a
+    same-``defect_key`` sibling certified.
+
+    Replay confirmation is site-level (``is_hit`` compares deadlock sites,
+    and ``skip_confirmed_defects`` collapses by ``defect_key``), so the
+    sibling's witness — which deadlocks at exactly the shared sites — is a
+    witness for this instance too.  The common case is a lock pair inside
+    a loop: one iteration's window linearizes, later iterations' windows
+    conflict with each other and stay individually undecided.  REFUTED is
+    never promoted: infeasibility established for one instance's
+    acquisitions says nothing about its siblings'.
+    """
+    certified: Dict[object, CyclePrediction] = {}
+    for cycle, pred in zip(cycles, predictions):
+        if (
+            pred is not None
+            and pred.verdict is PredictionVerdict.CERTIFIED
+            and not pred.promoted
+            and cycle.defect_key not in certified
+        ):
+            certified[cycle.defect_key] = pred
+    out: List[Optional[CyclePrediction]] = []
+    for cycle, pred in zip(cycles, predictions):
+        sibling = certified.get(cycle.defect_key)
+        if (
+            pred is not None
+            and pred.verdict is PredictionVerdict.UNDECIDED
+            and sibling is not None
+        ):
+            pred = CyclePrediction(
+                PredictionVerdict.CERTIFIED,
+                reason="promoted: sibling cycle at the same sites certified",
+                witness=sibling.witness,
+                promoted=True,
+            )
+        out.append(pred)
+    return out
+
+
+def predict_cycles(
+    events: Iterable[TraceEvent], cycles: Iterable[PotentialDeadlock]
+) -> PredictionResult:
+    """One-shot convenience: build the index and predict every cycle."""
+    return Predictor(ClosureIndex.from_events(events)).run(cycles)

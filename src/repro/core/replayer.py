@@ -27,8 +27,9 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Set
 
 from repro.core.generator import GeneratorDecision
+from repro.core.prediction import WitnessSchedule, event_token
 from repro.core.syncgraph import SyncGraph
-from repro.runtime.events import AcquireEvent, EndEvent, TraceEvent
+from repro.runtime.events import AcquireEvent, BlockEvent, EndEvent, TraceEvent
 from repro.runtime.sim.result import RunResult, RunStatus
 from repro.runtime.sim.runtime import Program, run_program
 from repro.runtime.sim.scheduler import AcquireOp, ThreadState
@@ -102,6 +103,123 @@ class WolfReplayStrategy(SchedulingStrategy):
                 self.sched.unpause(record.tid)
 
 
+class WitnessReplayStrategy(WolfReplayStrategy):
+    """Follows a CERTIFIED prediction's witness schedule.
+
+    The witness linearizes the included event prefixes, so scheduling each
+    listed thread in turn re-creates the deadlock state without search.
+    Each order entry carries the expected event token, and the strategy
+    keeps a per-thread queue of them: a prefix-incomplete thread that
+    emits a *different* event has diverged from the certificate (control
+    flow gated on state the trace does not record — the §4.4 limitation).
+    Once a cycle thread's prefix is done its very next event must be its
+    deadlocking acquisition (or the block attempting it) — a thread that
+    instead branches away, releases, and exits has diverged *after* the
+    prefix, which is just as fatal to the certificate and is what the
+    ``pending`` check catches.  ``diverged`` reports either kind so the
+    pipeline can demote the certificate instead of trusting it.
+
+    While the run is on script the base class's ``Gs`` gating is bypassed
+    (the witness is already a complete schedule; pausing threads on
+    trace-order dependencies would fight the reordering).  After a
+    divergence the ``Gs`` machinery — kept up to date throughout — takes
+    back over, so a diverged run degrades to deterministic Gs-steered
+    replay instead of wedging.
+    """
+
+    def __init__(
+        self, gs: SyncGraph, witness: WitnessSchedule, seed: int = 0
+    ) -> None:
+        super().__init__(gs, seed=seed)
+        self.order = witness.order
+        #: Per-thread queues of expected tokens, in witness order.
+        self._queues: dict = {}
+        for name, token in witness.order:
+            self._queues.setdefault(name, []).append(token)
+        for q in self._queues.values():
+            q.reverse()  # pop() from the end == consume in order
+        #: Global cursor used only for scheduling preference; advanced
+        #: lazily past entries their thread has already consumed.
+        self._pos = 0
+        self._ordinal: List[int] = []
+        counts: dict = {}
+        for name, _ in witness.order:
+            self._ordinal.append(counts.get(name, 0))
+            counts[name] = counts.get(name, 0) + 1
+        self._consumed: dict = {name: 0 for name in counts}
+        #: After its prefix, each cycle thread owes exactly its
+        #: deadlocking acquisition: thread name -> expected site.
+        self._pending = {e.thread.pretty(): e.index.site for e in gs.cycle.entries}
+        self._fulfilled: set = set()
+        #: Count of events contradicting the witness — the certificate's
+        #: trace-completeness assumption failed for this program.
+        self.divergences = 0
+
+    @property
+    def diverged(self) -> bool:
+        return (
+            self.divergences > 0
+            or any(self._queues.values())
+            or any(name not in self._fulfilled for name in self._pending)
+        )
+
+    @property
+    def _on_script(self) -> bool:
+        return self.divergences == 0
+
+    def pick(self, ready: List[ThreadId]) -> ThreadId:
+        by_name = {t.pretty(): t for t in ready}
+        # Fast-forward past entries already consumed (a thread run early
+        # by the fallback still counts against its queue).
+        while (
+            self._pos < len(self.order)
+            and self._consumed[self.order[self._pos][0]] > self._ordinal[self._pos]
+        ):
+            self._pos += 1
+        # The next unconsumed witness entry whose thread is runnable;
+        # entries whose thread is momentarily blocked are looked *past*.
+        for pos in range(self._pos, len(self.order)):
+            name = self.order[pos][0]
+            if self._consumed[name] > self._ordinal[pos]:
+                continue
+            tid = by_name.get(name)
+            if tid is not None:
+                return tid
+        # Witness exhausted (or every scripted thread blocked): park the
+        # cycle threads at their pending acquisitions first, then drain
+        # the rest — deterministically.
+        ranked = sorted(ready, key=lambda t: (t not in self.cycle_threads, t.pretty()))
+        return ranked[0]
+
+    def before_acquire(self, thread: ThreadId, op: AcquireOp) -> bool:
+        if self._on_script:
+            return True
+        return super().before_acquire(thread, op)
+
+    def on_event(self, event: TraceEvent) -> None:
+        name = event.thread.pretty()
+        queue = self._queues.get(name)
+        if queue:
+            if event_token(event) == queue[-1]:
+                queue.pop()
+                self._consumed[name] += 1
+            elif not isinstance(event, BlockEvent):
+                # A blocked attempt is a scheduling artifact; any other
+                # mismatch is the thread refusing the witness.
+                self.divergences += 1
+        elif name in self._pending and name not in self._fulfilled:
+            site = self._pending[name]
+            token = event_token(event)
+            if token in (f"acq@{site}", f"block@{site}"):
+                self._fulfilled.add(name)
+            elif not isinstance(event, BlockEvent):
+                # Prefix complete but the thread's next move is not the
+                # deadlocking acquisition: post-prefix divergence.
+                self.divergences += 1
+                self._fulfilled.add(name)
+        super().on_event(event)
+
+
 @dataclass
 class ReplayOutcome:
     """Result of attempting to reproduce one potential deadlock."""
@@ -119,6 +237,12 @@ class ReplayOutcome:
     #: why an attempt missed, and surfaced in the markdown report.
     forced_releases: int = 0
     wall_time_s: float = 0.0
+    #: True when the witness-steered first attempt diverged from its
+    #: certificate (a scheduled thread emitted an event contradicting the
+    #: witness, or the cursor never completed): the program synchronizes
+    #: through state the trace does not record, so the certificate is
+    #: void for this program and the pipeline demotes it.
+    witness_diverged: bool = False
     #: CPU seconds of the process that ran the attempts.  Replays spend
     #: much of their wall time parked on scheduler events; the gap between
     #: this and ``wall_time_s`` shows how much, which matters when replays
@@ -170,8 +294,18 @@ class Replayer:
         result, _ = self._run_attempt(decision, seed)
         return result
 
-    def _run_attempt(self, decision: GeneratorDecision, seed: int):
-        strategy = WolfReplayStrategy(decision.gs, seed=seed)
+    def _run_attempt(
+        self,
+        decision: GeneratorDecision,
+        seed: int,
+        witness: Optional[WitnessSchedule] = None,
+    ):
+        if witness is not None:
+            strategy: WolfReplayStrategy = WitnessReplayStrategy(
+                decision.gs, witness, seed=seed
+            )
+        else:
+            strategy = WolfReplayStrategy(decision.gs, seed=seed)
         result = run_program(
             self.program,
             strategy,
@@ -188,12 +322,15 @@ class Replayer:
         *,
         attempts: Optional[int] = None,
         stop_on_hit: bool = True,
+        witness: Optional[WitnessSchedule] = None,
     ) -> ReplayOutcome:
         """Attempt reproduction up to ``attempts`` times.
 
         With ``stop_on_hit`` (the pipeline's mode) the first hit confirms
         the defect; without it every attempt runs (hit-rate measurement,
-        paper Figure 8).
+        paper Figure 8).  A ``witness`` schedule makes the first attempt
+        follow the predicted reordering deterministically; later attempts
+        (divergence fallback) run the usual Gs-steered search.
         """
         n = attempts if attempts is not None else self.attempts
         if n < 1:
@@ -205,6 +342,7 @@ class Replayer:
         forced = 0
         hit_run: Optional[RunResult] = None
         made = 0
+        diverged = False
         for k in range(n):
             # Sorted: formatting the raw frozenset would bake the process's
             # hash seed into the replay seed, which breaks determinism
@@ -212,9 +350,17 @@ class Replayer:
             rng = DeterministicRNG(self.seed).fork(
                 f"replay:{sorted(decision.cycle.sites)}:{k}"
             )
-            result, strategy = self._run_attempt(decision, seed=rng.seed)
+            result, strategy = self._run_attempt(
+                decision, seed=rng.seed, witness=witness if k == 0 else None
+            )
             made += 1
             forced += strategy.forced_releases
+            if (
+                isinstance(strategy, WitnessReplayStrategy)
+                and strategy.diverged
+                and not is_hit(result, decision.gs)
+            ):
+                diverged = True
             statuses.append(result.status)
             if is_hit(result, decision.gs):
                 hits += 1
@@ -232,4 +378,5 @@ class Replayer:
             forced_releases=forced,
             wall_time_s=time.perf_counter() - t0,
             cpu_time_s=time.process_time() - c0,
+            witness_diverged=diverged,
         )

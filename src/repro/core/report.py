@@ -18,6 +18,7 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
 
 from repro.core.detector import DetectionResult, PotentialDeadlock
 from repro.core.generator import GeneratorDecision
+from repro.core.prediction import CyclePrediction, PredictionVerdict
 from repro.core.pruner import PruneDecision
 from repro.core.replayer import ReplayOutcome
 from repro.util.fmt import percent
@@ -25,16 +26,34 @@ from repro.util.ids import Site
 
 
 class Classification(enum.Enum):
-    """Final verdict for one cycle (paper Figure 3's outputs)."""
+    """Final verdict for one cycle (paper Figure 3's outputs, plus the
+    prediction pass's two replay-free verdicts)."""
 
     FALSE_PRUNER = "false (pruner)"
     FALSE_GENERATOR = "false (generator)"
+    #: The sync-preserving closure proved the cycle infeasible — dropped
+    #: before replay (``WolfConfig.predict`` in filter/certify mode).
+    FALSE_PREDICTION = "false (prediction)"
     CONFIRMED = "confirmed deadlock"
+    #: A witness reordering certified the cycle feasible; confirmed
+    #: without executing anything (``predict="certify"``).
+    CONFIRMED_PREDICTED = "confirmed (predicted)"
     UNKNOWN = "unknown (manual)"
 
     @property
     def is_false(self) -> bool:
-        return self in (Classification.FALSE_PRUNER, Classification.FALSE_GENERATOR)
+        return self in (
+            Classification.FALSE_PRUNER,
+            Classification.FALSE_GENERATOR,
+            Classification.FALSE_PREDICTION,
+        )
+
+    @property
+    def is_confirmed(self) -> bool:
+        return self in (
+            Classification.CONFIRMED,
+            Classification.CONFIRMED_PREDICTED,
+        )
 
 
 @dataclass
@@ -44,17 +63,46 @@ class CycleReport:
     prune: Optional[PruneDecision] = None
     generator: Optional[GeneratorDecision] = None
     replay: Optional[ReplayOutcome] = None
+    #: Verdict of the sync-preserving prediction pass (``None`` when
+    #: prediction was off or the cycle never reached it).
+    prediction: Optional[CyclePrediction] = None
 
     @property
     def gs_vertices(self) -> Optional[int]:
         return self.generator.gs.num_vertices() if self.generator else None
 
+    @property
+    def certificate_demoted(self) -> bool:
+        """True when this cycle was CERTIFIED but its witness replay
+        diverged without hitting: the certificate was void for this
+        program (untracked synchronization — the §4.4 limitation) and the
+        classification fell back to the plain replay outcome."""
+        return (
+            self.prediction is not None
+            and self.prediction.verdict is PredictionVerdict.CERTIFIED
+            and self.replay is not None
+            and not self.replay.reproduced
+            and self.replay.witness_diverged
+        )
+
     def pretty(self) -> str:
         extra = ""
         if self.classification is Classification.FALSE_PRUNER and self.prune:
             extra = f" — {self.prune.reason}"
+        elif (
+            self.classification is Classification.FALSE_PREDICTION
+            and self.prediction
+        ):
+            extra = f" — {self.prediction.reason}"
+        elif (
+            self.classification is Classification.CONFIRMED_PREDICTED
+            and self.prediction
+        ):
+            extra = f" — {self.prediction.reason}"
         elif self.classification is Classification.CONFIRMED and self.replay:
             extra = f" — reproduced in {self.replay.attempts} attempt(s)"
+        if self.certificate_demoted:
+            extra += " [certificate demoted: witness diverged]"
         return f"[{self.classification.value}] {self.cycle.pretty()}{extra}"
 
 
@@ -99,15 +147,23 @@ class DefectReport:
     def classification(self) -> Classification:
         """Defect-level verdict: confirmed if *any* cycle reproduced
         (one deadlocking execution proves the source locations defective,
-        §4.3); false only if *every* cycle is false; otherwise unknown."""
+        §4.3) — an executed reproduction outranks a predicted one; false
+        only if *every* cycle is false; otherwise unknown."""
         classes = [c.classification for c in self.cycles]
         if Classification.CONFIRMED in classes:
             return Classification.CONFIRMED
+        if Classification.CONFIRMED_PREDICTED in classes:
+            return Classification.CONFIRMED_PREDICTED
         if all(c.is_false for c in classes):
             # Attribute to the earliest stage that eliminated all of them.
             if all(c is Classification.FALSE_PRUNER for c in classes):
                 return Classification.FALSE_PRUNER
-            return Classification.FALSE_GENERATOR
+            if all(
+                c in (Classification.FALSE_PRUNER, Classification.FALSE_GENERATOR)
+                for c in classes
+            ):
+                return Classification.FALSE_GENERATOR
+            return Classification.FALSE_PREDICTION
         return Classification.UNKNOWN
 
     @property
@@ -150,6 +206,10 @@ class WolfReport:
     #: Tuples the MagicFuzzer reduction removed before enumeration,
     #: summed across detection runs (0 unless ``WolfConfig.reduce``).
     reduced_tuples: int = 0
+    #: Prediction mode the pipeline ran with (``"off"``/``"filter"``/
+    #: ``"certify"``) — prediction fields appear in the summary and JSON
+    #: only when it is not ``"off"``, keeping default output byte-stable.
+    predict: str = "off"
 
     # -- aggregation --------------------------------------------------------
 
@@ -189,6 +249,63 @@ class WolfReport:
         if failure is None:
             return len(self.faults)
         return sum(1 for f in self.faults if f.failure == failure)
+
+    # -- prediction ---------------------------------------------------------
+
+    def count_predictions(self, verdict: PredictionVerdict) -> int:
+        return sum(
+            1
+            for c in self.cycle_reports
+            if c.prediction is not None and c.prediction.verdict is verdict
+        )
+
+    @property
+    def n_predicted(self) -> int:
+        """Cycles the prediction pass examined (Generator survivors)."""
+        return sum(1 for c in self.cycle_reports if c.prediction is not None)
+
+    @property
+    def n_demoted_certificates(self) -> int:
+        return sum(1 for c in self.cycle_reports if c.certificate_demoted)
+
+    @property
+    def decided_ratio(self) -> Optional[float]:
+        """Fraction of examined cycles decided without replay
+        (CERTIFIED + REFUTED over examined); ``None`` when prediction was
+        off or saw no cycles."""
+        n = self.n_predicted
+        if not n:
+            return None
+        decided = self.count_predictions(
+            PredictionVerdict.CERTIFIED
+        ) + self.count_predictions(PredictionVerdict.REFUTED)
+        return decided / n
+
+    @property
+    def prediction_disagreements(self) -> int:
+        """Soundness-gate violations visible in this report: CERTIFIED
+        cycles whose witness replay exhausted every attempt with no hit
+        *and* no detected divergence (a certificate that should have
+        reproduced), plus REFUTED cycles that somehow carry a reproduced
+        replay.  Always 0 for a sound predictor."""
+        bad = 0
+        for c in self.cycle_reports:
+            if c.prediction is None:
+                continue
+            if (
+                c.prediction.verdict is PredictionVerdict.CERTIFIED
+                and c.replay is not None
+                and not c.replay.reproduced
+                and not c.replay.witness_diverged
+            ):
+                bad += 1
+            if (
+                c.prediction.verdict is PredictionVerdict.REFUTED
+                and c.replay is not None
+                and c.replay.reproduced
+            ):
+                bad += 1
+        return bad
 
     @property
     def avg_gs_vertices(self) -> Optional[float]:
@@ -236,15 +353,23 @@ class WolfReport:
                     "hit_rate": cr.replay.hit_rate,
                     "forced_releases": cr.replay.forced_releases,
                 }
+                if self.predict != "off":
+                    d["replay"]["witness_diverged"] = cr.replay.witness_diverged
             if cr.prune is not None and cr.prune.pruned:
                 d["prune_reason"] = cr.prune.reason
+            if cr.prediction is not None:
+                d["prediction"] = {
+                    "verdict": cr.prediction.verdict.value,
+                    "reason": cr.prediction.reason,
+                    "promoted": cr.prediction.promoted,
+                    "demoted": cr.certificate_demoted,
+                }
             return d
 
-        return json.dumps(
-            {
-                "program": self.program,
-                "seeds": self.seeds,
-                "cycles": [cycle_row(cr) for cr in self.cycle_reports],
+        doc = {
+            "program": self.program,
+            "seeds": self.seeds,
+            "cycles": [cycle_row(cr) for cr in self.cycle_reports],
                 "defects": [
                     {
                         "sites": sorted(d.key),
@@ -270,9 +395,19 @@ class WolfReport:
                 "engine": self.engine,
                 "reduced_tuples": self.reduced_tuples,
                 "fallback_reason": self.fallback_reason,
-            },
-            indent=2,
-        )
+        }
+        if self.predict != "off":
+            doc["predict"] = self.predict
+            doc["prediction"] = {
+                "examined": self.n_predicted,
+                "certified": self.count_predictions(PredictionVerdict.CERTIFIED),
+                "refuted": self.count_predictions(PredictionVerdict.REFUTED),
+                "undecided": self.count_predictions(PredictionVerdict.UNDECIDED),
+                "decided_ratio": self.decided_ratio,
+                "demoted": self.n_demoted_certificates,
+                "disagreements": self.prediction_disagreements,
+            }
+        return json.dumps(doc, indent=2)
 
     def summary(self) -> str:
         n, nd = self.n_cycles, self.n_defects
@@ -283,16 +418,43 @@ class WolfReport:
             f"{percent(self.count_cycles(Classification.FALSE_PRUNER), n)}",
             f"    false (generator) : "
             f"{percent(self.count_cycles(Classification.FALSE_GENERATOR), n)}",
+        ]
+        if self.predict != "off":
+            lines += [
+                f"    false (prediction): "
+                f"{percent(self.count_cycles(Classification.FALSE_PREDICTION), n)}",
+                f"    confirmed (pred.) : "
+                f"{percent(self.count_cycles(Classification.CONFIRMED_PREDICTED), n)}",
+            ]
+        lines += [
             f"    confirmed         : "
             f"{percent(self.count_cycles(Classification.CONFIRMED), n)}",
             f"    unknown           : "
             f"{percent(self.count_cycles(Classification.UNKNOWN), n)}",
             f"  defects (unique source locations) : {nd}",
             f"    false     : "
-            f"{percent(self.count_defects(Classification.FALSE_PRUNER) + self.count_defects(Classification.FALSE_GENERATOR), nd)}",
-            f"    confirmed : {percent(self.count_defects(Classification.CONFIRMED), nd)}",
+            f"{percent(self.count_defects(Classification.FALSE_PRUNER) + self.count_defects(Classification.FALSE_GENERATOR) + self.count_defects(Classification.FALSE_PREDICTION), nd)}",
+            f"    confirmed : {percent(self.count_defects(Classification.CONFIRMED) + self.count_defects(Classification.CONFIRMED_PREDICTED), nd)}",
             f"    unknown   : {percent(self.count_defects(Classification.UNKNOWN), nd)}",
         ]
+        if self.predict != "off":
+            ratio = self.decided_ratio
+            lines.append(
+                f"  prediction ({self.predict}) : "
+                f"{self.count_predictions(PredictionVerdict.CERTIFIED)} certified, "
+                f"{self.count_predictions(PredictionVerdict.REFUTED)} refuted, "
+                f"{self.count_predictions(PredictionVerdict.UNDECIDED)} undecided"
+                + (f" ({ratio:.0%} decided without replay)" if ratio is not None else "")
+            )
+            if self.n_demoted_certificates:
+                lines.append(
+                    f"    demoted certificates (witness diverged) : "
+                    f"{self.n_demoted_certificates}"
+                )
+            if self.prediction_disagreements:
+                lines.append(
+                    f"    SOUNDNESS DISAGREEMENTS : {self.prediction_disagreements}"
+                )
         if self.faults:
             lines.append(
                 f"  faults (tasks lost to errors/timeouts/crashes) : "

@@ -1,12 +1,14 @@
 """The lost-defect health gate over a governed corpus.
 
 ``compute_health`` re-runs the full offline analysis chain — streaming
-detection, Pruner, Generator — over every committed trace and distills a
-small machine-diffable document: the corpus-wide coverage-key set plus
-per-trace defect keys, cycle counts and *replay candidates* (Generator
-survivors, i.e. cycles the analysis certifies replayable from the trace
-alone; the corpus has no live programs, so generator-certified
-replayability is the offline stand-in for replay success).
+detection, Pruner, Generator, sync-preserving prediction — over every
+committed trace and distills a small machine-diffable document: the
+corpus-wide coverage-key set plus per-trace defect keys, cycle counts,
+*replay candidates* (Generator survivors) and the prediction verdicts
+over them (certified / refuted / undecided counts plus the certified key
+sets).  The corpus has no live programs, so a CERTIFIED verdict — a
+witness reordering proven sync-preserving-feasible from the trace alone —
+is the strongest replayability statement the offline tier can make.
 
 ``compare_health`` diffs a fresh document against the committed
 ``CORPUS_health.json`` baseline and reports **regressions only**:
@@ -16,10 +18,13 @@ replayability is the offline stand-in for replay success).
 * a baseline trace that lost one of its own keys (localizes the loss);
 * a trace whose replay-candidate count dropped (a soundness change that
   stopped certifying a cycle replayable);
+* a trace key the baseline **certified** that the fresh run no longer
+  does — a demoted certificate is a lost proof, gated exactly like a
+  lost defect;
 * a baseline trace missing from the fresh run entirely.
 
-New keys, new traces and *higher* candidate counts never fail — growth
-is what the campaign is for; only losses gate.
+New keys, new traces, *higher* candidate counts and newly certified keys
+never fail — growth is what the campaign is for; only losses gate.
 """
 
 from __future__ import annotations
@@ -29,8 +34,11 @@ import os
 from typing import Dict, List, Optional
 
 from repro.core.generator import Generator
+from repro.core.parallel import predict_decisions
+from repro.core.prediction import ClosureIndex, PredictionVerdict
 from repro.core.pruner import Pruner
 from repro.corpus.build import analyze_trace_file
+from repro.runtime.tracefile import TraceFileReader
 from repro.corpus.manifest import (
     HEALTH_SCHEMA,
     CorpusManifest,
@@ -49,6 +57,7 @@ def compute_health(corpus_dir: str, manifest: CorpusManifest) -> Dict[str, objec
     coverage: set = set()
     total_cycles = 0
     total_candidates = 0
+    total_verdicts = {"certified": 0, "refuted": 0, "undecided": 0}
     for rec in manifest.traces:
         path = os.path.join(corpus_dir, rec.file)
         detection, _ = analyze_trace_file(
@@ -60,15 +69,34 @@ def compute_health(corpus_dir: str, manifest: CorpusManifest) -> Dict[str, objec
         prune = Pruner(detection.vclocks).prune(detection.cycles)
         gen = Generator(detection.relation).run(prune.survivors)
         candidates = len(gen.survivors)
+        # The streaming detector never materializes the trace; the
+        # closure index re-reads the committed bytes.
+        with TraceFileReader(path) as reader:
+            index = ClosureIndex.from_events(reader)
+        preds = predict_decisions(index, gen.decisions)
+        verdicts = {"certified": 0, "refuted": 0, "undecided": 0}
+        certified_keys: set = set()
+        for dec, pred in zip(gen.decisions, preds):
+            if pred is None:
+                continue
+            verdicts[pred.verdict.value] += 1
+            if pred.verdict is PredictionVerdict.CERTIFIED:
+                certified_keys.add(tuple(sorted(dec.cycle.sites)))
         coverage |= {coverage_key(rec.program, k) for k in keys}
         total_cycles += len(detection.cycles)
         total_candidates += candidates
+        for v, n in verdicts.items():
+            total_verdicts[v] += n
         traces[rec.file] = {
             "program": rec.program,
             "defect_keys": [list(k) for k in keys],
             "cycles": len(detection.cycles),
             "replay_candidates": candidates,
+            "predicted": verdicts,
+            "certified_keys": [list(k) for k in sorted(certified_keys)],
         }
+    examined = sum(total_verdicts.values())
+    decided = total_verdicts["certified"] + total_verdicts["refuted"]
     return {
         "schema": HEALTH_SCHEMA,
         "detector": dict(manifest.detector),
@@ -79,6 +107,8 @@ def compute_health(corpus_dir: str, manifest: CorpusManifest) -> Dict[str, objec
             "defect_keys": len(coverage),
             "cycles": total_cycles,
             "replay_candidates": total_candidates,
+            "predicted": total_verdicts,
+            "decided_ratio": (decided / examined) if examined else None,
         },
     }
 
@@ -121,6 +151,15 @@ def compare_health(
             failures.append(
                 f"{file}: replay candidates regressed "
                 f"{base_entry['replay_candidates']} -> {entry['replay_candidates']}"
+            )
+        base_certified = {
+            tuple(k) for k in base_entry.get("certified_keys", [])
+        }
+        new_certified = {tuple(k) for k in entry.get("certified_keys", [])}
+        for k in sorted(base_certified - new_certified):
+            failures.append(
+                f"{file}: certified key demoted {list(k)} — the prediction "
+                "pass no longer proves this cycle feasible"
             )
     return failures
 

@@ -30,7 +30,9 @@ from repro.util.ids import Site
 #: Manifest document schema tag; bump on any wire-format change.
 CORPUS_SCHEMA = "wolf-corpus/1"
 #: Health-baseline document schema tag (see :mod:`repro.corpus.gate`).
-HEALTH_SCHEMA = "wolf-corpus-health/1"
+#: v2 added the sync-preserving prediction verdicts (per-trace counts
+#: plus the certified key sets the gate protects against demotion).
+HEALTH_SCHEMA = "wolf-corpus-health/2"
 
 #: Default artifact names.
 MANIFEST_NAME = "corpus_manifest.json"

@@ -9,8 +9,10 @@ published tables; ours come from the drivers.
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 from typing import List, Optional, Sequence
 
+from repro.core.prediction import PredictionVerdict
 from repro.core.report import WolfReport
 from repro.experiments.fig8 import run_fig8
 from repro.experiments.fig10 import run_fig10
@@ -80,17 +82,30 @@ def total_forced_releases(report: WolfReport) -> int:
     )
 
 
+def _fmt_predictions(rep: WolfReport) -> str:
+    """``cert/ref/und`` verdict counts, or ``off`` when the prediction
+    pass did not run for this report."""
+    if rep.predict == "off":
+        return "off"
+    return (
+        f"{rep.count_predictions(PredictionVerdict.CERTIFIED)}"
+        f"/{rep.count_predictions(PredictionVerdict.REFUTED)}"
+        f"/{rep.count_predictions(PredictionVerdict.UNDECIDED)}"
+    )
+
+
 def render_health_section(reports: Sequence[WolfReport]) -> List[str]:
     """Markdown lines for the run-health table: supervision faults,
-    engine degradation and replay force-releases per benchmark — so a
-    degraded or faulty run is visible in the report, not just in the
-    Python objects."""
+    engine degradation, replay force-releases and prediction verdicts
+    per benchmark — so a degraded or faulty run is visible in the
+    report, not just in the Python objects."""
     out = [
         "## Run health — supervision, degradation, replay fidelity",
         "",
         "| Benchmark | Workers | Faults (error/timeout/crashed) | "
-        "Forced releases | Reduced tuples | Degradation |",
-        "|---|---|---|---|---|---|",
+        "Forced releases | Reduced tuples | Predicted (cert/ref/und) | "
+        "Degradation |",
+        "|---|---|---|---|---|---|---|",
     ]
     for rep in reports:
         faults = (
@@ -101,6 +116,7 @@ def render_health_section(reports: Sequence[WolfReport]) -> List[str]:
             f"| {rep.program} | {rep.workers} | {faults} "
             f"| {total_forced_releases(rep)} "
             f"| {rep.reduced_tuples} "
+            f"| {_fmt_predictions(rep)} "
             f"| {rep.fallback_reason or 'none'} |"
         )
     total_faults = sum(rep.n_faults for rep in reports)
@@ -113,6 +129,15 @@ def render_health_section(reports: Sequence[WolfReport]) -> List[str]:
         else "No supervised task faulted; every seed and cycle above is "
         "backed by a completed execution."
     )
+    demoted = sum(rep.n_demoted_certificates for rep in reports)
+    disagreements = sum(rep.prediction_disagreements for rep in reports)
+    if any(rep.predict != "off" for rep in reports):
+        out.append("")
+        out.append(
+            f"Prediction soundness: {disagreements} disagreement(s) "
+            f"(certified-but-missed or refuted-but-reproduced), "
+            f"{demoted} certificate(s) demoted by witness divergence."
+        )
     out.append("")
     return out
 
@@ -286,7 +311,13 @@ def generate_markdown(
     out.extend(render_crossval_section(names))
 
     # ---- Run health -----------------------------------------------------
-    health_reports = [run_wolf(b, settings) for b in select_benchmarks(names)]
+    # Predict in filter mode here (only here) so the health table shows
+    # the verdict split and witness-replay fidelity without perturbing
+    # the paper-comparison tables above.
+    health_settings = replace(settings, predict="filter")
+    health_reports = [
+        run_wolf(b, health_settings) for b in select_benchmarks(names)
+    ]
     out.extend(render_health_section(health_reports))
 
     out.append(f"_Total generation time: {time.time()-t0:.1f}s._")

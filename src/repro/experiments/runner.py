@@ -40,6 +40,11 @@ class ExperimentSettings:
     #: Drop provably cycle-free tuples before enumeration
     #: (:func:`repro.core.reduction.reduce_relation`).
     reduce: bool = False
+    #: Sync-preserving prediction pass between Generator and Replayer
+    #: (``"off"``/``"filter"``/``"certify"``; see
+    #: :mod:`repro.core.prediction`).  ``"off"`` keeps the historical
+    #: replay-everything tables byte-stable.
+    predict: str = "off"
 
     def seed_for(self, b: Benchmark) -> int:
         return self.seed if self.seed is not None else b.detect_seed
@@ -65,6 +70,7 @@ def run_wolf(b: Benchmark, settings: ExperimentSettings) -> WolfReport:
         engine=settings.engine,
         shard_cycles=settings.shard_cycles,
         reduce=settings.reduce,
+        predict=settings.predict,
     )
     return Wolf(config=cfg).analyze(b.program, name=b.name)
 

@@ -18,12 +18,14 @@ from typing import Optional, Sequence
 
 from repro.core.detector import DetectionResult
 from repro.core.generator import Generator, GeneratorVerdict
+from repro.core.parallel import predict_decisions
+from repro.core.prediction import ClosureIndex
 from repro.core.pruner import Pruner
 from repro.core.streaming import StreamingDetector
 from repro.corpus.manifest import DETECTOR_PARAMS, canonical_keys
 from repro.runtime.tracefile import TraceFileReader
 
-REPORT_SCHEMA = "wolf-defect-report/1"
+REPORT_SCHEMA = "wolf-defect-report/2"
 
 
 def defect_report_doc(
@@ -34,26 +36,47 @@ def defect_report_doc(
     events: int,
     max_length: int = DETECTOR_PARAMS["max_length"],
     max_cycles: int = DETECTOR_PARAMS["max_cycles"],
+    trace_path: Optional[str] = None,
 ) -> dict:
     """Build the canonical report document from a finished detection.
 
-    Runs the trace-side pipeline tail (Pruner → Generator) exactly as
-    ``wolf analyze-trace`` does; replay needs the live producer and is
-    deliberately out of scope for the ingestion tier (the sound-prediction
-    ROADMAP item picks it up from here).
+    Runs the trace-side pipeline tail (Pruner → Generator → prediction)
+    exactly as ``wolf analyze-trace`` does.  Replay needs the live
+    producer and stays out of scope for the ingestion tier; the
+    sync-preserving prediction pass is what decides feasibility here —
+    it certifies or refutes replay candidates from the trace alone, so
+    fleet streams whose producers cannot be re-run still get verdicts.
+    ``trace_path`` supplies the event stream for the closure index when
+    the detection never materialized one (the streaming engine).
     """
     prune = Pruner(detection.vclocks).prune(detection.cycles)
     gen = Generator(detection.relation).run(prune.survivors)
-    decisions = [
-        {
+    if len(detection.trace.events) > 0:
+        index = ClosureIndex.from_events(detection.trace)
+    elif trace_path is not None:
+        with TraceFileReader(trace_path) as reader:
+            index = ClosureIndex.from_events(reader)
+    else:
+        index = ClosureIndex()
+    predictions = predict_decisions(index, gen.decisions)
+    decisions = []
+    counts = {"certified": 0, "refuted": 0, "undecided": 0}
+    for dec, pred in zip(gen.decisions, predictions):
+        if dec.verdict is GeneratorVerdict.FALSE:
+            verdict = "false"
+        else:
+            verdict = "replayable"
+        row = {
             "sites": sorted(dec.cycle.sites),
             "threads": len(dec.cycle.entries),
-            "verdict": (
-                "false" if dec.verdict is GeneratorVerdict.FALSE else "replayable"
-            ),
+            "verdict": verdict,
         }
-        for dec in gen.decisions
-    ]
+        if pred is not None:
+            row["prediction"] = pred.verdict.value
+            counts[pred.verdict.value] += 1
+        decisions.append(row)
+    examined = sum(counts.values())
+    decided = counts["certified"] + counts["refuted"]
     return {
         "schema": REPORT_SCHEMA,
         "program": program,
@@ -67,6 +90,12 @@ def defect_report_doc(
         "pruned_false": len(prune.false_positives),
         "generator_false": len(gen.false_positives),
         "replay_candidates": len(gen.survivors),
+        "prediction": {
+            "certified": counts["certified"],
+            "refuted": counts["refuted"],
+            "undecided": counts["undecided"],
+            "decided_ratio": (decided / examined) if examined else None,
+        },
         "decisions": decisions,
     }
 
@@ -95,6 +124,7 @@ def report_doc_for_file(
         events=det.events_seen,
         max_length=max_length,
         max_cycles=max_cycles,
+        trace_path=path,
     )
 
 

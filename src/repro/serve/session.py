@@ -195,6 +195,7 @@ class StreamSession:
             events=self.detector.events_seen,
             max_length=self.max_length,
             max_cycles=self.max_cycles,
+            trace_path=self.spool_path,
         )
         self.state = SessionState.COMPLETE
         return doc

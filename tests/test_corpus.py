@@ -367,7 +367,7 @@ class TestHealthGate:
         save_health(compute_health(str(corpus), manifest), str(baseline))
         failures, fresh = run_gate(str(corpus), str(baseline))
         assert failures == []
-        assert fresh["schema"] == "wolf-corpus-health/1"
+        assert fresh["schema"] == "wolf-corpus-health/2"
 
     def test_every_lost_key_fails(self, tiny_corpus):
         corpus, _ = tiny_corpus
@@ -402,6 +402,26 @@ class TestHealthGate:
         mutated["traces"][victim]["replay_candidates"] -= 1
         failures = compare_health(mutated, baseline)
         assert any("replay candidates regressed" in f for f in failures)
+
+    def test_certified_demotion_fails(self, tiny_corpus):
+        """A trace key the baseline certified must stay certified — a
+        demoted proof gates exactly like a lost defect."""
+        corpus, _ = tiny_corpus
+        manifest = CorpusManifest.load(str(corpus / MANIFEST_NAME))
+        baseline = compute_health(str(corpus), manifest)
+        victim = next(
+            (
+                f
+                for f, entry in baseline["traces"].items()
+                if entry["certified_keys"]
+            ),
+            None,
+        )
+        assert victim is not None, "tiny corpus certified no key at all"
+        mutated = copy.deepcopy(baseline)
+        mutated["traces"][victim]["certified_keys"] = []
+        failures = compare_health(mutated, baseline)
+        assert any("certified key demoted" in f for f in failures)
 
     def test_growth_never_fails(self, tiny_corpus):
         corpus, _ = tiny_corpus

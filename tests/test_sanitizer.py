@@ -12,9 +12,12 @@ from typing import List
 
 import pytest
 
-from repro.analysis import check_sync_graph, sanitize_trace
+from dataclasses import replace
+
+from repro.analysis import check_cycle_closure, check_sync_graph, sanitize_trace
 from repro.analysis.sanitizer import INVARIANT_CODES
-from repro.core.detector import ExtendedDetector
+from repro.core.detector import ExtendedDetector, PotentialDeadlock
+from repro.core.prediction import ClosureIndex
 from repro.core.generator import Generator
 from repro.core.pipeline import Wolf, WolfConfig, run_detection
 from repro.core.pruner import Pruner
@@ -363,6 +366,43 @@ class TestCorruptedTraces:
         bad.add_edge(u, v, EdgeKind.P)  # type-P must be intra-thread
         diags = check_sync_graph(bad)
         assert [d.code for d in diags] == ["gs-typing"]
+
+    def test_cycle_closure_missing_acquire(self):
+        """A cycle referencing an acquisition the trace never recorded
+        (the corruption a truncated or rewritten trace produces) yields
+        exactly one "cycle-closure" diagnostic."""
+        b = get_benchmark("fig4")
+        run = run_detection(b.program, b.detect_seed, name=b.name)
+        detection = ExtendedDetector(max_length=b.max_cycle_length).analyze(
+            run.trace
+        )
+        index = ClosureIndex.from_events(run.trace)
+        assert check_cycle_closure(index, detection.cycles) == []
+        cycle = detection.cycles[0]
+        entry = cycle.entries[0]
+        bogus = replace(
+            entry, index=ExecIndex(entry.thread, "nowhere:1", 99)
+        )
+        bad = PotentialDeadlock(entries=(bogus,) + cycle.entries[1:])
+        diags = check_cycle_closure(index, [bad])
+        assert [d.code for d in diags] == ["cycle-closure"]
+
+    def test_cycle_closure_foreign_context(self):
+        """A context acquisition owned by a different thread than the
+        cycle entry is flagged — the closure would steer the wrong
+        thread."""
+        b = get_benchmark("fig4")
+        run = run_detection(b.program, b.detect_seed, name=b.name)
+        detection = ExtendedDetector(max_length=b.max_cycle_length).analyze(
+            run.trace
+        )
+        index = ClosureIndex.from_events(run.trace)
+        cycle = detection.cycles[0]
+        e0, e1 = cycle.entries[0], cycle.entries[1]
+        bogus = replace(e0, context=(e1.index,) + e0.context[1:])
+        bad = PotentialDeadlock(entries=(bogus,) + cycle.entries[1:])
+        diags = check_cycle_closure(index, [bad])
+        assert diags and all(d.code == "cycle-closure" for d in diags)
 
     def test_all_invariants_covered(self):
         """Every published invariant code has at least one corruption test
