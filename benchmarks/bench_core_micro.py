@@ -14,6 +14,17 @@ a >=100k-event synthetic stream is recorded and analyzed end-to-end both
 ways (batch engine + JSON file vs streaming engine + binary file), with
 wall times, peak memory (tracemalloc) and file sizes, asserting both
 engines find identical cycles.
+
+Schema ``bench-core/4`` (migration note): adds to ``macro`` the analyze
+stages ``analyze_s.streaming_binary_mmap`` (pure-Python zero-copy mmap
+reader) and ``analyze_s.streaming_binary_native`` (compiled kernel, null
+when no C compiler is available), per-stage throughput dicts
+``record_events_per_s`` / ``analyze_events_per_s``, the
+``analyze_speedup`` ratios (``native`` and ``mmap``, both relative to
+the plain pure-Python streaming analyze) and ``native_kernel`` (version
+string or null).  ``bench-core/3`` documents simply lack these keys —
+the perf gate SKIPs ratios missing from the baseline, so stale baselines
+degrade gracefully.
 """
 
 from __future__ import annotations
@@ -303,6 +314,22 @@ def _wall(fn) -> Tuple[float, object]:
     return time.perf_counter() - t0, result
 
 
+def _best_wall(fn, n: int = 3) -> Tuple[float, object]:
+    """(best-of-``n`` wall seconds, last result).
+
+    The analyze-stage ratios gate CI at 25% tolerance, and the native
+    stage is tens of milliseconds — single-shot timings swing the ratio
+    by 2x on scheduler noise alone.  Min-of-3 is stable; the first run
+    also absorbs one-time costs (kernel dlopen, page-cache warmup) for
+    every stage equally.
+    """
+    best, result = _wall(fn)
+    for _ in range(n - 1):
+        s, result = _wall(fn)
+        best = min(best, s)
+    return best, result
+
+
 def _peak_mib(fn) -> float:
     """tracemalloc peak in MiB over a *separate* run of ``fn`` (tracing
     slows execution several-fold, so never time and trace the same run)."""
@@ -362,29 +389,89 @@ def run_macro(n_events: int, tmp_dir: str) -> dict:
             det.feed_many(reader)
         return det.finish()
 
-    ana_bin_s, stream = _wall(analyze_streaming)
+    ana_bin_s, stream = _best_wall(analyze_streaming)
     ana_bin_mb = _peak_mib(analyze_streaming)
+
+    # -- analyze: same pure-Python detector over the zero-copy mmap reader --
+    def analyze_mmap():
+        det = StreamingDetector(max_length=3)
+        with TraceFileReader(bin_path, mmap=True) as reader:
+            det.feed_many(reader)
+        return det.finish()
+
+    ana_mmap_s, stream_mmap = _best_wall(analyze_mmap)
+
+    # -- analyze: compiled kernel over the mmap'd file (if a cc exists) -----
+    from repro.core.nativekernel import analyze_trace_file, kernel_available
+    from repro.core.nativekernel import kernel_version
+
+    if kernel_available():
+        def analyze_native():
+            return analyze_trace_file(
+                bin_path, max_length=3, backend="native"
+            ).detection
+
+        ana_native_s, stream_native = _best_wall(analyze_native)
+        native_kernel = kernel_version()
+    else:
+        ana_native_s = stream_native = native_kernel = None
 
     assert _cycle_steps(batch) == _cycle_steps(stream), (
         "engines disagree on the synthetic trace"
     )
+    assert _cycle_steps(stream_mmap) == _cycle_steps(stream), (
+        "mmap reader diverges from the plain reader"
+    )
+    if stream_native is not None:
+        assert _cycle_steps(stream_native) == _cycle_steps(stream), (
+            "native kernel diverges from the pure-Python engine"
+        )
     import os as _os
 
     json_bytes = _os.path.getsize(json_path)
     bin_bytes = _os.path.getsize(bin_path)
     e2e_batch = rec_json_s + ana_json_s
     e2e_stream = rec_bin_s + ana_bin_s
+
+    def _eps(seconds):
+        """Events/second, or None for a stage that did not run."""
+        return None if seconds is None else round(total / seconds)
+
     return {
         "events": total,
         "cycles": len(batch.cycles),
         "engines_identical": True,
+        "native_kernel": native_kernel,
         "file_bytes": {
             "json": json_bytes,
             "binary": bin_bytes,
             "ratio": round(json_bytes / bin_bytes, 2),
         },
         "record_s": {"batch_json": rec_json_s, "streaming_binary": rec_bin_s},
-        "analyze_s": {"batch_json": ana_json_s, "streaming_binary": ana_bin_s},
+        "record_events_per_s": {
+            "batch_json": _eps(rec_json_s),
+            "streaming_binary": _eps(rec_bin_s),
+        },
+        "analyze_s": {
+            "batch_json": ana_json_s,
+            "streaming_binary": ana_bin_s,
+            "streaming_binary_mmap": ana_mmap_s,
+            "streaming_binary_native": ana_native_s,
+        },
+        "analyze_events_per_s": {
+            "batch_json": _eps(ana_json_s),
+            "streaming_binary": _eps(ana_bin_s),
+            "streaming_binary_mmap": _eps(ana_mmap_s),
+            "streaming_binary_native": _eps(ana_native_s),
+        },
+        "analyze_speedup": {
+            # Both relative to the plain pure-Python streaming analyze.
+            "mmap": round(ana_bin_s / ana_mmap_s, 2),
+            "native": (
+                None if ana_native_s is None
+                else round(ana_bin_s / ana_native_s, 2)
+            ),
+        },
         "peak_mib": {
             "record_batch_json": round(rec_json_mb, 2),
             "record_streaming_binary": round(rec_bin_mb, 2),
@@ -577,7 +664,7 @@ def main(argv=None) -> int:
         if not interrupt.triggered:
             prediction = run_prediction()
     doc = {
-        "schema": "bench-core/3",
+        "schema": "bench-core/4",
         "macro": macro,
         "sharding": sharding,
         "micro": micro,
@@ -599,6 +686,20 @@ def main(argv=None) -> int:
         f"({speedup}x), file {macro['file_bytes']['ratio']}x smaller; "
         f"wrote {args.out}"
     )
+    ana = macro["analyze_s"]
+    asp = macro["analyze_speedup"]
+    native_txt = (
+        "unavailable (no C compiler)"
+        if ana["streaming_binary_native"] is None
+        else f"{ana['streaming_binary_native']:.3f}s ({asp['native']}x, "
+        f"kernel {macro['native_kernel']})"
+    )
+    print(
+        f"analyze {macro['events']} events: pure-python "
+        f"{ana['streaming_binary']:.3f}s, mmap "
+        f"{ana['streaming_binary_mmap']:.3f}s ({asp['mmap']}x), "
+        f"native {native_txt}"
+    )
     print(
         f"loop-heavy {sharding['events']} events: enumeration "
         f"monolithic {sharding['monolithic_s']:.3f}s vs sharded "
@@ -619,6 +720,25 @@ def main(argv=None) -> int:
     ok = True
     if speedup <= 1.0:
         print("FAIL: streaming+binary not faster end-to-end", file=sys.stderr)
+        ok = False
+    if asp["mmap"] < 1.2:
+        print(
+            "FAIL: mmap reader not >=1.2x faster than the plain pure-Python "
+            f"streaming analyze (got {asp['mmap']}x)",
+            file=sys.stderr,
+        )
+        ok = False
+    if asp["native"] is None:
+        print(
+            "WARN: native kernel unavailable; >=10x analyze floor not checked",
+            file=sys.stderr,
+        )
+    elif asp["native"] < 10.0:
+        print(
+            "FAIL: native kernel not >=10x faster than the pure-Python "
+            f"streaming analyze (got {asp['native']}x)",
+            file=sys.stderr,
+        )
         ok = False
     if sharding["speedup"] < 3.0:
         print(

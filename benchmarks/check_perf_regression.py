@@ -14,7 +14,11 @@ same box, in the same process.  This gate therefore compares ratios:
 * ``prediction.decided_ratio`` — the fraction of registry replay
   candidates the sync-preserving prediction pass certifies or refutes
   without replay (pure trace analysis, fully deterministic — a drop
-  means the predictor lost precision).
+  means the predictor lost precision);
+* ``macro.analyze_speedup.native`` — compiled analysis kernel vs the
+  pure-Python streaming analyze on the same ``.wtrc`` macro (bench-core/4);
+* ``macro.analyze_speedup.mmap`` — zero-copy mmap reader vs the plain
+  pure-Python streaming analyze (bench-core/4).
 
 A fresh ratio more than ``--tolerance`` (default 25%) below the committed
 baseline fails the gate.  When a regression is intentional (an accepted
@@ -44,6 +48,8 @@ GATED_RATIOS = [
     ("sharded enumeration speedup", ("sharding", "speedup")),
     ("trace file size ratio", ("macro", "file_bytes", "ratio")),
     ("prediction decided ratio", ("prediction", "decided_ratio")),
+    ("native analyze speedup", ("macro", "analyze_speedup", "native")),
+    ("mmap analyze speedup", ("macro", "analyze_speedup", "mmap")),
 ]
 
 
@@ -53,7 +59,9 @@ def _lookup(doc: dict, path: tuple) -> Optional[float]:
         if not isinstance(node, dict) or key not in node:
             return None
         node = node[key]
-    return float(node)
+    # bench-core/4 records null for stages that could not run (e.g. the
+    # native kernel without a C compiler): treat like a missing key.
+    return None if node is None else float(node)
 
 
 def check(fresh: dict, baseline: dict, tolerance: float) -> int:

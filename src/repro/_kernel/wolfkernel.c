@@ -1,0 +1,564 @@
+/* wolfkernel.c — the native analysis kernel behind repro.core.nativekernel.
+ *
+ * One compiled pass fuses, per EVENTS chunk payload of a .wtrc trace:
+ *
+ *   varint/zigzag decode  ->  interned-table bounds checks  ->  tau
+ *   maintenance (Algorithm 1's scalar timestamps)  ->  D_sigma lockdep
+ *   entry extraction  ->  clock-op / acquire-tau logs
+ *
+ * so the Python hot loop (one TraceEvent object + one update_clocks call
+ * + one entry_from_acquire call per event) disappears.  The kernel never
+ * sees whole files: Python keeps all chunk framing, table-chunk decoding
+ * and error reporting, and hands this kernel only raw EVENTS payload
+ * bytes (zero-copy straight out of an mmap'd file).  The kernel's output
+ * is four flat int64 logs — clock ops, acquire taus, lockdep entries and
+ * their held-lock pool — which Python replays/materializes lazily into
+ * the exact objects the pure-Python engine would have built.
+ *
+ * Determinism contract (enforced by the python-vs-native differential
+ * suite in tests/test_nativekernel.py):
+ *
+ *   - the kernel MUST fail (with state untouched) on every payload the
+ *     pure-Python decoder fails on — wk_feed_events validates the whole
+ *     payload against the current table sizes before mutating anything,
+ *     so the caller can re-decode the failing payload in Python and
+ *     surface the authentic exception;
+ *   - the kernel must never *succeed* where Python fails; the one
+ *     admitted divergence is arbitrary-precision varints (> 64 bits),
+ *     which Python's bignums accept and the kernel rejects with
+ *     WK_EOVERFLOW — the Python wrapper detects this (Python re-decode
+ *     succeeds) and falls back to the pure-Python engine.
+ *
+ * Plain C99, no Python.h: built as a standalone shared object by
+ * repro.core.nativekernel (cc -O2 -shared -fPIC) and driven through the
+ * cffi ABI, so no Python development headers are required.
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+#include <stdio.h>
+
+#define WK_KERNEL_VERSION "1.0.0"
+#define WK_ABI 1
+
+/* Error codes (negative).  The Python wrapper maps any failure to a
+ * pure-Python re-decode of the same payload, so the exact code only
+ * distinguishes "Python would fail too" from the overflow divergence. */
+#define WK_OK 0
+#define WK_ETRUNC (-1)    /* read past payload end (Python: IndexError)   */
+#define WK_EINDEX (-2)    /* interned-table index out of range            */
+#define WK_ETAG (-3)      /* unknown event tag (Python: ValueError)       */
+#define WK_EOVERFLOW (-4) /* varint/step exceeds 64 bits: Python diverges */
+#define WK_ENOMEM (-5)    /* allocation failure                           */
+
+/* Event tags — must match repro.runtime.tracefile._TAGS. */
+enum {
+    TAG_BEGIN = 0,
+    TAG_END = 1,
+    TAG_SPAWN = 2,
+    TAG_JOIN = 3,
+    TAG_ACQUIRE = 4,
+    TAG_RELEASE = 5,
+    TAG_WAIT = 6,
+    TAG_NOTIFY = 7,
+    TAG_BLOCK = 8,
+};
+
+/* Clock-op log opcodes (replayed through the real update_clocks). */
+enum {
+    OP_TOUCH = 0, /* a = thread                  */
+    OP_SPAWN = 1, /* a = parent, b = child       */
+    OP_JOIN = 2,  /* a = joiner, b = target      */
+};
+
+/* ------------------------------------------------------------------ */
+/* growable int64 vector                                              */
+
+typedef struct {
+    int64_t *data;
+    uint64_t len;
+    uint64_t cap;
+} i64vec;
+
+static int vec_reserve(i64vec *v, uint64_t extra) {
+    uint64_t need = v->len + extra;
+    uint64_t cap;
+    int64_t *p;
+    if (need <= v->cap)
+        return WK_OK;
+    cap = v->cap ? v->cap : 64;
+    while (cap < need)
+        cap *= 2;
+    p = (int64_t *)realloc(v->data, cap * sizeof(int64_t));
+    if (!p)
+        return WK_ENOMEM;
+    v->data = p;
+    v->cap = cap;
+    return WK_OK;
+}
+
+/* push without a capacity check — caller must have reserved. */
+static void vec_push(i64vec *v, int64_t x) { v->data[v->len++] = x; }
+
+static void vec_free(i64vec *v) {
+    free(v->data);
+    v->data = NULL;
+    v->len = v->cap = 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* kernel context                                                     */
+
+typedef struct wk_ctx {
+    /* interned-table sizes, synced from Python after each table chunk */
+    uint64_t n_strings;
+    uint64_t n_threads;
+    uint64_t n_locks;
+
+    /* per-thread running state, indexed by thread table index */
+    int64_t *tau; /* 0 encodes the paper's ⊥ (never ran)          */
+    int64_t *pos; /* non-reentrant acquire count (entry position) */
+    uint64_t threads_cap;
+
+    int64_t last_step;    /* step-delta accumulator across chunks */
+    uint64_t events_read; /* total events decoded                 */
+
+    i64vec clock_ops; /* triples: op, a, b                             */
+    i64vec acq;       /* pairs: step, tau  (every acquire, reentrant   *
+                       * included — mirrors update_clocks)             */
+    i64vec entries;   /* 10 per non-reentrant acquire: step, thread,   *
+                       * lock, ix_thread, ix_site, ix_occ, tau, pos,   *
+                       * nheld, held_off                               */
+    i64vec held;      /* quads: lock, h_thread, h_site, h_occ          */
+    i64vec nonempty;  /* entry indices with nheld > 0                  */
+
+    int err_code;
+    char err[192];
+} wk_ctx;
+
+/* ------------------------------------------------------------------ */
+/* varint decode (LEB128 + zigzag), bounds- and overflow-checked      */
+
+static int get_uvarint(const uint8_t *p, uint64_t len, uint64_t *pos,
+                       uint64_t *out) {
+    uint64_t result = 0;
+    unsigned shift = 0;
+    for (;;) {
+        uint8_t b;
+        if (*pos >= len)
+            return WK_ETRUNC;
+        b = p[(*pos)++];
+        /* Python decodes arbitrary-precision ints here; anything that
+         * cannot round-trip through uint64 is the admitted divergence. */
+        if (shift >= 64 || (shift == 63 && (b & 0x7Fu) > 1))
+            return WK_EOVERFLOW;
+        result |= (uint64_t)(b & 0x7Fu) << shift;
+        if (!(b & 0x80u)) {
+            *out = result;
+            return WK_OK;
+        }
+        shift += 7;
+    }
+}
+
+static int get_svarint(const uint8_t *p, uint64_t len, uint64_t *pos,
+                       int64_t *out) {
+    uint64_t zz;
+    int rc = get_uvarint(p, len, pos, &zz);
+    if (rc != WK_OK)
+        return rc;
+    *out = (int64_t)(zz >> 1) ^ -(int64_t)(zz & 1);
+    return WK_OK;
+}
+
+/* ------------------------------------------------------------------ */
+/* public API                                                         */
+
+const char *wk_version(void) { return WK_KERNEL_VERSION; }
+int wk_abi(void) { return WK_ABI; }
+
+wk_ctx *wk_new(void) {
+    wk_ctx *c = (wk_ctx *)calloc(1, sizeof(wk_ctx));
+    return c;
+}
+
+void wk_free(wk_ctx *c) {
+    if (!c)
+        return;
+    free(c->tau);
+    free(c->pos);
+    vec_free(&c->clock_ops);
+    vec_free(&c->acq);
+    vec_free(&c->entries);
+    vec_free(&c->held);
+    vec_free(&c->nonempty);
+    free(c);
+}
+
+const char *wk_error(wk_ctx *c) { return c->err; }
+int wk_error_code(wk_ctx *c) { return c->err_code; }
+
+/* Table sizes only ever grow (the writer interns before referencing). */
+int wk_set_tables(wk_ctx *c, uint64_t n_strings, uint64_t n_threads,
+                  uint64_t n_locks) {
+    if (n_strings > c->n_strings)
+        c->n_strings = n_strings;
+    if (n_locks > c->n_locks)
+        c->n_locks = n_locks;
+    if (n_threads > c->n_threads)
+        c->n_threads = n_threads;
+    if (c->n_threads > c->threads_cap) {
+        uint64_t cap = c->threads_cap ? c->threads_cap : 16;
+        int64_t *t, *p;
+        while (cap < c->n_threads)
+            cap *= 2;
+        t = (int64_t *)realloc(c->tau, cap * sizeof(int64_t));
+        if (!t)
+            return WK_ENOMEM;
+        c->tau = t;
+        p = (int64_t *)realloc(c->pos, cap * sizeof(int64_t));
+        if (!p)
+            return WK_ENOMEM;
+        c->pos = p;
+        memset(c->tau + c->threads_cap, 0,
+               (cap - c->threads_cap) * sizeof(int64_t));
+        memset(c->pos + c->threads_cap, 0,
+               (cap - c->threads_cap) * sizeof(int64_t));
+        c->threads_cap = cap;
+    }
+    return WK_OK;
+}
+
+/* Pass 1: decode + bounds-check the whole payload without touching any
+ * state.  On success reports the event count and the total held-lock
+ * slots so pass 2 can pre-reserve and therefore cannot fail midway. */
+static int validate_events(wk_ctx *c, const uint8_t *p, uint64_t len,
+                           uint64_t *out_n, uint64_t *out_held) {
+    uint64_t pos = 0, n, i, held_total = 0;
+    int64_t step = c->last_step;
+    int rc;
+
+    if ((rc = get_uvarint(p, len, &pos, &n)) != WK_OK)
+        return rc;
+    for (i = 0; i < n; i++) {
+        uint8_t tag;
+        int64_t delta;
+        uint64_t t, u;
+        if (pos >= len)
+            return WK_ETRUNC;
+        tag = p[pos++];
+        if ((rc = get_svarint(p, len, &pos, &delta)) != WK_OK)
+            return rc;
+        if (__builtin_add_overflow(step, delta, &step))
+            return WK_EOVERFLOW;
+        if ((rc = get_uvarint(p, len, &pos, &t)) != WK_OK)
+            return rc;
+        if (t >= c->n_threads)
+            return WK_EINDEX;
+        switch (tag) {
+        case TAG_BEGIN:
+        case TAG_END:
+            break;
+        case TAG_SPAWN:
+        case TAG_JOIN:
+            if ((rc = get_uvarint(p, len, &pos, &u)) != WK_OK)
+                return rc;
+            if (u >= c->n_threads)
+                return WK_EINDEX;
+            break;
+        case TAG_ACQUIRE: {
+            uint64_t lk, it, isite, occ, nheld, h;
+            if ((rc = get_uvarint(p, len, &pos, &lk)) != WK_OK)
+                return rc;
+            if (lk >= c->n_locks)
+                return WK_EINDEX;
+            if ((rc = get_uvarint(p, len, &pos, &it)) != WK_OK)
+                return rc;
+            if (it >= c->n_threads)
+                return WK_EINDEX;
+            if ((rc = get_uvarint(p, len, &pos, &isite)) != WK_OK)
+                return rc;
+            if (isite >= c->n_strings)
+                return WK_EINDEX;
+            if ((rc = get_uvarint(p, len, &pos, &occ)) != WK_OK)
+                return rc;
+            if (occ > (uint64_t)INT64_MAX)
+                return WK_EOVERFLOW;
+            if ((rc = get_uvarint(p, len, &pos, &nheld)) != WK_OK)
+                return rc;
+            for (h = 0; h < nheld; h++) {
+                if ((rc = get_uvarint(p, len, &pos, &u)) != WK_OK)
+                    return rc;
+                if (u >= c->n_locks)
+                    return WK_EINDEX;
+            }
+            for (h = 0; h < nheld; h++) {
+                uint64_t ht, hs, ho;
+                if ((rc = get_uvarint(p, len, &pos, &ht)) != WK_OK)
+                    return rc;
+                if (ht >= c->n_threads)
+                    return WK_EINDEX;
+                if ((rc = get_uvarint(p, len, &pos, &hs)) != WK_OK)
+                    return rc;
+                if (hs >= c->n_strings)
+                    return WK_EINDEX;
+                if ((rc = get_uvarint(p, len, &pos, &ho)) != WK_OK)
+                    return rc;
+                if (ho > (uint64_t)INT64_MAX)
+                    return WK_EOVERFLOW;
+            }
+            if (pos >= len) /* reentrant flag byte */
+                return WK_ETRUNC;
+            pos++;
+            if ((rc = get_uvarint(p, len, &pos, &u)) != WK_OK) /* depth */
+                return rc;
+            held_total += nheld;
+            break;
+        }
+        case TAG_RELEASE: {
+            uint64_t lk, site;
+            if ((rc = get_uvarint(p, len, &pos, &lk)) != WK_OK)
+                return rc;
+            if (lk >= c->n_locks)
+                return WK_EINDEX;
+            if ((rc = get_uvarint(p, len, &pos, &site)) != WK_OK)
+                return rc;
+            if (site >= c->n_strings)
+                return WK_EINDEX;
+            if (pos >= len) /* reentrant flag byte */
+                return WK_ETRUNC;
+            pos++;
+            break;
+        }
+        case TAG_WAIT:
+        case TAG_NOTIFY: {
+            uint64_t cond, lk, site;
+            if ((rc = get_uvarint(p, len, &pos, &cond)) != WK_OK)
+                return rc;
+            if (cond >= c->n_strings)
+                return WK_EINDEX;
+            if ((rc = get_uvarint(p, len, &pos, &lk)) != WK_OK)
+                return rc;
+            if (lk >= c->n_locks)
+                return WK_EINDEX;
+            if ((rc = get_uvarint(p, len, &pos, &site)) != WK_OK)
+                return rc;
+            if (site >= c->n_strings)
+                return WK_EINDEX;
+            if (tag == TAG_NOTIFY) {
+                if ((rc = get_uvarint(p, len, &pos, &u)) != WK_OK) /* woken */
+                    return rc;
+                if (pos >= len) /* notify_all flag byte */
+                    return WK_ETRUNC;
+                pos++;
+            }
+            break;
+        }
+        case TAG_BLOCK: {
+            uint64_t lk, it, isite, occ, holder;
+            if ((rc = get_uvarint(p, len, &pos, &lk)) != WK_OK)
+                return rc;
+            if (lk >= c->n_locks)
+                return WK_EINDEX;
+            if ((rc = get_uvarint(p, len, &pos, &it)) != WK_OK)
+                return rc;
+            if (it >= c->n_threads)
+                return WK_EINDEX;
+            if ((rc = get_uvarint(p, len, &pos, &isite)) != WK_OK)
+                return rc;
+            if (isite >= c->n_strings)
+                return WK_EINDEX;
+            if ((rc = get_uvarint(p, len, &pos, &occ)) != WK_OK)
+                return rc;
+            if ((rc = get_uvarint(p, len, &pos, &holder)) != WK_OK)
+                return rc;
+            if (holder && holder - 1 >= c->n_threads)
+                return WK_EINDEX;
+            break;
+        }
+        default:
+            return WK_ETAG;
+        }
+    }
+    *out_n = n;
+    *out_held = held_total;
+    return WK_OK;
+}
+
+/* Pass 2: apply the (already validated) payload.  Cannot fail: every
+ * push goes into pre-reserved capacity and every index was checked. */
+static void apply_events(wk_ctx *c, const uint8_t *p, uint64_t len,
+                         uint64_t n) {
+    uint64_t pos = 0, i, ignored;
+    int64_t step = c->last_step;
+
+    (void)get_uvarint(p, len, &pos, &ignored); /* skip the count */
+    for (i = 0; i < n; i++) {
+        uint8_t tag = p[pos++];
+        int64_t delta = 0;
+        uint64_t t, u;
+        (void)get_svarint(p, len, &pos, &delta);
+        step += delta;
+        (void)get_uvarint(p, len, &pos, &t);
+
+        /* Algorithm 1 line 11: first event of a thread sets tau to 1. */
+        if (c->tau[t] == 0) {
+            c->tau[t] = 1;
+            vec_push(&c->clock_ops, OP_TOUCH);
+            vec_push(&c->clock_ops, (int64_t)t);
+            vec_push(&c->clock_ops, 0);
+        }
+
+        switch (tag) {
+        case TAG_BEGIN:
+        case TAG_END:
+            break;
+        case TAG_SPAWN:
+            (void)get_uvarint(p, len, &pos, &u);
+            c->tau[t] += 1;
+            c->tau[u] = 1; /* child is now touched (update_clocks line) */
+            vec_push(&c->clock_ops, OP_SPAWN);
+            vec_push(&c->clock_ops, (int64_t)t);
+            vec_push(&c->clock_ops, (int64_t)u);
+            break;
+        case TAG_JOIN:
+            (void)get_uvarint(p, len, &pos, &u);
+            c->tau[t] += 1;
+            vec_push(&c->clock_ops, OP_JOIN);
+            vec_push(&c->clock_ops, (int64_t)t);
+            vec_push(&c->clock_ops, (int64_t)u);
+            break;
+        case TAG_ACQUIRE: {
+            uint64_t lk, it, isite, occ, nheld, h;
+            int64_t held_off = (int64_t)(c->held.len / 4);
+            int reentrant;
+            (void)get_uvarint(p, len, &pos, &lk);
+            (void)get_uvarint(p, len, &pos, &it);
+            (void)get_uvarint(p, len, &pos, &isite);
+            (void)get_uvarint(p, len, &pos, &occ);
+            (void)get_uvarint(p, len, &pos, &nheld);
+            for (h = 0; h < nheld; h++) {
+                (void)get_uvarint(p, len, &pos, &u);
+                vec_push(&c->held, (int64_t)u);
+                vec_push(&c->held, 0); /* thread/site/occ fill below */
+                vec_push(&c->held, 0);
+                vec_push(&c->held, 0);
+            }
+            for (h = 0; h < nheld; h++) {
+                uint64_t ht, hs, ho;
+                int64_t *q = c->held.data + 4 * ((uint64_t)held_off + h);
+                (void)get_uvarint(p, len, &pos, &ht);
+                (void)get_uvarint(p, len, &pos, &hs);
+                (void)get_uvarint(p, len, &pos, &ho);
+                q[1] = (int64_t)ht;
+                q[2] = (int64_t)hs;
+                q[3] = (int64_t)ho;
+            }
+            reentrant = p[pos] == 1;
+            pos++;
+            (void)get_uvarint(p, len, &pos, &u); /* stack depth */
+            /* update_clocks records acquire_tau for *every* acquire. */
+            vec_push(&c->acq, step);
+            vec_push(&c->acq, c->tau[t]);
+            if (!reentrant) {
+                if (nheld)
+                    vec_push(&c->nonempty,
+                             (int64_t)(c->entries.len / 10));
+                vec_push(&c->entries, step);
+                vec_push(&c->entries, (int64_t)t);
+                vec_push(&c->entries, (int64_t)lk);
+                vec_push(&c->entries, (int64_t)it);
+                vec_push(&c->entries, (int64_t)isite);
+                vec_push(&c->entries, (int64_t)occ);
+                vec_push(&c->entries, c->tau[t]);
+                vec_push(&c->entries, c->pos[t]);
+                vec_push(&c->entries, (int64_t)nheld);
+                vec_push(&c->entries, held_off);
+                c->pos[t] += 1;
+            } else {
+                /* reentrant acquires mint no entry; drop their held
+                 * quads again so held_off stays the entry log's pool. */
+                c->held.len = 4 * (uint64_t)held_off;
+            }
+            break;
+        }
+        case TAG_RELEASE:
+            (void)get_uvarint(p, len, &pos, &u);
+            (void)get_uvarint(p, len, &pos, &u);
+            pos++; /* reentrant flag */
+            break;
+        case TAG_WAIT:
+            (void)get_uvarint(p, len, &pos, &u);
+            (void)get_uvarint(p, len, &pos, &u);
+            (void)get_uvarint(p, len, &pos, &u);
+            break;
+        case TAG_NOTIFY:
+            (void)get_uvarint(p, len, &pos, &u);
+            (void)get_uvarint(p, len, &pos, &u);
+            (void)get_uvarint(p, len, &pos, &u);
+            (void)get_uvarint(p, len, &pos, &u); /* woken */
+            pos++;                               /* notify_all flag */
+            break;
+        case TAG_BLOCK:
+            (void)get_uvarint(p, len, &pos, &u);
+            (void)get_uvarint(p, len, &pos, &u);
+            (void)get_uvarint(p, len, &pos, &u);
+            (void)get_uvarint(p, len, &pos, &u);
+            (void)get_uvarint(p, len, &pos, &u);
+            break;
+        }
+        c->events_read += 1;
+    }
+    c->last_step = step;
+}
+
+int wk_feed_events(wk_ctx *c, const uint8_t *payload, uint64_t len) {
+    uint64_t n = 0, held_total = 0;
+    int rc;
+
+    c->err_code = WK_OK;
+    c->err[0] = '\0';
+    rc = validate_events(c, payload, len, &n, &held_total);
+    if (rc != WK_OK) {
+        c->err_code = rc;
+        snprintf(c->err, sizeof(c->err),
+                 "native kernel: payload rejected (code %d)", rc);
+        return rc;
+    }
+    /* Reserve worst-case capacity so pass 2 cannot fail midway: per
+     * event at most one touch op plus one spawn/join op (3 i64 each),
+     * one acquire pair, one 10-slot entry; held quads counted exactly. */
+    if (vec_reserve(&c->clock_ops, 6 * n) != WK_OK ||
+        vec_reserve(&c->acq, 2 * n) != WK_OK ||
+        vec_reserve(&c->entries, 10 * n) != WK_OK ||
+        vec_reserve(&c->nonempty, n) != WK_OK ||
+        vec_reserve(&c->held, 4 * held_total) != WK_OK) {
+        c->err_code = WK_ENOMEM;
+        snprintf(c->err, sizeof(c->err), "native kernel: out of memory");
+        return WK_ENOMEM;
+    }
+    apply_events(c, payload, len, n);
+    return WK_OK;
+}
+
+/* ------------------------------------------------------------------ */
+/* result getters — pointers are valid until the next wk_feed_events  */
+
+int64_t wk_last_step(wk_ctx *c) { return c->last_step; }
+uint64_t wk_events_read(wk_ctx *c) { return c->events_read; }
+
+uint64_t wk_n_clock_ops(wk_ctx *c) { return c->clock_ops.len / 3; }
+const int64_t *wk_clock_ops(wk_ctx *c) { return c->clock_ops.data; }
+
+uint64_t wk_n_acquires(wk_ctx *c) { return c->acq.len / 2; }
+const int64_t *wk_acquires(wk_ctx *c) { return c->acq.data; }
+
+uint64_t wk_n_entries(wk_ctx *c) { return c->entries.len / 10; }
+const int64_t *wk_entries(wk_ctx *c) { return c->entries.data; }
+
+uint64_t wk_n_held(wk_ctx *c) { return c->held.len / 4; }
+const int64_t *wk_held(wk_ctx *c) { return c->held.data; }
+
+uint64_t wk_n_nonempty(wk_ctx *c) { return c->nonempty.len; }
+const int64_t *wk_nonempty(wk_ctx *c) { return c->nonempty.data; }

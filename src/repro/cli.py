@@ -47,6 +47,24 @@ from repro.experiments.table2 import render_table2, run_table2
 from repro.workloads.registry import BENCHMARKS, get_benchmark
 
 
+class _VersionAction(argparse.Action):
+    """``wolf --version``: package version plus backend attribution, so a
+    benchmark artifact or bug report always says which analysis path ran."""
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        from repro._version import __version__
+        from repro.core.nativekernel import backend_info, kernel_load_error
+
+        info = backend_info()
+        line = f"wolf {__version__} (backend: {info['backend']}"
+        if info["kernel"]:
+            line += f", kernel {info['kernel']}"
+        elif kernel_load_error():
+            line += f", kernel unavailable: {kernel_load_error()}"
+        print(line + ")")
+        parser.exit(0)
+
+
 def _add_workers(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--workers",
@@ -95,6 +113,15 @@ def _add_engine(p: argparse.ArgumentParser) -> None:
         action="store_true",
         help="drop provably cycle-free tuples (MagicFuzzer-style "
         "reduction) before cycle enumeration",
+    )
+    p.add_argument(
+        "--backend",
+        choices=("auto", "python", "native"),
+        default="auto",
+        help="analysis backend for on-disk .wtrc streaming: 'native' uses "
+        "the compiled kernel (errors if it cannot build/load), 'python' "
+        "forces the pure-Python path, 'auto' uses native when available "
+        "(identical results; default: auto)",
     )
 
 
@@ -183,6 +210,7 @@ def cmd_detect(args: argparse.Namespace) -> int:
         shard_cycles=getattr(args, "shard_cycles", None),
         reduce=getattr(args, "reduce", False),
         predict=getattr(args, "predict", "off"),
+        backend=getattr(args, "backend", "auto"),
         witness_dir=getattr(args, "witness_dir", None),
         replay_witness=replay_witness,
         **_supervision_kw(args),
@@ -347,7 +375,12 @@ def cmd_analyze_trace(args: argparse.Namespace) -> int:
             )
             return 1
         sys.stdout.buffer.write(
-            render_report(report_doc_for_file(args.trace_file))
+            render_report(
+                report_doc_for_file(
+                    args.trace_file,
+                    backend=getattr(args, "backend", "auto"),
+                )
+            )
         )
         return 0
 
@@ -355,15 +388,14 @@ def cmd_analyze_trace(args: argparse.Namespace) -> int:
     shard = getattr(args, "shard_cycles", None)
     reduce = getattr(args, "reduce", False)
     workers = getattr(args, "workers", 1) or 1
+    backend_used = None  # set on the streaming-binary path only
     if is_tracefile(args.trace_file):
         engine = resolve_engine(engine, None)  # on-disk size unknown: streaming
         if engine == "streaming":
+            from repro.core.nativekernel import analyze_trace_file
+
             shard = shard if shard is not None else True
-            det = StreamingDetector(shard_cycles=shard, reduce=reduce)
-            with TraceFileReader(args.trace_file) as reader:
-                det.feed_many(reader)
-                program, seed = reader.program, reader.seed
-                spans = tuple(reader.event_spans)
+            shard_engine = policy = None
             if shard and workers > 1:
                 from repro.core.parallel import ProcessEngine, SupervisionPolicy
 
@@ -373,18 +405,22 @@ def cmd_analyze_trace(args: argparse.Namespace) -> int:
                     retries=retries if retries is not None else 2,
                 )
                 shard_engine = ProcessEngine(workers)
-                try:
-                    detection = det.finish(
-                        shard_engine=shard_engine,
-                        policy=policy,
-                        trace_path=args.trace_file,
-                        chunk_spans=spans,
-                    )
-                finally:
+            try:
+                analysis = analyze_trace_file(
+                    args.trace_file,
+                    shard_cycles=shard,
+                    reduce=reduce,
+                    backend=getattr(args, "backend", "auto"),
+                    shard_engine=shard_engine,
+                    policy=policy,
+                )
+            finally:
+                if shard_engine is not None:
                     shard_engine.close()
-            else:
-                detection = det.finish()
-            n_events = det.events_seen
+            detection = analysis.detection
+            program, seed = analysis.program, analysis.seed
+            n_events = analysis.events
+            backend_used = analysis.backend
         else:
             from repro.runtime.tracefile import read_trace
 
@@ -417,12 +453,17 @@ def cmd_analyze_trace(args: argparse.Namespace) -> int:
         if len(detection.trace.events) > 0:
             index = ClosureIndex.from_events(detection.trace)
         elif is_tracefile(args.trace_file):
-            with TraceFileReader(args.trace_file) as reader:
+            with TraceFileReader(args.trace_file, mmap=True) as reader:
                 index = ClosureIndex.from_events(reader)
         else:
             index = ClosureIndex()
         predictions = predict_decisions(index, gen.decisions)
     print(f"trace: {program!r}, {n_events} events, seed {seed}")
+    if backend_used is not None:
+        from repro.core.nativekernel import kernel_version
+
+        kv = f" (kernel {kernel_version()})" if backend_used == "native" else ""
+        print(f"backend              : {backend_used}{kv}")
     print(f"cycles detected      : {len(detection.cycles)}")
     if detection.reduced_away:
         print(f"tuples reduced away  : {detection.reduced_away}")
@@ -649,6 +690,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_total_buffer=args.max_total_buffer,
         max_stream_bytes=args.max_stream_bytes,
         workers=args.workers or 1,
+        backend=getattr(args, "backend", "auto"),
     )
     server = WolfServer(cfg)
 
@@ -658,7 +700,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         for sig in (signal.SIGINT, signal.SIGTERM):
             loop.add_signal_handler(sig, server.request_drain)
         where = cfg.socket_path or f"{cfg.tcp[0]}:{server.tcp_address[1]}"
-        print(f"wolf serve: listening on {where}, run dir {cfg.out_dir}")
+        print(
+            f"wolf serve: listening on {where}, run dir {cfg.out_dir} "
+            f"(backend: {server.backend})"
+        )
         sys.stdout.flush()
         assert server._drain_requested is not None
         await server._drain_requested.wait()
@@ -884,6 +929,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="wolf",
         description="Trace driven dynamic deadlock detection and reproduction",
+    )
+    parser.add_argument(
+        "--version",
+        action=_VersionAction,
+        nargs=0,
+        help="print version, active analysis backend and kernel version",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -1156,6 +1207,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="largest stream accepted (default: 64 MiB)",
     )
     _add_workers(p)
+    p.add_argument(
+        "--backend",
+        choices=("auto", "python", "native"),
+        default="auto",
+        help="per-stream analysis backend: 'native' requires the compiled "
+        "kernel at startup, 'auto' uses it when available (identical "
+        "reports; default: auto)",
+    )
     p.add_argument(
         "--status",
         action="store_true",

@@ -1,0 +1,861 @@
+"""Native analysis kernel: the compiled ``.wtrc`` hot path.
+
+The streaming engine's per-event Python loop (decode one event, run
+``update_clocks``, mint a ``LockDepEntry``) costs microseconds per event;
+the algorithms themselves are linear-time, so on large traces the wall
+clock is pure interpreter overhead.  This module drives the C kernel in
+``src/repro/_kernel/wolfkernel.c`` — one compiled pass per EVENTS chunk
+that fuses varint decode, interned-table bounds checks, Algorithm 1's
+scalar-timestamp (tau) maintenance and ``D_sigma`` entry extraction —
+zero-copy from an mmap'd trace file, with no per-event Python objects.
+
+Division of labor (see docs/architecture.md, "Native analysis kernel"):
+
+* **Python keeps**: all chunk framing (:class:`TraceFileReader` /
+  :class:`ChunkDecoder` subclasses below), identity-table decoding,
+  error reporting, vector-clock *semantics* (the kernel only logs
+  touch/spawn/join ops which are replayed through the real
+  :func:`update_clocks`), cycle enumeration, and everything downstream
+  (Pruner, Generator, prediction, reports).
+* **C keeps**: the per-event byte crunching, emitting four flat int64
+  logs — clock ops, acquire taus, lockdep entries, held-lock pool —
+  that Python materializes lazily into the exact objects the
+  pure-Python engine would have built.
+
+Build & fallback rules:
+
+* The kernel is plain C99 with no Python.h, compiled on demand with the
+  system C compiler (``$CC``/``cc``/``gcc``/``clang``) into a content-
+  addressed cache (``$WOLF_KERNEL_CACHE`` or ``~/.cache/wolf-kernel``)
+  and loaded through the cffi ABI.  No wheels, no setup-time build step.
+* ``backend="auto"`` (the default everywhere) uses the kernel when it
+  compiles and loads, silently falling back to pure Python otherwise;
+  ``backend="native"`` raises :class:`KernelUnavailableError` instead of
+  falling back; ``backend="python"`` never touches the kernel.
+  ``WOLF_PURE_PYTHON=1`` force-disables the kernel process-wide.
+* Determinism: the differential suite (tests/test_nativekernel.py)
+  proves byte-identical reports against the pure-Python engine.  The one
+  admitted divergence is varints beyond 64 bits (Python bignums accept
+  them, the kernel cannot): the kernel rejects the payload, the wrapper
+  notices the pure-Python re-decode *succeeding* and raises
+  :class:`KernelDivergenceError`, and :func:`analyze_trace_file` then
+  redoes the whole analysis in pure Python — degenerate inputs stay
+  correct, merely slower.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+from array import array
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.detector import DetectionResult, find_cycles
+from repro.core.lockdep import LockDepEntry, LockDependencyRelation
+from repro.core.streaming import StreamingDetector
+from repro.core.vclock import VectorClockState, update_clocks
+from repro.runtime.events import JoinEvent, SpawnEvent, Trace
+from repro.runtime.tracefile import ChunkDecoder, ChunkSpan, TraceFileReader, _DecodeCore
+from repro.util.ids import ExecIndex, LockId, ThreadId
+
+#: Version of the kernel ABI this wrapper speaks; must match wk_abi().
+KERNEL_ABI = 1
+
+#: Backends accepted by every ``backend=`` parameter in the pipeline.
+BACKENDS = ("python", "native", "auto")
+
+_ENV_DISABLE = "WOLF_PURE_PYTHON"
+_ENV_CACHE = "WOLF_KERNEL_CACHE"
+
+_CDEF = """
+typedef struct wk_ctx wk_ctx;
+const char *wk_version(void);
+int wk_abi(void);
+wk_ctx *wk_new(void);
+void wk_free(wk_ctx *);
+const char *wk_error(wk_ctx *);
+int wk_error_code(wk_ctx *);
+int wk_set_tables(wk_ctx *, uint64_t, uint64_t, uint64_t);
+int wk_feed_events(wk_ctx *, const void *, uint64_t);
+int64_t wk_last_step(wk_ctx *);
+uint64_t wk_events_read(wk_ctx *);
+uint64_t wk_n_clock_ops(wk_ctx *);
+const int64_t *wk_clock_ops(wk_ctx *);
+uint64_t wk_n_acquires(wk_ctx *);
+const int64_t *wk_acquires(wk_ctx *);
+uint64_t wk_n_entries(wk_ctx *);
+const int64_t *wk_entries(wk_ctx *);
+uint64_t wk_n_held(wk_ctx *);
+const int64_t *wk_held(wk_ctx *);
+uint64_t wk_n_nonempty(wk_ctx *);
+const int64_t *wk_nonempty(wk_ctx *);
+"""
+
+
+class KernelUnavailableError(RuntimeError):
+    """``backend="native"`` was requested but the kernel cannot load."""
+
+
+class KernelDivergenceError(RuntimeError):
+    """The kernel rejected a payload the pure-Python decoder accepts.
+
+    Only reachable through varints wider than 64 bits (Python decodes
+    them as bignums).  Callers that can re-run the analysis fall back to
+    the pure-Python engine; the ingestion daemon quarantines the stream
+    (the producer is degenerate either way).
+    """
+
+
+# ---------------------------------------------------------------------------
+# build & load
+# ---------------------------------------------------------------------------
+
+_load_lock = threading.Lock()
+_ffi = None
+_lib = None
+_load_error: Optional[str] = None
+_load_attempted = False
+
+
+def _kernel_source() -> str:
+    return os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "_kernel",
+        "wolfkernel.c",
+    )
+
+
+def kernel_cache_dir() -> str:
+    env = os.environ.get(_ENV_CACHE)
+    if env:
+        return env
+    return os.path.join(
+        os.path.expanduser("~"), ".cache", "wolf-kernel"
+    )
+
+
+def _find_cc() -> Optional[str]:
+    cc = os.environ.get("CC")
+    if cc and shutil.which(cc):
+        return cc
+    for cand in ("cc", "gcc", "clang"):
+        if shutil.which(cand):
+            return cand
+    return None
+
+
+def _build_shared_object(source: str) -> str:
+    """Compile the kernel into the content-addressed cache (idempotent,
+    concurrency-safe: compile to a temp file, then atomic rename)."""
+    with open(source, "rb") as fh:
+        digest = hashlib.sha256(fh.read()).hexdigest()[:16]
+    cache = kernel_cache_dir()
+    so_path = os.path.join(cache, f"wolfkernel-{digest}.so")
+    if os.path.exists(so_path):
+        return so_path
+    cc = _find_cc()
+    if cc is None:
+        raise RuntimeError("no C compiler found ($CC, cc, gcc or clang)")
+    os.makedirs(cache, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(suffix=".so", dir=cache)
+    os.close(fd)
+    try:
+        subprocess.run(
+            [cc, "-O2", "-std=c99", "-fPIC", "-shared", "-o", tmp, source],
+            check=True,
+            capture_output=True,
+            text=True,
+        )
+        os.replace(tmp, so_path)
+    except subprocess.CalledProcessError as exc:
+        raise RuntimeError(
+            f"kernel compile failed: {exc.stderr.strip()[:500]}"
+        ) from exc
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+    return so_path
+
+
+def _load() -> Tuple[object, object]:
+    """Compile (if needed) and dlopen the kernel; memoized, thread-safe."""
+    global _ffi, _lib, _load_error, _load_attempted
+    with _load_lock:
+        if _lib is not None:
+            return _ffi, _lib
+        if _load_attempted and _load_error is not None:
+            raise KernelUnavailableError(_load_error)
+        _load_attempted = True
+        try:
+            if os.environ.get(_ENV_DISABLE, "") not in ("", "0"):
+                raise RuntimeError(f"disabled by {_ENV_DISABLE}")
+            import cffi
+
+            so_path = _build_shared_object(_kernel_source())
+            ffi = cffi.FFI()
+            ffi.cdef(_CDEF)
+            lib = ffi.dlopen(so_path)
+            abi = lib.wk_abi()
+            if abi != KERNEL_ABI:
+                raise RuntimeError(
+                    f"kernel ABI mismatch: built {abi}, wrapper speaks "
+                    f"{KERNEL_ABI}"
+                )
+        except Exception as exc:  # noqa: BLE001 - any failure means fallback
+            _load_error = f"{type(exc).__name__}: {exc}"
+            raise KernelUnavailableError(_load_error) from exc
+        _ffi, _lib = ffi, lib
+        return _ffi, _lib
+
+
+def kernel_available() -> bool:
+    """True when the compiled kernel can be (or already was) loaded."""
+    try:
+        _load()
+        return True
+    except KernelUnavailableError:
+        return False
+
+
+def kernel_load_error() -> Optional[str]:
+    """Why the kernel is unavailable (None when it loaded or was never
+    tried)."""
+    return _load_error
+
+
+def kernel_version() -> Optional[str]:
+    """The loaded kernel's version string, or ``None`` if unavailable."""
+    try:
+        ffi, lib = _load()
+    except KernelUnavailableError:
+        return None
+    return ffi.string(lib.wk_version()).decode("ascii")
+
+
+def resolve_backend(backend: str) -> str:
+    """Resolve a ``python``/``native``/``auto`` choice to a concrete
+    backend.  ``native`` raises :class:`KernelUnavailableError` when the
+    kernel cannot load; ``auto`` silently falls back to ``python``."""
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"backend must be one of {'/'.join(BACKENDS)}, got {backend!r}"
+        )
+    if backend == "python":
+        return "python"
+    if backend == "native":
+        _load()  # raises KernelUnavailableError with the reason
+        return "native"
+    return "native" if kernel_available() else "python"
+
+
+def require_native() -> None:
+    """Assert the native backend resolves (CI's native-leg guard)."""
+    resolved = resolve_backend("native")
+    assert resolved == "native"
+
+
+def backend_info(backend: str = "auto") -> Dict[str, Optional[str]]:
+    """Attribution block for ``--version`` / manifests / health docs."""
+    try:
+        resolved = resolve_backend(backend)
+    except KernelUnavailableError:
+        resolved = "python"
+    info: Dict[str, Optional[str]] = {"backend": resolved}
+    info["kernel"] = kernel_version() if resolved == "native" else None
+    return info
+
+
+# ---------------------------------------------------------------------------
+# kernel handle
+# ---------------------------------------------------------------------------
+
+
+class _Kernel:
+    """One kernel context: the native mirror of one decode stream."""
+
+    def __init__(self) -> None:
+        ffi, lib = _load()
+        self._ffi = ffi
+        self._lib = lib
+        ctx = lib.wk_new()
+        if ctx == ffi.NULL:
+            raise MemoryError("wk_new failed")
+        self._ctx = ffi.gc(ctx, lib.wk_free)
+
+    def set_tables(self, n_strings: int, n_threads: int, n_locks: int) -> None:
+        rc = self._lib.wk_set_tables(self._ctx, n_strings, n_threads, n_locks)
+        if rc != 0:
+            raise MemoryError("wk_set_tables failed")
+
+    def feed_events(self, payload) -> int:
+        """Feed one EVENTS payload; returns the kernel error code
+        (0 = OK).  The caller handles non-zero codes via the pure-Python
+        re-decode (:func:`_feed_payload`)."""
+        buf = self._ffi.from_buffer(payload)
+        return self._lib.wk_feed_events(self._ctx, buf, len(payload))
+
+    @property
+    def events_read(self) -> int:
+        return self._lib.wk_events_read(self._ctx)
+
+    @property
+    def last_step(self) -> int:
+        return self._lib.wk_last_step(self._ctx)
+
+    def _pull(self, n_items: int, ptr, width: int) -> array:
+        out = array("q")
+        if n_items:
+            out.frombytes(self._ffi.buffer(ptr, n_items * width * 8)[:])
+        return out
+
+    def snapshot_arrays(self) -> Tuple[array, array, array, array, array]:
+        """Copy the kernel's logs out (clock ops, acquires, entries,
+        held pool, nonempty entry indices)."""
+        lib, ctx = self._lib, self._ctx
+        return (
+            self._pull(lib.wk_n_clock_ops(ctx), lib.wk_clock_ops(ctx), 3),
+            self._pull(lib.wk_n_acquires(ctx), lib.wk_acquires(ctx), 2),
+            self._pull(lib.wk_n_entries(ctx), lib.wk_entries(ctx), 10),
+            self._pull(lib.wk_n_held(ctx), lib.wk_held(ctx), 4),
+            self._pull(lib.wk_n_nonempty(ctx), lib.wk_nonempty(ctx), 1),
+        )
+
+    @property
+    def n_entries(self) -> int:
+        return self._lib.wk_n_entries(self._ctx)
+
+
+def _feed_payload(kernel: _Kernel, core: _DecodeCore, payload) -> None:
+    """Feed one EVENTS payload into the kernel with error parity.
+
+    On any kernel rejection the payload is re-decoded by the *reference*
+    pure-Python decoder from the identical pre-chunk state (the kernel
+    validates before mutating, so its state is untouched): if Python
+    fails too, its authentic exception propagates — same type, same
+    message as the pure backend; if Python succeeds, the kernel hit the
+    admitted >64-bit-varint divergence and :class:`KernelDivergenceError`
+    is raised for the caller's fallback policy.
+    """
+    rc = kernel.feed_events(payload)
+    if rc != 0:
+        # Re-decode from bytes, not the mmap view: the reference decoder
+        # must raise the exact exception (type AND message) the pure
+        # backend raises, and bytes vs memoryview indexing word their
+        # IndexErrors differently.
+        data = payload.tobytes() if isinstance(payload, memoryview) else payload
+        for _ in _DecodeCore._decode_events(core, data):
+            pass
+        raise KernelDivergenceError(
+            "native kernel rejected a payload the pure-Python decoder "
+            f"accepts (kernel code {rc}); falling back to pure Python"
+        )
+    core.events_read = kernel.events_read
+    core._last_step = kernel.last_step
+
+
+# ---------------------------------------------------------------------------
+# chunk sources wired into the kernel
+# ---------------------------------------------------------------------------
+
+
+class NativeTraceFileReader(TraceFileReader):
+    """mmap'd :class:`TraceFileReader` that routes EVENTS payloads into a
+    kernel instead of decoding per-event Python objects.
+
+    Everything else — chunk framing, table decoding, span bookkeeping,
+    END completeness — is the inherited pure-Python logic, so framing and
+    table corruption raise the exact same errors as the pure backend.
+    Iterating yields no events (they never exist as objects); iteration
+    is for its side effect of streaming the file through the kernel.
+    """
+
+    def __init__(self, src, kernel: _Kernel) -> None:
+        self._nk = kernel
+        super().__init__(src, mmap=True)
+        self._events_view = True  # zero-copy payload views for the kernel
+        self._decode = self._feed_kernel
+
+    def _sync_tables(self) -> None:
+        self._nk.set_tables(
+            len(self._strings), len(self._threads), len(self._locks)
+        )
+
+    def _load_strings(self, payload) -> None:
+        super()._load_strings(payload)
+        self._sync_tables()
+
+    def _load_threads(self, payload) -> None:
+        super()._load_threads(payload)
+        self._sync_tables()
+
+    def _load_locks(self, payload) -> None:
+        super()._load_locks(payload)
+        self._sync_tables()
+
+    def _feed_kernel(self, payload) -> tuple:
+        _feed_payload(self._nk, self, payload)
+        return ()
+
+
+class NativeChunkDecoder(ChunkDecoder):
+    """Push-mode :class:`ChunkDecoder` feeding a kernel.
+
+    :meth:`push` returns no events (``[]``): the daemon counts ingestion
+    progress from ``events_read`` (which this class syncs from the
+    kernel) rather than from materialized event objects.
+    """
+
+    def __init__(
+        self, kernel: _Kernel, *, max_chunk_bytes: Optional[int] = None
+    ) -> None:
+        super().__init__(max_chunk_bytes=max_chunk_bytes)
+        self._nk = kernel
+
+    def _sync_tables(self) -> None:
+        self._nk.set_tables(
+            len(self._strings), len(self._threads), len(self._locks)
+        )
+
+    def _load_strings(self, payload) -> None:
+        super()._load_strings(payload)
+        self._sync_tables()
+
+    def _load_threads(self, payload) -> None:
+        super()._load_threads(payload)
+        self._sync_tables()
+
+    def _load_locks(self, payload) -> None:
+        super()._load_locks(payload)
+        self._sync_tables()
+
+    def _decode_events(self, payload) -> tuple:
+        _feed_payload(self._nk, self, payload)
+        return ()
+
+
+# ---------------------------------------------------------------------------
+# snapshot -> Python objects (lazy)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _KernelSnapshot:
+    """The kernel's flat logs plus the identity tables to resolve them."""
+
+    strings: List[str]
+    threads: List[ThreadId]
+    locks: List[LockId]
+    clock_ops: array
+    acq: array
+    ent: array
+    held: array
+    nonempty: array
+
+    @property
+    def n_entries(self) -> int:
+        return len(self.ent) // 10
+
+    def build_vclocks(self) -> VectorClockState:
+        """Replay the clock-op log through the *real* ``update_clocks``.
+
+        Touch/spawn/join are the only operations that mutate tau/clocks
+        (Algorithm 1), and the kernel logs them in stream order, so the
+        replay reconstructs dict contents *and insertion order* exactly
+        as the pure engine built them; ``acquire_tau`` is bulk-loaded
+        from the kernel's (step, tau) pairs, again in stream order.
+        """
+        st = VectorClockState()
+        threads = self.threads
+        ops = self.clock_ops
+        for i in range(0, len(ops), 3):
+            op = ops[i]
+            if op == 0:  # touch
+                t = threads[ops[i + 1]]
+                if st.tau.get(t) is None:
+                    st.tau[t] = 1
+                    st._clock(t)
+            elif op == 1:  # spawn
+                update_clocks(
+                    st,
+                    SpawnEvent(
+                        0,
+                        threads[ops[i + 1]],
+                        child=threads[ops[i + 2]],
+                    ),
+                )
+            else:  # join
+                update_clocks(
+                    st,
+                    JoinEvent(
+                        0,
+                        threads[ops[i + 1]],
+                        target=threads[ops[i + 2]],
+                    ),
+                )
+        acq = self.acq
+        it = iter(acq)
+        st.acquire_tau.update(zip(it, it))
+        return st
+
+    def materialize_entries(self, indices=None) -> List[LockDepEntry]:
+        """Mint :class:`LockDepEntry` objects from the flat logs —
+        identical (``==``) to what ``entry_from_acquire`` produced on the
+        pure path, in the same stream order.  ``indices`` restricts to a
+        subset of entry indices (ascending)."""
+        ent, held = self.ent, self.held
+        strings, threads, locks = self.strings, self.threads, self.locks
+        out: List[LockDepEntry] = []
+        rng = range(self.n_entries) if indices is None else indices
+        for i in rng:
+            b = 10 * i
+            nheld = ent[b + 8]
+            if nheld:
+                hoff = 4 * ent[b + 9]
+                lockset = tuple(
+                    locks[held[j]] for j in range(hoff, hoff + 4 * nheld, 4)
+                )
+                context = tuple(
+                    ExecIndex(
+                        threads[held[j + 1]], strings[held[j + 2]], held[j + 3]
+                    )
+                    for j in range(hoff, hoff + 4 * nheld, 4)
+                )
+            else:
+                lockset = context = ()
+            out.append(
+                LockDepEntry(
+                    thread=threads[ent[b + 1]],
+                    lockset=lockset,
+                    lock=locks[ent[b + 2]],
+                    context=context,
+                    index=ExecIndex(
+                        threads[ent[b + 3]], strings[ent[b + 4]], ent[b + 5]
+                    ),
+                    tau=ent[b + 6],
+                    step=ent[b],
+                    pos=ent[b + 7],
+                )
+            )
+        return out
+
+
+class NativeRelation(LockDependencyRelation):
+    """``D_sigma`` backed by the kernel's flat entry log.
+
+    Materialization into real :class:`LockDepEntry` objects (and the
+    by-thread/holding/acquiring indexes) happens on first attribute
+    access — the fast non-sharded analyze path never triggers it (cycle
+    search runs on the eager nonempty-lockset subset instead), while the
+    shard/reduce/Generator paths transparently get the full relation.
+    """
+
+    def __init__(self, snap: _KernelSnapshot) -> None:
+        # deliberately NOT calling super().__init__: the four index
+        # attributes are created lazily by _materialize_now.
+        self._snap = snap
+
+    def _materialize_now(self) -> None:
+        LockDependencyRelation.__init__(self)
+        for e in self._snap.materialize_entries():
+            self.add(e)
+
+    def __getattr__(self, name):
+        if name in ("entries", "by_thread", "holding", "acquiring"):
+            self._materialize_now()
+            return self.__dict__[name]
+        raise AttributeError(name)
+
+    def __len__(self) -> int:
+        if "entries" in self.__dict__:
+            return len(self.__dict__["entries"])
+        return self._snap.n_entries
+
+
+# ---------------------------------------------------------------------------
+# native streaming detector
+# ---------------------------------------------------------------------------
+
+
+class NativeStreamingDetector:
+    """Kernel-backed :class:`StreamingDetector` drop-in for chunk-driven
+    streams (trace files and the ingestion daemon).
+
+    Events are consumed inside the kernel by the paired
+    :class:`NativeTraceFileReader` / :class:`NativeChunkDecoder`;
+    :meth:`feed`/:meth:`feed_many` therefore reject actual event objects
+    (in-memory traces always use the pure-Python engine).  Enumeration
+    always runs at :meth:`finish`: in non-sharded mode ``find_cycles``
+    over the eager nonempty-lockset subset of ``D_sigma``, which is
+    provably identical to the per-event probe (every cycle member needs
+    a nonempty lockset, and relative order is preserved) except for
+    *which* cycles survive a ``max_cycles`` truncation — the same
+    carve-out the two pure engines already have.
+    """
+
+    def __init__(
+        self,
+        kernel: _Kernel,
+        tables: _DecodeCore,
+        *,
+        max_length: int = 4,
+        max_cycles: int = 10_000,
+        shard_cycles: bool = False,
+        reduce: bool = False,
+    ) -> None:
+        if max_length < 2:
+            raise ValueError(f"max_length must be >= 2, got {max_length}")
+        if max_cycles < 1:
+            raise ValueError(f"max_cycles must be >= 1, got {max_cycles}")
+        self._nk = kernel
+        self._tables = tables
+        self.max_length = max_length
+        self.max_cycles = max_cycles
+        self.shard_cycles = shard_cycles
+        self.reduce = reduce
+        self.truncated = False
+        self._snap: Optional[_KernelSnapshot] = None
+        self._vclocks: Optional[VectorClockState] = None
+        self._rel: Optional[NativeRelation] = None
+
+    @property
+    def events_seen(self) -> int:
+        return self._nk.events_read
+
+    def feed(self, ev) -> None:
+        raise TypeError(
+            "NativeStreamingDetector consumes chunk payloads through its "
+            "reader/decoder, not event objects; use the python backend "
+            "for in-memory event streams"
+        )
+
+    def feed_many(self, events) -> None:
+        for _ in events:
+            self.feed(_)
+
+    def stats(self) -> Dict[str, int]:
+        """Deferred-mode counters (the kernel always enumerates at
+        :meth:`finish`, so live ``cycles_found``/``lock_edges`` are 0 by
+        construction — exactly like the pure detector's deferred mode)."""
+        return {
+            "events_seen": self.events_seen,
+            "tuples": self._nk.n_entries,
+            "lock_edges": 0,
+            "cycles_found": 0,
+            "deferred": 1,
+            "truncated": int(self.truncated),
+        }
+
+    def _snapshot(self) -> _KernelSnapshot:
+        if self._snap is None:
+            ops, acq, ent, held, nonempty = self._nk.snapshot_arrays()
+            self._snap = _KernelSnapshot(
+                strings=self._tables._strings,
+                threads=self._tables._threads,
+                locks=self._tables._locks,
+                clock_ops=ops,
+                acq=acq,
+                ent=ent,
+                held=held,
+                nonempty=nonempty,
+            )
+        return self._snap
+
+    @property
+    def vclocks(self) -> VectorClockState:
+        if self._vclocks is None:
+            self._vclocks = self._snapshot().build_vclocks()
+        return self._vclocks
+
+    @property
+    def relation(self) -> LockDependencyRelation:
+        if self._rel is None:
+            self._rel = NativeRelation(self._snapshot())
+        return self._rel
+
+    def finish(
+        self,
+        trace: Optional[Trace] = None,
+        *,
+        shard_engine=None,
+        policy=None,
+        trace_path: Optional[str] = None,
+        chunk_spans: Optional[Sequence[ChunkSpan]] = None,
+    ) -> DetectionResult:
+        snap = self._snapshot()
+        rel = self.relation
+        removed = 0
+        stats = None
+        if self.shard_cycles or self.reduce:
+            search_rel = rel
+            if self.reduce:
+                from repro.core.reduction import reduce_relation
+
+                search_rel, removed = reduce_relation(rel)
+            if self.shard_cycles:
+                from repro.core.sharding import find_cycles_sharded
+
+                cycles, self.truncated, stats = find_cycles_sharded(
+                    search_rel,
+                    max_length=self.max_length,
+                    max_cycles=self.max_cycles,
+                    engine=shard_engine,
+                    policy=policy,
+                    trace_path=trace_path,
+                    chunk_spans=chunk_spans,
+                )
+            else:
+                cycles, self.truncated = find_cycles(
+                    search_rel,
+                    max_length=self.max_length,
+                    max_cycles=self.max_cycles,
+                )
+        else:
+            # Probe-equivalent path without materializing the full
+            # relation: only nonempty-lockset entries can participate in
+            # cycles (they alone populate the holding index and anchor
+            # set), so the DFS over this subset enumerates exactly the
+            # batch cycle sequence.
+            probe_rel = LockDependencyRelation(
+                snap.materialize_entries(snap.nonempty)
+            )
+            cycles, self.truncated = find_cycles(
+                probe_rel,
+                max_length=self.max_length,
+                max_cycles=self.max_cycles,
+            )
+        return DetectionResult(
+            trace=trace if trace is not None else Trace(),
+            relation=rel,
+            cycles=cycles,
+            vclocks=self.vclocks,
+            truncated=self.truncated,
+            reduced_away=removed,
+            sharding=stats,
+        )
+
+
+# ---------------------------------------------------------------------------
+# file-analysis front door
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TraceAnalysis:
+    """What every ``.wtrc`` consumer needs from one analysis pass."""
+
+    detection: DetectionResult
+    program: str
+    seed: int
+    events: int
+    backend: str  # the backend that actually ran ("python" | "native")
+    spans: Tuple[ChunkSpan, ...]
+
+
+def _analyze_native(
+    path,
+    *,
+    max_length: int,
+    max_cycles: int,
+    shard_cycles: bool,
+    reduce: bool,
+    shard_engine,
+    policy,
+) -> TraceAnalysis:
+    kernel = _Kernel()
+    with NativeTraceFileReader(path, kernel) as reader:
+        det = NativeStreamingDetector(
+            kernel,
+            reader,
+            max_length=max_length,
+            max_cycles=max_cycles,
+            shard_cycles=shard_cycles,
+            reduce=reduce,
+        )
+        for _ in reader:  # streams chunks through the kernel
+            pass
+        spans = tuple(reader.event_spans)
+        program, seed = reader.program, reader.seed
+        kw = {}
+        if shard_engine is not None:
+            kw = dict(
+                shard_engine=shard_engine,
+                policy=policy,
+                trace_path=path,
+                chunk_spans=spans,
+            )
+        detection = det.finish(**kw)
+    return TraceAnalysis(
+        detection=detection,
+        program=program,
+        seed=seed,
+        events=det.events_seen,
+        backend="native",
+        spans=spans,
+    )
+
+
+def analyze_trace_file(
+    path,
+    *,
+    max_length: int = 4,
+    max_cycles: int = 10_000,
+    shard_cycles: bool = False,
+    reduce: bool = False,
+    backend: str = "auto",
+    shard_engine=None,
+    policy=None,
+) -> TraceAnalysis:
+    """Analyze a ``.wtrc`` file with the resolved backend.
+
+    The single front door used by ``wolf analyze-trace``, the parallel
+    pipeline's :class:`DetectTask` and ``report_doc_for_file`` — one
+    place guarantees every consumer resolves/falls back identically.
+    """
+    resolved = resolve_backend(backend)
+    if resolved == "native":
+        try:
+            return _analyze_native(
+                path,
+                max_length=max_length,
+                max_cycles=max_cycles,
+                shard_cycles=shard_cycles,
+                reduce=reduce,
+                shard_engine=shard_engine,
+                policy=policy,
+            )
+        except KernelDivergenceError:
+            # Degenerate input (>64-bit varints): correctness beats
+            # speed — redo the whole file in pure Python.
+            resolved = "python"
+    det = StreamingDetector(
+        max_length=max_length,
+        max_cycles=max_cycles,
+        shard_cycles=shard_cycles,
+        reduce=reduce,
+    )
+    with TraceFileReader(path, mmap=True) as reader:
+        det.feed_many(reader)
+        spans = tuple(reader.event_spans)
+        program, seed = reader.program, reader.seed
+    kw = {}
+    if shard_engine is not None:
+        kw = dict(
+            shard_engine=shard_engine,
+            policy=policy,
+            trace_path=path,
+            chunk_spans=spans,
+        )
+    detection = det.finish(**kw)
+    return TraceAnalysis(
+        detection=detection,
+        program=program,
+        seed=seed,
+        events=det.events_seen,
+        backend=resolved,
+        spans=spans,
+    )

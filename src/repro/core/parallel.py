@@ -126,6 +126,14 @@ class DetectTask:
     #: Generator's survivors inside the worker, so fleet batches predict
     #: shard-parallel for free.
     predict: str = "off"
+    #: Analysis backend for trace-driven streaming tasks: ``"python"``,
+    #: ``"native"`` (compiled kernel, :mod:`repro.core.nativekernel`) or
+    #: ``"auto"`` (native when the kernel loads, else python — identical
+    #: output either way).  Resolved inside the worker, so each spawned
+    #: process compiles/loads the kernel from the shared cache at most
+    #: once.  Program tasks and the batch engine ignore it (the kernel
+    #: only accelerates the on-disk streaming pass).
+    backend: str = "auto"
 
 
 @dataclass
@@ -161,15 +169,16 @@ def _detect_from_task(task: DetectTask) -> DetectionResult:
             else engine == "streaming"
         )
         if engine == "streaming":
-            det = StreamingDetector(
+            from repro.core.nativekernel import analyze_trace_file
+
+            return analyze_trace_file(
+                task.trace_path,
                 max_length=task.max_cycle_length,
                 max_cycles=task.max_cycles,
                 shard_cycles=shard,
                 reduce=task.reduce,
-            )
-            with TraceFileReader(task.trace_path) as reader:
-                det.feed_many(reader)
-                return det.finish()
+                backend=task.backend,
+            ).detection
         from repro.runtime.tracefile import read_trace
 
         return ExtendedDetector(
@@ -223,7 +232,7 @@ def _closure_index_for(task: DetectTask, detection: DetectionResult) -> ClosureI
     if len(detection.trace.events) > 0:
         return ClosureIndex.from_events(detection.trace)
     if task.trace_path is not None:
-        with TraceFileReader(task.trace_path) as reader:
+        with TraceFileReader(task.trace_path, mmap=True) as reader:
             return ClosureIndex.from_events(reader)
     return ClosureIndex()
 
@@ -356,7 +365,7 @@ def run_shard_enum_task(task: ShardEnumTask) -> ShardEnumResult:
     """
     wanted = set(task.entry_steps)
     entries = []
-    with TraceFileReader(task.trace_path) as reader:
+    with TraceFileReader(task.trace_path, mmap=True) as reader:
         for ev in reader.iter_events_in(task.spans):
             if (
                 isinstance(ev, AcquireEvent)

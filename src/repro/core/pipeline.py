@@ -146,6 +146,14 @@ class WolfConfig:
     #: (:func:`repro.core.streaming.resolve_engine`).  All produce
     #: identical cycles, prune decisions and defect keys.
     engine: str = "batch"
+    #: Analysis backend for trace-driven streaming runs: ``"python"``,
+    #: ``"native"`` (compiled kernel, :mod:`repro.core.nativekernel` —
+    #: raises at resolution when the kernel cannot build/load) or
+    #: ``"auto"`` (native when available, pure-Python fallback otherwise;
+    #: identical output either way).  Program execution and the batch
+    #: engine always run in Python — the kernel accelerates the on-disk
+    #: ``.wtrc`` hot path.
+    backend: str = "auto"
     #: Sharded, deduplicated cycle enumeration
     #: (:mod:`repro.core.sharding`) — output-identical to the monolithic
     #: DFS.  ``None`` keeps each engine's default: on for streaming
@@ -180,6 +188,10 @@ class WolfConfig:
         if self.engine not in ("batch", "streaming", "auto"):
             raise ValueError(
                 f"engine must be 'batch', 'streaming' or 'auto', got {self.engine!r}"
+            )
+        if self.backend not in ("python", "native", "auto"):
+            raise ValueError(
+                f"backend must be 'python', 'native' or 'auto', got {self.backend!r}"
             )
         if self.predict not in ("off", "filter", "certify"):
             raise ValueError(
@@ -222,11 +234,16 @@ class Wolf:
     def analyze(self, program: Program, *, name: str = "") -> WolfReport:
         cfg = self.config
         wall0 = time.perf_counter()
+        from repro.core.nativekernel import backend_info
+
+        binfo = backend_info(cfg.backend)
         report = WolfReport(
             program=name or getattr(program, "__name__", "program"),
             seeds=cfg.seeds(),
             engine=cfg.engine,
             predict=cfg.predict,
+            backend=binfo["backend"],
+            kernel=binfo["kernel"],
         )
         timings = {"detect": 0.0, "prune": 0.0, "generate": 0.0, "replay": 0.0}
         policy = cfg.supervision()
@@ -252,6 +269,7 @@ class Wolf:
                     shard_cycles=cfg.shard_cycles,
                     reduce=cfg.reduce,
                     predict=cfg.predict,
+                    backend=cfg.backend,
                 )
                 for seed in cfg.seeds()
             ]

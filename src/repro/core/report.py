@@ -203,6 +203,13 @@ class WolfReport:
     #: Analysis engine the detections ran with (``"batch"``/``"streaming"``/
     #: ``"auto"``; classifications are engine-independent).
     engine: str = "batch"
+    #: Resolved analysis backend (``"python"``/``"native"``) trace-driven
+    #: streaming work would run with under this pipeline's config —
+    #: attribution for benchmark artifacts; classifications are
+    #: backend-independent (the differential suite proves it).
+    backend: str = "python"
+    #: Native kernel version (``None`` on the pure-Python backend).
+    kernel: Optional[str] = None
     #: Tuples the MagicFuzzer reduction removed before enumeration,
     #: summed across detection runs (0 unless ``WolfConfig.reduce``).
     reduced_tuples: int = 0
@@ -393,6 +400,8 @@ class WolfReport:
                 "timings": self.timings,
                 "workers": self.workers,
                 "engine": self.engine,
+                "backend": self.backend,
+                "kernel": self.kernel,
                 "reduced_tuples": self.reduced_tuples,
                 "fallback_reason": self.fallback_reason,
         }

@@ -67,6 +67,12 @@ def classify_decode_error(exc: BaseException) -> Corruption:
     """
     if isinstance(exc, OversizedChunkError):
         return Corruption(OVERSIZED_CHUNK, str(exc))
+    # Kernel-vs-Python decode divergence (>64-bit varints) classifies as
+    # payload corruption before the ValueError arm: the producer is
+    # degenerate even though the pure decoder technically accepts it.
+    # Checked by name to keep this module import-light.
+    if type(exc).__name__ == "KernelDivergenceError":
+        return Corruption(CORRUPT_PAYLOAD, str(exc))
     if isinstance(exc, ValueError) and not isinstance(exc, UnicodeDecodeError):
         return Corruption(UNREADABLE, str(exc))
     # Bit rot inside a chunk payload surfaces as whatever the decoder

@@ -41,15 +41,23 @@ class ServeStats:
     def note_quarantine(self, code: str) -> None:
         self.quarantined[code] = self.quarantined.get(code, 0) + 1
 
-    def healthz(self, *, accepting: bool) -> dict:
+    def healthz(self, *, accepting: bool, backend: str = "python") -> dict:
         status = "draining" if self.draining else ("ok" if accepting else "down")
         return {
             "status": status,
             "accepting": accepting,
             "streams_active": self.streams_active,
+            "backend": backend,
         }
 
-    def stats(self, *, accepting: bool, detectors: Dict[str, dict]) -> dict:
+    def stats(
+        self,
+        *,
+        accepting: bool,
+        detectors: Dict[str, dict],
+        backend: str = "python",
+        kernel: "str | None" = None,
+    ) -> dict:
         """Full observability snapshot.
 
         ``detectors`` maps active stream ids to their
@@ -61,6 +69,8 @@ class ServeStats:
         return {
             "accepting": accepting,
             "draining": self.draining,
+            "backend": backend,
+            "kernel": kernel,
             "connections": self.connections,
             "streams": {
                 "accepted": self.streams_accepted,

@@ -21,7 +21,6 @@ from repro.core.generator import Generator, GeneratorVerdict
 from repro.core.parallel import predict_decisions
 from repro.core.prediction import ClosureIndex
 from repro.core.pruner import Pruner
-from repro.core.streaming import StreamingDetector
 from repro.corpus.manifest import DETECTOR_PARAMS, canonical_keys
 from repro.runtime.tracefile import TraceFileReader
 
@@ -54,7 +53,7 @@ def defect_report_doc(
     if len(detection.trace.events) > 0:
         index = ClosureIndex.from_events(detection.trace)
     elif trace_path is not None:
-        with TraceFileReader(trace_path) as reader:
+        with TraceFileReader(trace_path, mmap=True) as reader:
             index = ClosureIndex.from_events(reader)
     else:
         index = ClosureIndex()
@@ -105,23 +104,28 @@ def report_doc_for_file(
     *,
     max_length: int = DETECTOR_PARAMS["max_length"],
     max_cycles: int = DETECTOR_PARAMS["max_cycles"],
+    backend: str = "auto",
 ) -> dict:
     """The batch path: stream a ``.wtrc`` file through a fresh detector.
 
     This is the reference the daemon's incremental path must match
     byte-for-byte — same detector construction, same finish, same
-    document builder.
+    document builder.  ``backend`` only changes *how fast* the document
+    is produced, never its bytes (the report deliberately carries no
+    backend attribution — it stays a pure function of the trace bytes
+    and detector knobs; attribution lives in the run manifest and the
+    daemon's status documents).
     """
-    det = StreamingDetector(max_length=max_length, max_cycles=max_cycles)
-    with TraceFileReader(path) as reader:
-        det.feed_many(reader)
-        program, seed = reader.program, reader.seed
-    detection = det.finish()
+    from repro.core.nativekernel import analyze_trace_file
+
+    analysis = analyze_trace_file(
+        path, max_length=max_length, max_cycles=max_cycles, backend=backend
+    )
     return defect_report_doc(
-        detection,
-        program=program,
-        seed=seed,
-        events=det.events_seen,
+        analysis.detection,
+        program=analysis.program,
+        seed=analysis.seed,
+        events=analysis.events,
         max_length=max_length,
         max_cycles=max_cycles,
         trace_path=path,

@@ -95,6 +95,12 @@ class ServeConfig:
     workers: int = 1
     #: fsync the journal on every append (tests may disable for speed).
     journal_fsync: bool = True
+    #: Analysis backend for per-stream sessions: ``"python"``,
+    #: ``"native"`` (compiled kernel; startup fails if it cannot load) or
+    #: ``"auto"`` — resolved once at :meth:`WolfServer.start`, so every
+    #: session in a run uses the same backend and the manifest can
+    #: attribute it.  Reports are byte-identical either way.
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.socket_path is None and self.tcp is None:
@@ -105,6 +111,10 @@ class ServeConfig:
             raise ValueError(f"window must be >= 1, got {self.window}")
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.backend not in ("python", "native", "auto"):
+            raise ValueError(
+                f"backend must be 'python', 'native' or 'auto', got {self.backend!r}"
+            )
 
 
 class WolfServer:
@@ -128,11 +138,19 @@ class WolfServer:
         #: buffer capacity frees: stream id -> (writer, owed bytes).
         self._owed: Dict[str, Tuple[asyncio.StreamWriter, int]] = {}
         self.tcp_address: Optional[Tuple[str, int]] = None
+        #: Concrete backend every session runs with ("python"/"native"),
+        #: resolved once in :meth:`start`.
+        self.backend: str = "python"
 
     # -- lifecycle -----------------------------------------------------------
 
     async def start(self) -> None:
         cfg = self.config
+        from repro.core.nativekernel import resolve_backend
+
+        # Resolve once, before accepting: backend="native" with no kernel
+        # must fail startup, not the first stream.
+        self.backend = resolve_backend(cfg.backend)
         for sub in ("spool", "reports", "quarantine"):
             os.makedirs(os.path.join(cfg.out_dir, sub), exist_ok=True)
         journal_path = os.path.join(cfg.out_dir, JOURNAL_NAME)
@@ -241,12 +259,16 @@ class WolfServer:
         rows = self._manifest_rows()
         analyzed = [r for r in rows if r["status"] == "analyzed"]
         quarantined = [r for r in rows if r["status"] == "quarantined"]
+        from repro.core.nativekernel import kernel_version
+
         doc = {
             "schema": RUN_SCHEMA,
             "drained": True,
             "detector": {
                 "max_length": self.config.max_length,
                 "max_cycles": self.config.max_cycles,
+                "backend": self.backend,
+                "kernel": kernel_version() if self.backend == "native" else None,
             },
             "streams": rows,
             "rejected": sorted(
@@ -316,6 +338,7 @@ class WolfServer:
             max_chunk_bytes=self.config.max_chunk_bytes,
             max_stream_bytes=self.config.max_stream_bytes,
             shard=self.config.workers > 1,
+            backend=self.backend,
         )
 
     # -- backpressure --------------------------------------------------------
@@ -664,15 +687,22 @@ class WolfServer:
         except ProtocolError:
             query = "stats"
         if query == "healthz":
-            doc = self.stats.healthz(accepting=self.accepting)
+            doc = self.stats.healthz(accepting=self.accepting, backend=self.backend)
         else:
+            from repro.core.nativekernel import kernel_version
+
             detectors = {
                 sid: s.detector.stats()
                 for sid, s in self.sessions.items()
                 if s.state is SessionState.ACTIVE
             }
             self._buffered_total()
-            doc = self.stats.stats(accepting=self.accepting, detectors=detectors)
+            doc = self.stats.stats(
+                accepting=self.accepting,
+                detectors=detectors,
+                backend=self.backend,
+                kernel=kernel_version() if self.backend == "native" else None,
+            )
         await self._send(writer, FrameKind.STATS, doc)
 
 

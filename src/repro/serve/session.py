@@ -64,6 +64,7 @@ class StreamSession:
         max_chunk_bytes: Optional[int] = None,
         max_stream_bytes: Optional[int] = None,
         shard: bool = False,
+        backend: str = "python",
     ) -> None:
         self.stream_id = stream_id
         self.run_dir = run_dir
@@ -72,14 +73,37 @@ class StreamSession:
         self.max_cycles = max_cycles
         self.max_stream_bytes = max_stream_bytes
         self.shard = shard
+        self.backend = backend
         self.state = SessionState.ACTIVE
         # shard=True defers cycle enumeration to finalize(), where it fans
         # out through the supervised pool (output-identical per the
         # sharding gates, so the byte-identity property still holds).
-        self.decoder = ChunkDecoder(max_chunk_bytes=max_chunk_bytes)
-        self.detector = StreamingDetector(
-            max_length=max_length, max_cycles=max_cycles, shard_cycles=shard
-        )
+        if backend == "native":
+            # Resolved by the server at startup: one decoder/detector pair
+            # sharing a per-stream kernel context; reports stay
+            # byte-identical to the pure path (differential suite).
+            from repro.core.nativekernel import (
+                NativeChunkDecoder,
+                NativeStreamingDetector,
+                _Kernel,
+            )
+
+            kernel = _Kernel()
+            self.decoder = NativeChunkDecoder(
+                kernel, max_chunk_bytes=max_chunk_bytes
+            )
+            self.detector = NativeStreamingDetector(
+                kernel,
+                self.decoder,
+                max_length=max_length,
+                max_cycles=max_cycles,
+                shard_cycles=shard,
+            )
+        else:
+            self.decoder = ChunkDecoder(max_chunk_bytes=max_chunk_bytes)
+            self.detector = StreamingDetector(
+                max_length=max_length, max_cycles=max_cycles, shard_cycles=shard
+            )
         self.spool_path = os.path.join(run_dir, "spool", f"{stream_id}.wtrc")
         self._spool: Optional[BinaryIO] = None
         #: Last chunk boundary made durable (spool fsync + journal line).
@@ -117,9 +141,13 @@ class StreamSession:
         self._spool.write(prefix)
         self._spool.flush()
         if prefix:
+            before_events = self.decoder.events_read
             events = self.decoder.push(prefix)
-            self.detector.feed_many(events)
-            self.events_fed += len(events)
+            if events:
+                self.detector.feed_many(events)
+            # Counted from the decoder (not len(events)): the native
+            # decoder consumes events inside the kernel and returns none.
+            self.events_fed += self.decoder.events_read - before_events
         if self.decoder.bytes_consumed != durable_bytes:
             raise ValueError(
                 f"journal for {self.stream_id!r} is not chunk-aligned "
@@ -156,17 +184,19 @@ class StreamSession:
         self._spool.write(data)
         self._spool.flush()
         before = self.decoder.bytes_consumed
+        before_events = self.decoder.events_read
         events = self.decoder.push(data)
         if events:
             self.detector.feed_many(events)
-            self.events_fed += len(events)
+        fed = self.decoder.events_read - before_events
+        self.events_fed += fed
         if self.decoder.bytes_consumed > before:
             # Durable checkpoint: spool first, then the journal line that
             # vouches for it.
             os.fsync(self._spool.fileno())
             self.journaled_bytes = self.decoder.bytes_consumed
             self.journal.chunk(self.stream_id, self.journaled_bytes)
-        return len(events)
+        return fed
 
     # -- termination ---------------------------------------------------------
 

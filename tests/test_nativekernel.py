@@ -1,0 +1,697 @@
+"""Python-vs-native differential suite for the compiled analysis kernel.
+
+The native backend's correctness contract is *byte identity*: on any
+trace the pure-Python decoder accepts, the kernel-backed pipeline must
+produce the same canonical defect report, the same cycles, the same
+vector clocks, the same ``D_sigma`` — and on any trace the pure decoder
+rejects, the same exception type with the same message.  This file
+proves that contract three ways:
+
+* **registry benchmarks** — every benchmark's detection trace is written
+  to ``.wtrc`` and the full report pipeline runs under both backends,
+  compared at the rendered-byte level;
+* **committed corpus** — same byte-level comparison over every minimized
+  trace in ``corpus/``;
+* **hostile bytes** — crafted corruptions per taxonomy class (torn
+  chunk, truncated varint, bad interned-table index, unknown tag) plus a
+  single-byte bit-rot sweep and hypothesis fuzz over mutations and
+  truncations, asserting outcome parity for every input.
+
+The one admitted divergence: varints wider than 64 bits.  Python decodes
+them as bignums; the kernel rejects the payload, the wrapper confirms
+the pure re-decode succeeds and raises ``KernelDivergenceError``, and
+``analyze_trace_file`` falls back to pure Python — asserted explicitly
+in :class:`TestOversizedVarintDivergence`.
+
+Everything that needs the compiled kernel is skipped when it cannot load
+(no C compiler, no cffi, or ``WOLF_PURE_PYTHON=1`` — the CI pure leg),
+so this file degrades to the pure-Python mmap/fallback tests there.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.nativekernel import (
+    BACKENDS,
+    KernelDivergenceError,
+    KernelUnavailableError,
+    _build_shared_object,
+    _kernel_source,
+    analyze_trace_file,
+    backend_info,
+    kernel_available,
+    kernel_version,
+    resolve_backend,
+)
+from repro.core.streaming import StreamingDetector
+from repro.corpus.manifest import DETECTOR_PARAMS
+from repro.corpus.validate import CORRUPT_PAYLOAD, classify_decode_error
+from repro.runtime.tracefile import (
+    ChunkDecoder,
+    TraceFileReader,
+    _get_uvarint,
+    _put_uvarint,
+    _put_svarint,
+    write_trace,
+)
+from repro.serve.report import render_report, report_doc_for_file
+
+try:
+    from hypothesis import given, settings, strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is a test extra
+    HAVE_HYPOTHESIS = False
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CORPUS_DIR = REPO_ROOT / "corpus"
+CORPUS_TRACES = sorted(p.name for p in CORPUS_DIR.glob("*.wtrc"))
+
+needs_kernel = pytest.mark.skipif(
+    not kernel_available(), reason="native kernel unavailable on this host"
+)
+
+# Chunk kinds (mirrors the private constants in repro.runtime.tracefile).
+K_EVENTS = 4
+K_END = 5
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def iter_chunks(data: bytes):
+    """Yield ``(kind, header_off, payload_off, payload_len)`` per chunk."""
+    pos = 5  # magic + version byte
+    while pos < len(data):
+        header = pos
+        kind = data[pos]
+        length, pos = _get_uvarint(data, pos + 1)
+        yield kind, header, pos, length
+        pos += length
+
+
+def first_events_chunk(data: bytes):
+    for kind, header, off, length in iter_chunks(data):
+        if kind == K_EVENTS:
+            return header, off, length
+    raise AssertionError("trace has no EVENTS chunk")
+
+
+def splice_events_chunk(data: bytes, payload: bytes) -> bytes:
+    """Replace the first EVENTS chunk (and drop everything after it) with
+    a hand-crafted payload — tables before it stay valid."""
+    header, off, length = first_events_chunk(data)
+    out = bytearray(data[:header])
+    out.append(K_EVENTS)
+    _put_uvarint(out, len(payload))
+    out += payload
+    return bytes(out)
+
+
+def _steps(detection):
+    return [tuple(e.step for e in c.entries) for c in detection.cycles]
+
+
+def read_outcome(path: str, backend: str):
+    """Fully stream a file; ``("ok", events_read)`` or the exception as
+    ``("err", type_name, message)``."""
+    try:
+        if backend == "native":
+            from repro.core.nativekernel import _Kernel, NativeTraceFileReader
+
+            kernel = _Kernel()
+            with NativeTraceFileReader(path, kernel) as reader:
+                for _ in reader:
+                    pass
+                return ("ok", reader.events_read)
+        with TraceFileReader(path) as reader:
+            for _ in reader:
+                pass
+            return ("ok", reader.events_read)
+    except Exception as exc:  # noqa: BLE001 - the outcome IS the assertion
+        return ("err", type(exc).__name__, str(exc))
+
+
+def assert_outcome_parity(path: str):
+    """Both backends agree on the file, modulo the admitted divergence."""
+    py = read_outcome(path, "python")
+    nat = read_outcome(path, "native")
+    if nat[0] == "err" and nat[1] == "KernelDivergenceError":
+        # >64-bit varint class: the kernel refuses what Python's bignums
+        # accept.  analyze_trace_file redoes these in pure Python, so no
+        # constraint on the pure outcome here beyond "no crash".
+        return
+    assert nat == py, f"backend outcomes diverge: python={py} native={nat}"
+
+
+@pytest.fixture(scope="module")
+def fig9_wtrc(tmp_path_factory) -> str:
+    """A small real deadlock trace (fig9) written to ``.wtrc``."""
+    from repro.core.pipeline import run_detection
+    from repro.workloads.figures import fig9_program
+
+    run = run_detection(fig9_program, 0, name="fig9")
+    path = tmp_path_factory.mktemp("nk") / "fig9.wtrc"
+    write_trace(run.trace, str(path))
+    return str(path)
+
+
+# ---------------------------------------------------------------------------
+# backend selection & build plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestBackendSelection:
+    def test_python_always_resolves(self):
+        assert resolve_backend("python") == "python"
+
+    def test_auto_resolves_concrete(self):
+        assert resolve_backend("auto") in ("python", "native")
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            resolve_backend("turbo")
+
+    def test_wolfconfig_validates_backend(self):
+        from repro.core.pipeline import WolfConfig
+
+        with pytest.raises(ValueError, match="backend"):
+            WolfConfig(backend="turbo")
+        assert WolfConfig(backend="native").backend == "native"
+
+    def test_backend_info_shape(self):
+        info = backend_info("auto")
+        assert set(info) == {"backend", "kernel"}
+        assert info["backend"] in ("python", "native")
+        if info["backend"] == "native":
+            assert info["kernel"] == kernel_version()
+        else:
+            assert info["kernel"] is None
+
+    def test_pure_python_env_disables_kernel(self):
+        """WOLF_PURE_PYTHON force-disables the kernel process-wide (the
+        load is memoized, so probe a fresh interpreter)."""
+        env = dict(os.environ, WOLF_PURE_PYTHON="1")
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        out = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "from repro.core.nativekernel import kernel_available, "
+                "resolve_backend\n"
+                "print(kernel_available())\n"
+                "print(resolve_backend('auto'))",
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        assert out.stdout.split() == ["False", "python"]
+
+    def test_native_raises_when_unavailable(self):
+        if kernel_available():
+            assert resolve_backend("native") == "native"
+        else:
+            with pytest.raises(KernelUnavailableError):
+                resolve_backend("native")
+
+    def test_backends_constant_matches_cli(self):
+        assert BACKENDS == ("python", "native", "auto")
+
+    @needs_kernel
+    def test_build_cache_is_content_addressed(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("WOLF_KERNEL_CACHE", str(tmp_path))
+        first = _build_shared_object(_kernel_source())
+        assert first.startswith(str(tmp_path))
+        assert os.path.exists(first)
+        # Second build is a cache hit on the same path, not a recompile.
+        assert _build_shared_object(_kernel_source()) == first
+
+    @needs_kernel
+    def test_kernel_version_is_ascii(self):
+        v = kernel_version()
+        assert v and all(c.isdigit() or c == "." for c in v)
+
+
+# ---------------------------------------------------------------------------
+# satellite: the pure-Python mmap reader (must hold on the pure CI leg too)
+# ---------------------------------------------------------------------------
+
+
+class TestMmapReader:
+    def test_events_identical_to_plain_reader(self, fig9_wtrc):
+        with TraceFileReader(fig9_wtrc) as r:
+            plain = list(r)
+        with TraceFileReader(fig9_wtrc, mmap=True) as r:
+            mapped = list(r)
+        assert mapped == plain
+
+    def test_spans_identical(self, fig9_wtrc):
+        with TraceFileReader(fig9_wtrc) as r:
+            for _ in r:
+                pass
+            plain_spans = list(r.event_spans)
+        with TraceFileReader(fig9_wtrc, mmap=True) as r:
+            for _ in r:
+                pass
+            assert list(r.event_spans) == plain_spans
+
+    def test_iter_events_in_span_rereads(self, fig9_wtrc):
+        with TraceFileReader(fig9_wtrc) as r:
+            events = list(r)
+            spans = list(r.event_spans)
+        span = spans[0]
+        with TraceFileReader(fig9_wtrc, mmap=True) as r:
+            subset = list(r.iter_events_in([span]))
+        assert subset == events[: len(subset)] and subset
+
+    def test_non_file_source_falls_back(self, fig9_wtrc):
+        """mmap=True on an unmappable source silently degrades to reads."""
+        import io
+
+        data = Path(fig9_wtrc).read_bytes()
+        with TraceFileReader(io.BytesIO(data), mmap=True) as r:
+            assert list(r)
+
+    def test_corruption_errors_identical_to_plain(self, fig9_wtrc, tmp_path):
+        data = bytearray(Path(fig9_wtrc).read_bytes())
+        _, off, length = first_events_chunk(bytes(data))
+        data[off + length // 2] ^= 0xFF
+        bad = tmp_path / "rot.wtrc"
+        bad.write_bytes(bytes(data))
+
+        def outcome(**kw):
+            try:
+                with TraceFileReader(str(bad), **kw) as r:
+                    return ("ok", sum(1 for _ in r))
+            except Exception as exc:  # noqa: BLE001
+                return ("err", type(exc).__name__, str(exc))
+
+        assert outcome(mmap=True) == outcome()
+
+
+# ---------------------------------------------------------------------------
+# differential: registry benchmarks + committed corpus
+# ---------------------------------------------------------------------------
+
+
+@needs_kernel
+class TestDifferentialRegistry:
+    @pytest.fixture(scope="class")
+    def registry_traces(self, tmp_path_factory):
+        from repro.core.pipeline import run_detection
+        from repro.workloads.registry import all_benchmarks
+
+        tmp = tmp_path_factory.mktemp("registry")
+        out = []
+        for b in all_benchmarks():
+            run = run_detection(b.program, b.detect_seed, name=b.name)
+            path = tmp / f"{b.name}.wtrc"
+            write_trace(run.trace, str(path))
+            out.append((b.name, str(path), b.max_cycle_length))
+        return out
+
+    def test_reports_byte_identical(self, registry_traces):
+        for name, path, max_length in registry_traces:
+            py = render_report(
+                report_doc_for_file(path, max_length=max_length, backend="python")
+            )
+            nat = render_report(
+                report_doc_for_file(path, max_length=max_length, backend="native")
+            )
+            assert nat == py, f"report bytes diverge on {name}"
+
+    def test_internal_state_identical(self, registry_traces):
+        """Beyond the report: cycles, clocks and the full relation."""
+        for name, path, max_length in registry_traces[:4]:
+            py = analyze_trace_file(path, max_length=max_length, backend="python")
+            nat = analyze_trace_file(path, max_length=max_length, backend="native")
+            assert nat.backend == "native" and py.backend == "python"
+            assert (nat.program, nat.seed, nat.events) == (
+                py.program,
+                py.seed,
+                py.events,
+            )
+            assert nat.spans == py.spans
+            dp, dn = py.detection, nat.detection
+            assert _steps(dn) == _steps(dp)
+            assert dn.defect_keys() == dp.defect_keys()
+            assert dn.truncated == dp.truncated
+            # Vector clocks: contents AND insertion order.
+            for attr in ("tau", "clocks", "acquire_tau"):
+                a, b = getattr(dn.vclocks, attr), getattr(dp.vclocks, attr)
+                assert a == b and list(a) == list(b), f"{name}: vclocks.{attr}"
+            # D_sigma: lazy native relation materializes identically.
+            assert len(dn.relation) == len(dp.relation)
+            assert dn.relation.entries == dp.relation.entries
+            assert dn.relation.by_thread == dp.relation.by_thread
+            assert dn.relation.holding == dp.relation.holding
+            assert dn.relation.acquiring == dp.relation.acquiring
+
+    def test_shard_and_reduce_modes_identical(self, registry_traces):
+        name, path, max_length = registry_traces[0]
+        for kw in (
+            {"shard_cycles": True},
+            {"reduce": True},
+            {"shard_cycles": True, "reduce": True},
+        ):
+            py = analyze_trace_file(
+                path, max_length=max_length, backend="python", **kw
+            )
+            nat = analyze_trace_file(
+                path, max_length=max_length, backend="native", **kw
+            )
+            assert _steps(nat.detection) == _steps(py.detection), kw
+            assert nat.detection.reduced_away == py.detection.reduced_away, kw
+
+
+@needs_kernel
+class TestDifferentialCorpus:
+    @pytest.mark.parametrize("name", CORPUS_TRACES)
+    def test_corpus_report_byte_identical(self, name):
+        path = str(CORPUS_DIR / name)
+        py = render_report(report_doc_for_file(path, backend="python"))
+        nat = render_report(report_doc_for_file(path, backend="native"))
+        assert nat == py
+
+    def test_detector_params_match_manifest(self):
+        # The corpus comparison above runs at the manifest's detector
+        # knobs (report_doc_for_file defaults to DETECTOR_PARAMS).
+        assert set(DETECTOR_PARAMS) >= {"max_length", "max_cycles"}
+
+
+# ---------------------------------------------------------------------------
+# decoder parity at the chunk-push layer (the daemon's ingestion path)
+# ---------------------------------------------------------------------------
+
+
+@needs_kernel
+class TestChunkDecoderParity:
+    def test_push_incremental_identical(self, fig9_wtrc):
+        from repro.core.nativekernel import (
+            NativeChunkDecoder,
+            NativeStreamingDetector,
+            _Kernel,
+        )
+
+        data = Path(fig9_wtrc).read_bytes()
+
+        pdec = ChunkDecoder()
+        pdet = StreamingDetector(max_length=3)
+        kernel = _Kernel()
+        ndec = NativeChunkDecoder(kernel)
+        ndet = NativeStreamingDetector(kernel, ndec, max_length=3)
+
+        # Feed in awkward split sizes to cross chunk boundaries.
+        for lo in range(0, len(data), 37):
+            piece = data[lo : lo + 37]
+            events = pdec.push(piece)
+            if events:
+                pdet.feed_many(events)
+            assert ndec.push(piece) == []
+        assert ndec.events_read == pdec.events_read
+        assert ndec.bytes_consumed == pdec.bytes_consumed
+        dp, dn = pdet.finish(), ndet.finish()
+        assert _steps(dn) == _steps(dp)
+        assert dn.defect_keys() == dp.defect_keys()
+        assert ndet.events_seen == pdet.events_seen
+
+    def test_native_detector_rejects_event_objects(self):
+        from repro.core.nativekernel import (
+            NativeChunkDecoder,
+            NativeStreamingDetector,
+            _Kernel,
+        )
+        from repro.runtime.events import BeginEvent
+        from repro.util.ids import ThreadId
+
+        kernel = _Kernel()
+        det = NativeStreamingDetector(kernel, NativeChunkDecoder(kernel))
+        with pytest.raises(TypeError):
+            det.feed(BeginEvent(0, ThreadId.root()))
+
+
+# ---------------------------------------------------------------------------
+# decode-error parity: every corruption class, both backends
+# ---------------------------------------------------------------------------
+
+
+def craft(fig9_wtrc: str, tmp_path, payload: bytes, name: str) -> str:
+    data = Path(fig9_wtrc).read_bytes()
+    path = tmp_path / name
+    path.write_bytes(splice_events_chunk(data, payload))
+    return str(path)
+
+
+@needs_kernel
+class TestErrorParity:
+    def test_torn_chunk(self, fig9_wtrc, tmp_path):
+        """File cut mid-EVENTS-payload: framing error, same both ways."""
+        data = Path(fig9_wtrc).read_bytes()
+        _, off, length = first_events_chunk(data)
+        for cut in (off + 1, off + length // 2, off + length - 1):
+            torn = tmp_path / f"torn{cut}.wtrc"
+            torn.write_bytes(data[:cut])
+            py = read_outcome(str(torn), "python")
+            nat = read_outcome(str(torn), "native")
+            assert py[0] == "err" and nat == py
+
+    def test_truncated_varint_inside_payload(self, fig9_wtrc, tmp_path):
+        """Payload ends mid-varint (continuation bit on the final byte)."""
+        buf = bytearray()
+        _put_uvarint(buf, 1)  # one event
+        buf += bytes([0])  # BeginEvent tag
+        buf += bytes([0x80])  # svarint step delta: continuation, then EOF
+        path = craft(fig9_wtrc, tmp_path, bytes(buf), "truncvarint.wtrc")
+        py = read_outcome(path, "python")
+        nat = read_outcome(path, "native")
+        assert py[0] == "err" and py[1] == "IndexError" and nat == py
+
+    def test_bad_interned_table_index(self, fig9_wtrc, tmp_path):
+        """SpawnEvent whose child index is out of the thread table."""
+        buf = bytearray()
+        _put_uvarint(buf, 1)
+        buf += bytes([2])  # SpawnEvent tag
+        _put_svarint(buf, 1)  # step delta
+        _put_uvarint(buf, 0)  # thread index (valid)
+        _put_uvarint(buf, 200)  # child index (out of range)
+        path = craft(fig9_wtrc, tmp_path, bytes(buf), "badindex.wtrc")
+        py = read_outcome(path, "python")
+        nat = read_outcome(path, "native")
+        assert py[0] == "err" and py[1] == "IndexError" and nat == py
+
+    def test_unknown_event_tag(self, fig9_wtrc, tmp_path):
+        buf = bytearray()
+        _put_uvarint(buf, 1)
+        buf += bytes([9])  # no such tag
+        _put_svarint(buf, 1)
+        _put_uvarint(buf, 0)
+        path = craft(fig9_wtrc, tmp_path, bytes(buf), "badtag.wtrc")
+        py = read_outcome(path, "python")
+        nat = read_outcome(path, "native")
+        assert py == ("err", "ValueError", "unknown event tag 9")
+        assert nat == py
+
+    def test_single_byte_bitrot_sweep(self, fig9_wtrc, tmp_path):
+        """Every single-byte mutation over the head of the EVENTS payload
+        yields the identical outcome from both backends (and neither
+        crashes the process).  This sweeps the taxonomy organically —
+        bad indexes, bad tags, truncations — and asserts the sweep did
+        hit the index-error class."""
+        data = bytearray(Path(fig9_wtrc).read_bytes())
+        _, off, length = first_events_chunk(bytes(data))
+        bad = tmp_path / "rot.wtrc"
+        seen_types = set()
+        for rel in range(min(length, 80)):
+            for val in (0x00, 0x7F, 0xFF):
+                mutated = bytearray(data)
+                if mutated[off + rel] == val:
+                    continue
+                mutated[off + rel] = val
+                bad.write_bytes(bytes(mutated))
+                py = read_outcome(str(bad), "python")
+                nat = read_outcome(str(bad), "native")
+                if nat[0] == "err" and nat[1] == "KernelDivergenceError":
+                    continue  # admitted >64-bit-varint divergence
+                assert nat == py, f"offset {rel} value {val:#x}"
+                if py[0] == "err":
+                    seen_types.add(py[1])
+        assert "IndexError" in seen_types or "ValueError" in seen_types
+
+    def test_corruption_classifies_identically(self, fig9_wtrc, tmp_path):
+        """classify_decode_error maps both backends' exceptions to the
+        same quarantine code."""
+        buf = bytearray()
+        _put_uvarint(buf, 1)
+        buf += bytes([2])
+        _put_svarint(buf, 1)
+        _put_uvarint(buf, 0)
+        _put_uvarint(buf, 200)
+        path = craft(fig9_wtrc, tmp_path, bytes(buf), "classify.wtrc")
+        codes = []
+        for backend in ("python", "native"):
+            try:
+                _read_raising(path, backend)
+            except Exception as exc:  # noqa: BLE001
+                codes.append(classify_decode_error(exc).code)
+        assert len(codes) == 2 and codes[0] == codes[1]
+
+
+def _read_raising(path: str, backend: str) -> None:
+    if backend == "native":
+        from repro.core.nativekernel import _Kernel, NativeTraceFileReader
+
+        kernel = _Kernel()
+        with NativeTraceFileReader(path, kernel) as reader:
+            for _ in reader:
+                pass
+    else:
+        with TraceFileReader(path) as reader:
+            for _ in reader:
+                pass
+
+
+# ---------------------------------------------------------------------------
+# the admitted divergence: varints wider than 64 bits
+# ---------------------------------------------------------------------------
+
+
+@needs_kernel
+class TestOversizedVarintDivergence:
+    def _oversized_payload(self) -> bytes:
+        buf = bytearray()
+        _put_uvarint(buf, 1)
+        buf += bytes([0])  # BeginEvent tag
+        _put_uvarint(buf, 1 << 70)  # zigzag step delta: a bignum
+        _put_uvarint(buf, 0)  # thread index
+        return bytes(buf)
+
+    def test_python_accepts_kernel_diverges(self, fig9_wtrc, tmp_path):
+        path = craft(fig9_wtrc, tmp_path, self._oversized_payload(), "big.wtrc")
+        py = read_outcome(path, "python")
+        assert py[0] == "ok"
+        nat = read_outcome(path, "native")
+        assert nat[:2] == ("err", "KernelDivergenceError")
+
+    def test_front_door_falls_back_to_python(self, fig9_wtrc, tmp_path):
+        """analyze_trace_file never surfaces the divergence: it redoes
+        the degenerate file in pure Python."""
+        data = Path(fig9_wtrc).read_bytes()
+        # Keep the file well-formed end to end: splice the oversized
+        # chunk in front of the original EVENTS chunk and bump the END
+        # chunk's declared event count to match.
+        extra = bytearray([K_EVENTS])
+        payload = self._oversized_payload()
+        _put_uvarint(extra, len(payload))
+        extra += payload
+        out = bytearray(data[:5])
+        inserted = False
+        for kind, header, off, length in iter_chunks(data):
+            if kind == K_EVENTS and not inserted:
+                out += extra
+                inserted = True
+                out += data[header : off + length]
+            elif kind == K_END:
+                declared, _ = _get_uvarint(data, off)
+                end_payload = bytearray()
+                _put_uvarint(end_payload, declared + 1)
+                out.append(K_END)
+                _put_uvarint(out, len(end_payload))
+                out += end_payload
+            else:
+                out += data[header : off + length]
+        path = tmp_path / "degenerate.wtrc"
+        path.write_bytes(bytes(out))
+        py = analyze_trace_file(str(path), max_length=3, backend="python")
+        nat = analyze_trace_file(str(path), max_length=3, backend="native")
+        assert nat.backend == "python"  # fell back
+        assert nat.events == py.events
+
+    def test_divergence_quarantines_as_corrupt_payload(self):
+        code = classify_decode_error(KernelDivergenceError("boom")).code
+        assert code == CORRUPT_PAYLOAD
+
+
+# ---------------------------------------------------------------------------
+# hypothesis fuzz: mutations and truncations never break parity
+# ---------------------------------------------------------------------------
+
+
+if HAVE_HYPOTHESIS:
+
+    @needs_kernel
+    class TestFuzzParity:
+        @pytest.fixture(scope="class")
+        def base(self, tmp_path_factory) -> bytes:
+            from repro.core.pipeline import run_detection
+            from repro.workloads.figures import fig9_program
+
+            run = run_detection(fig9_program, 0, name="fig9")
+            path = tmp_path_factory.mktemp("fuzz") / "base.wtrc"
+            write_trace(run.trace, str(path))
+            return path.read_bytes()
+
+        @settings(max_examples=40, deadline=None)
+        @given(offset=st.integers(min_value=5), value=st.integers(0, 255))
+        def test_mutation_parity(self, base, tmp_path_factory, offset, value):
+            data = bytearray(base)
+            offset %= len(data) - 5
+            data[5 + offset] = value
+            path = tmp_path_factory.mktemp("m") / "mut.wtrc"
+            path.write_bytes(bytes(data))
+            assert_outcome_parity(str(path))
+
+        @settings(max_examples=25, deadline=None)
+        @given(cut=st.integers(min_value=5))
+        def test_truncation_parity(self, base, tmp_path_factory, cut):
+            cut = 5 + cut % (len(base) - 5)
+            path = tmp_path_factory.mktemp("t") / "cut.wtrc"
+            path.write_bytes(base[:cut])
+            assert_outcome_parity(str(path))
+
+
+# ---------------------------------------------------------------------------
+# satellite: backend attribution surfaces
+# ---------------------------------------------------------------------------
+
+
+class TestAttribution:
+    def test_cli_version_reports_backend(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("wolf ")
+        assert "backend: " in out
+
+    def test_wolf_report_carries_backend(self):
+        import json
+
+        from repro.core.pipeline import Wolf, WolfConfig
+        from repro.workloads.figures import fig9_program
+
+        report = Wolf(
+            config=WolfConfig(replay_attempts=1, workers=1, backend="python")
+        ).analyze(fig9_program, name="fig9")
+        assert report.backend == "python" and report.kernel is None
+        doc = json.loads(report.to_json())
+        assert doc["backend"] == "python" and doc["kernel"] is None
+
+    @needs_kernel
+    def test_report_doc_carries_no_backend(self, fig9_wtrc):
+        """Defect reports stay a pure function of the trace bytes."""
+        doc = report_doc_for_file(fig9_wtrc, max_length=3, backend="native")
+        assert "backend" not in doc and "kernel" not in doc
