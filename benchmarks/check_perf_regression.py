@@ -50,6 +50,12 @@ GATED_RATIOS = [
     ("prediction decided ratio", ("prediction", "decided_ratio")),
     ("native analyze speedup", ("macro", "analyze_speedup", "native")),
     ("mmap analyze speedup", ("macro", "analyze_speedup", "mmap")),
+    # bench-serve/1 (BENCH_serve.json baselines, `--baseline BENCH_serve.json`).
+    # Ratios absent from a bench-core baseline simply SKIP, so the two
+    # documents share one gate script.
+    ("fleet 2-worker ingestion speedup", ("scaling", "speedup_2v1")),
+    ("fleet 4-worker ingestion speedup", ("scaling", "speedup_4v1")),
+    ("fleet rollup identity", ("identity", "rollup_identical")),
 ]
 
 

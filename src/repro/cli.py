@@ -517,6 +517,18 @@ def cmd_corpus_build(args: argparse.Namespace) -> int:
     from repro.corpus import CampaignConfig, build_corpus
     from repro.util.interrupt import INTERRUPT_EXIT_CODE, GracefulInterrupt
 
+    if args.from_quarantine is not None:
+        from repro.corpus import build_from_quarantine
+
+        report = build_from_quarantine(
+            args.from_quarantine,
+            args.corpus,
+            log=print,
+            max_traces=args.max_traces,
+        )
+        print(report.summary())
+        return 0
+
     cfg = CampaignConfig(
         benchmarks=args.benchmarks or None,
         seeds_per_benchmark=args.seeds_per_benchmark,
@@ -681,6 +693,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.serve import ServeConfig, WolfServer
 
+    journal_max = args.journal_max_bytes or None  # 0 disables rotation
+    if args.fleet_index is None and (args.workers or 1) > 1:
+        return _serve_supervisor(args, socket_path, tcp, journal_max)
+    in_fleet = args.fleet_index is not None
     cfg = ServeConfig(
         out_dir=args.out,
         socket_path=socket_path,
@@ -689,7 +705,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         window=args.window,
         max_total_buffer=args.max_total_buffer,
         max_stream_bytes=args.max_stream_bytes,
-        workers=args.workers or 1,
+        shard_workers=args.shard_workers or 1,
+        journal_fsync=not args.no_journal_fsync,
+        journal_max_bytes=journal_max,
+        worker_index=args.fleet_index if in_fleet else 0,
+        num_workers=args.fleet_size if in_fleet else 1,
+        fleet_dir=args.fleet_dir,
+        tcp_reuseport=args.tcp_reuseport,
         backend=getattr(args, "backend", "auto"),
     )
     server = WolfServer(cfg)
@@ -718,6 +740,79 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"{sum(st.quarantined.values())} quarantined, "
         f"{st.rejected} rejected -> {cfg.out_dir}/run_manifest.json"
     )
+    return 0
+
+
+def _serve_supervisor(args, socket_path, tcp, journal_max) -> int:
+    """``wolf serve --workers N``: the multi-process fleet supervisor."""
+    import asyncio
+    import json as jsonlib
+    import os
+    import signal
+
+    from repro.serve.supervisor import FleetConfig, FleetSupervisor
+
+    cfg = FleetConfig(
+        out_dir=args.out,
+        workers=args.workers,
+        socket_path=socket_path,
+        tcp=tcp,
+        router=args.router,
+        idle_timeout=args.idle_timeout,
+        window=args.window,
+        max_total_buffer=args.max_total_buffer,
+        max_stream_bytes=args.max_stream_bytes,
+        shard_workers=args.shard_workers or 1,
+        journal_max_bytes=journal_max,
+        journal_fsync=not args.no_journal_fsync,
+        backend=getattr(args, "backend", "auto"),
+    )
+    sup = FleetSupervisor(cfg)
+
+    async def main() -> None:
+        await sup.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, sup.request_drain)
+        where = cfg.socket_path or (
+            f"{sup.tcp_address[0]}:{sup.tcp_address[1]}" if sup.tcp_address else "?"
+        )
+        print(
+            f"wolf serve: supervising {cfg.workers} worker(s) via "
+            f"{sup.router} on {where}, fleet dir {cfg.out_dir}"
+        )
+        sys.stdout.flush()
+        assert sup._drain_requested is not None
+        await sup._drain_requested.wait()
+        print("wolf serve: draining fleet")
+        sys.stdout.flush()
+        await sup.drain()
+
+    asyncio.run(main())
+    with open(os.path.join(cfg.out_dir, "run_manifest.json")) as fh:
+        totals = jsonlib.load(fh)["totals"]
+    print(
+        f"wolf serve: fleet drained — {totals['analyzed']} analyzed, "
+        f"{totals['quarantined']} quarantined, {totals['rejected']} "
+        f"rejected across {cfg.workers} worker(s) "
+        f"({sum(sup.restarts)} restart(s)) -> {cfg.out_dir}/run_manifest.json"
+    )
+    return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Fleet-wide operations: deterministic rollups and live status."""
+    import json as jsonlib
+
+    if args.action == "report":
+        from repro.serve.rollup import render_rollup, rollup_run_dirs
+
+        sys.stdout.buffer.write(render_rollup(rollup_run_dirs(args.dirs)))
+        return 0
+    from repro.serve.supervisor import fleet_status
+
+    for d in args.dirs:
+        print(jsonlib.dumps(fleet_status(d), indent=2, sort_keys=True))
     return 0
 
 
@@ -1108,6 +1203,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="stop after admitting N traces (default: unbounded)",
     )
+    cp.add_argument(
+        "--from-quarantine",
+        default=None,
+        metavar="DIR",
+        help="instead of a campaign: salvage + admit daemon-quarantined "
+        ".wtrc evidence from DIR (an ingestion run's quarantine/ "
+        "directory) through the same coverage-key admission",
+    )
     cp.set_defaults(func=cmd_corpus_build)
 
     cp = csub.add_parser(
@@ -1206,7 +1309,48 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="BYTES",
         help="largest stream accepted (default: 64 MiB)",
     )
-    _add_workers(p)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="ingestion worker processes; >1 runs the fleet supervisor "
+        "(SO_REUSEPORT or hash-router front door, merged manifest at "
+        "drain; default: 1, the single-process daemon)",
+    )
+    p.add_argument(
+        "--shard-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="processes for sharded cycle enumeration at stream finish "
+        "(default: 1, enumerate in the event loop)",
+    )
+    p.add_argument(
+        "--router",
+        choices=("auto", "reuseport", "proxy"),
+        default="auto",
+        help="fleet front door with --workers N: 'reuseport' shares the "
+        "public TCP port across workers, 'proxy' routes by stream-id "
+        "hash through the supervisor (the unix-socket/portability "
+        "fallback); default: auto",
+    )
+    p.add_argument(
+        "--journal-max-bytes",
+        type=int,
+        default=32 * 1024 * 1024,
+        metavar="BYTES",
+        help="rotate (compact) journal.jsonl once it grows past this "
+        "(0 disables; default: 32 MiB)",
+    )
+    p.add_argument(
+        "--no-journal-fsync", action="store_true", help=argparse.SUPPRESS
+    )
+    # Internal flags the supervisor passes to the workers it spawns.
+    p.add_argument("--fleet-dir", default=None, help=argparse.SUPPRESS)
+    p.add_argument("--fleet-index", type=int, default=None, help=argparse.SUPPRESS)
+    p.add_argument("--fleet-size", type=int, default=1, help=argparse.SUPPRESS)
+    p.add_argument("--tcp-reuseport", action="store_true", help=argparse.SUPPRESS)
     p.add_argument(
         "--backend",
         choices=("auto", "python", "native"),
@@ -1254,6 +1398,27 @@ def build_parser() -> argparse.ArgumentParser:
         "daemon's verdict",
     )
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "fleet",
+        help="fleet-wide operations: deterministic defect rollups "
+        "(report) and live worker probes (status)",
+    )
+    p.add_argument(
+        "action",
+        choices=("report", "status"),
+        help="'report': merge per-stream defect reports from run/fleet "
+        "directories into one wolf-fleet-rollup/1 document (byte-"
+        "identical at any worker count); 'status': probe a fleet's "
+        "workers via fleet.json",
+    )
+    p.add_argument(
+        "dirs",
+        nargs="+",
+        metavar="DIR",
+        help="serve run directories (single-daemon or fleet layout)",
+    )
+    p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser("df", help="run the DeadlockFuzzer baseline")
     p.add_argument("benchmark")

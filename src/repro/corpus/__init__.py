@@ -24,6 +24,7 @@ from repro.corpus.build import (
     CampaignSource,
     analyze_trace_file,
     build_corpus,
+    build_from_quarantine,
     iter_campaign_sources,
 )
 from repro.corpus.gate import (
@@ -77,6 +78,7 @@ __all__ = [
     "TraceRecord",
     "analyze_trace_file",
     "build_corpus",
+    "build_from_quarantine",
     "canonical_keys",
     "compare_health",
     "compute_health",

@@ -258,3 +258,139 @@ def build_corpus(
 
     manifest.save(manifest_path)
     return report
+
+
+def _salvage_quarantined(path: str, dest: str) -> Optional[int]:
+    """Rewrite the decodable prefix of a quarantined ``.wtrc`` as a clean
+    trace at ``dest``; returns the salvaged event count, or ``None`` when
+    not even the stream header survives.
+
+    Quarantined evidence is *expected* to be damaged — torn mid-chunk,
+    missing its END chunk, corrupt past some offset.  Chunk framing makes
+    the prefix before the damage fully trustworthy, and that prefix is
+    what the corpus can admit: it re-seals under a fresh writer (proper
+    END chunk), so downstream validation treats it like any other trace.
+    """
+    events = []
+    try:
+        with TraceFileReader(path) as reader:
+            program, seed = reader.program, reader.seed
+            try:
+                for ev in reader:
+                    events.append(ev)
+            except Exception:
+                pass  # damage begins here; keep the prefix
+    except Exception:
+        return None  # header itself unreadable: nothing to salvage
+    if not events:
+        return None
+    with TraceFileWriter(dest, program=program, seed=seed) as writer:
+        for ev in events:
+            writer.write_event(ev)
+    return len(events)
+
+
+def build_from_quarantine(
+    quarantine_dir: str,
+    corpus_dir: str,
+    *,
+    manifest: Optional[CorpusManifest] = None,
+    log: Optional[Callable[[str], None]] = None,
+    max_traces: Optional[int] = None,
+) -> BuildReport:
+    """Admit daemon-quarantined evidence files into the corpus.
+
+    Every ``*.wtrc`` under ``quarantine_dir`` (an ingestion run's
+    ``quarantine/`` directory, or a heap of them) goes through salvage →
+    taxonomy-aware re-detection → the same coverage-key admission and
+    minimization the campaign path uses.  Hostile bytes that witness a
+    defect the corpus has never covered become governed regression
+    artifacts instead of dead evidence; everything else is rejected with
+    the usual counters.
+    """
+    from repro.corpus.validate import classify_trace_file
+
+    os.makedirs(corpus_dir, exist_ok=True)
+    manifest_path = os.path.join(corpus_dir, MANIFEST_NAME)
+    if manifest is None:
+        if os.path.exists(manifest_path):
+            manifest = CorpusManifest.load(manifest_path)
+        else:
+            manifest = CorpusManifest()
+    say = log or (lambda _msg: None)
+    report = BuildReport()
+
+    for entry in sorted(os.listdir(quarantine_dir)):
+        if not entry.endswith(".wtrc"):
+            continue
+        if max_traces is not None and report.admitted >= max_traces:
+            break
+        report.runs += 1
+        src = os.path.join(quarantine_dir, entry)
+        stem = _safe_name(os.path.splitext(entry)[0])
+        scratch = os.path.join(corpus_dir, f".quarantine-{stem}.wtrc")
+        try:
+            corruption = classify_trace_file(src)
+            if corruption is None:
+                # Fully intact evidence (quarantined for a transport
+                # offense, not corruption): admit the bytes as-is.
+                import shutil
+
+                shutil.copyfile(src, scratch)
+                salvaged = None
+            else:
+                salvaged = _salvage_quarantined(src, scratch)
+                if salvaged is None:
+                    report.run_errors += 1
+                    say(f"skipped {entry}: {corruption.render()}, no salvageable prefix")
+                    continue
+            detection, n_events = analyze_trace_file(scratch)
+            report.events_recorded += n_events
+            keys = canonical_keys(detection.defect_keys())
+            if not keys:
+                report.rejected_clean += 1
+                continue
+            with TraceFileReader(scratch) as reader:
+                program, seed = reader.program, reader.seed
+            program = program or stem
+            coverage = {coverage_key(program, k) for k in keys}
+            if coverage <= manifest.coverage():
+                report.rejected_covered += 1
+                continue
+
+            filename = f"quar-{stem}.wtrc"
+            final = os.path.join(corpus_dir, filename)
+            minimized = minimize_trace_file(scratch, final)
+            final_detection, _ = analyze_trace_file(final)
+            final_keys = canonical_keys(final_detection.defect_keys())
+            record = TraceRecord(
+                file=filename,
+                sha256=sha256_file(final),
+                bytes=os.path.getsize(final),
+                events=minimized.events_after,
+                program=program,
+                seed=seed,
+                source="quarantine",
+                generator_seed=None,
+                defect_keys=final_keys,
+            )
+            manifest.traces.append(record)
+            report.admitted += 1
+            report.events_admitted += minimized.events_after
+            report.admitted_files.append(filename)
+            salvage_note = (
+                f" (salvaged {salvaged} event(s) from damaged evidence)"
+                if salvaged is not None
+                else ""
+            )
+            say(
+                f"admitted {filename}: {len(final_keys)} key(s), "
+                f"{minimized.events_before} -> {minimized.events_after} events"
+                f"{salvage_note}"
+            )
+        finally:
+            if os.path.exists(scratch):
+                os.unlink(scratch)
+
+    manifest.save(manifest_path)
+    return report

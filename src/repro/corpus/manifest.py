@@ -42,8 +42,10 @@ HEALTH_BASELINE_NAME = "CORPUS_health.json"
 #: a future default change cannot silently alter what "covered" means.
 DETECTOR_PARAMS = {"max_length": 4, "max_cycles": 10_000}
 
-#: Campaign source kinds (provenance).
-SOURCES = ("registry", "randprog", "chaos")
+#: Campaign source kinds (provenance).  ``quarantine`` marks evidence
+#: salvaged from an ingestion daemon's quarantine directory
+#: (``wolf corpus build --from-quarantine``).
+SOURCES = ("registry", "randprog", "chaos", "quarantine")
 
 
 class ManifestError(ValueError):

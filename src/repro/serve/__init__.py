@@ -21,7 +21,12 @@ Robustness is the point of the package:
   (kill mid-chunk, stall, garbage, oversized, duplicate, reconnect);
 * :mod:`repro.serve.report` — the canonical per-stream defect report,
   byte-identical to ``wolf analyze-trace --json`` on the same trace;
-* :mod:`repro.serve.health` — ``/healthz`` + ``/stats`` documents.
+* :mod:`repro.serve.health` — ``/healthz`` + ``/stats`` documents;
+* :mod:`repro.serve.supervisor` — the multi-process fleet: N workers
+  behind SO_REUSEPORT or a stream-id hash router, health-probed,
+  restart-on-crash, one merged manifest at drain;
+* :mod:`repro.serve.rollup` — deterministic fleet-wide defect rollups
+  (``wolf fleet report``), byte-identical at any worker count.
 """
 
 from repro.serve.client import ChaosOutcome, SendResult, chaos_client, send_trace
@@ -31,9 +36,17 @@ from repro.serve.protocol import (
     DEFAULT_WINDOW,
     MAX_FRAME,
     PROTOCOL_VERSION,
+    WRONG_WORKER,
     Frame,
     FrameKind,
     ProtocolError,
+    shard_of,
+)
+from repro.serve.rollup import (
+    ROLLUP_SCHEMA,
+    render_rollup,
+    rollup_reports,
+    rollup_run_dirs,
 )
 from repro.serve.report import (
     REPORT_SCHEMA,
@@ -48,28 +61,48 @@ from repro.serve.server import (
     WolfServer,
     query_server,
 )
+from repro.serve.supervisor import (
+    FLEET_NAME,
+    MERGED_RUN_SCHEMA,
+    FleetConfig,
+    FleetSupervisor,
+    fleet_status,
+    merge_manifests,
+)
 
 __all__ = [
     "ChaosOutcome",
     "DEFAULT_WINDOW",
+    "FLEET_NAME",
+    "FleetConfig",
+    "FleetSupervisor",
     "Frame",
     "FrameKind",
     "JournalState",
     "MAX_FRAME",
+    "MERGED_RUN_SCHEMA",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "REPORT_SCHEMA",
+    "ROLLUP_SCHEMA",
     "RUN_MANIFEST_NAME",
     "RUN_SCHEMA",
     "RunJournal",
     "SendResult",
     "ServeConfig",
     "ServeStats",
+    "WRONG_WORKER",
     "WolfServer",
     "chaos_client",
     "defect_report_doc",
+    "fleet_status",
+    "merge_manifests",
     "query_server",
     "render_report",
+    "render_rollup",
     "report_doc_for_file",
+    "rollup_reports",
+    "rollup_run_dirs",
     "send_trace",
+    "shard_of",
 ]

@@ -34,7 +34,9 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.serve.protocol import (
+    MAX_FRAME,
     PROTOCOL_VERSION,
+    WRONG_WORKER,
     Frame,
     FrameKind,
     ProtocolError,
@@ -47,6 +49,10 @@ from repro.serve.protocol import (
 #: one credit window, large enough to amortize syscalls.
 DEFAULT_SLICE = 64 * 1024
 
+#: ``wrong-worker`` redirects a single send will follow before giving up
+#: (a sane fleet resolves in one hop; a loop means misconfiguration).
+MAX_REDIRECTS = 4
+
 
 @dataclass
 class SendResult:
@@ -57,6 +63,8 @@ class SendResult:
     bytes_sent: int = 0
     resume_offset: int = 0
     credit_waits: int = 0
+    #: ``wrong-worker`` redirects followed before landing on the owner.
+    redirects: int = 0
     #: FIN_ACK payload when ``ok``; ERR payload otherwise.
     response: dict = field(default_factory=dict)
     error_code: Optional[str] = None
@@ -115,13 +123,40 @@ def send_trace(
     tcp: Optional[Tuple[str, int]] = None,
     program: str = "",
     slice_bytes: int = DEFAULT_SLICE,
+    batch: bool = False,
     timeout: float = 30.0,
 ) -> SendResult:
-    """Ship one ``.wtrc`` file to the daemon, honoring credit flow."""
+    """Ship one ``.wtrc`` file to the daemon, honoring credit flow.
+
+    ``batch=True`` coalesces DATA frames up to the granted credit window
+    (capped by the protocol's frame limit) instead of fixed
+    ``slice_bytes`` slices — fewer frames and syscalls per stream, which
+    is what lets a bench producer saturate a multi-worker fleet.  Credit
+    accounting is unchanged: a batched producer still never overdrafts.
+
+    In a fleet, the daemon answering HELLO may not own the stream's
+    shard; it replies ``wrong-worker`` with the owner's direct addresses
+    and this shim follows the redirect transparently (bounded by
+    :data:`MAX_REDIRECTS`).
+    """
     result = SendResult(stream_id=stream_id, ok=False)
     sock = _connect(socket_path, tcp, timeout)
     try:
         frame, doc = _hello(sock, stream_id, program or os.path.basename(trace_path))
+        while (
+            frame is not None
+            and frame.kind is FrameKind.ERR
+            and doc.get("code") == WRONG_WORKER
+            and (doc.get("socket") or doc.get("tcp"))
+            and result.redirects < MAX_REDIRECTS
+        ):
+            result.redirects += 1
+            sock.close()
+            owner_tcp = tuple(doc["tcp"]) if doc.get("tcp") else None
+            sock = _connect(doc.get("socket"), owner_tcp, timeout)
+            frame, doc = _hello(
+                sock, stream_id, program or os.path.basename(trace_path)
+            )
         if frame is None or frame.kind is FrameKind.ERR:
             result.error_code = doc.get("code", "connection-closed")
             result.response = doc
@@ -149,7 +184,8 @@ def send_trace(
                     if reply.kind is FrameKind.CREDIT:
                         credit += int(reply.json().get("credit", 0))
                         result.credit_waits += 1
-                block = fh.read(min(slice_bytes, credit))
+                want = min(credit, MAX_FRAME) if batch else min(slice_bytes, credit)
+                block = fh.read(want)
                 if not block:
                     break
                 sock.sendall(encode_frame(FrameKind.DATA, block))

@@ -34,9 +34,15 @@ class ServeStats:
     credits_withheld: int = 0
     journal_chunks: int = 0
     control_queries: int = 0
+    #: HELLOs for streams another fleet worker owns, answered with a
+    #: ``wrong-worker`` redirect (always 0 in single-worker mode).
+    redirects: int = 0
     #: Handler bugs swallowed by the zero-unhandled-exceptions backstop.
     internal_errors: int = 0
     draining: bool = False
+    #: This daemon's shard identity in a fleet (0/1 when standalone).
+    worker_index: int = 0
+    num_workers: int = 1
 
     def note_quarantine(self, code: str) -> None:
         self.quarantined[code] = self.quarantined.get(code, 0) + 1
@@ -48,6 +54,8 @@ class ServeStats:
             "accepting": accepting,
             "streams_active": self.streams_active,
             "backend": backend,
+            "worker": self.worker_index,
+            "workers": self.num_workers,
         }
 
     def stats(
@@ -71,7 +79,10 @@ class ServeStats:
             "draining": self.draining,
             "backend": backend,
             "kernel": kernel,
+            "worker": self.worker_index,
+            "workers": self.num_workers,
             "connections": self.connections,
+            "redirects": self.redirects,
             "streams": {
                 "accepted": self.streams_accepted,
                 "resumed": self.streams_resumed,

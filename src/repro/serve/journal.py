@@ -18,6 +18,17 @@ Recovery (:meth:`RunJournal.load_state`) replays the journal into a
 anything else with journaled bytes is resumable from that offset.  A torn
 final line (the crash landed mid-write) is ignored — everything before it
 was fsynced.
+
+**Compaction.**  Chunk rows dominate the journal (one per durable chunk
+boundary, hundreds per stream) but only the *last* one per stream
+matters, and across daemon restarts the append-only file would grow
+without bound.  With ``max_bytes`` set, the journal rotates whenever an
+append pushes it past the limit: the writer's live :class:`JournalState`
+mirror is serialized as a single ``snapshot`` row into a fresh file,
+atomically swapped into place, and appending continues after it.  A
+``snapshot`` row *replaces* all prior state during recovery, so a journal
+is always equivalent to (snapshot ∘ suffix) — rotation is invisible to
+crash recovery, which the rotation-boundary resume test proves.
 """
 
 from __future__ import annotations
@@ -54,13 +65,57 @@ class JournalState:
             if not self.terminal(s)
         }
 
+    def to_doc(self) -> dict:
+        """Wire form of a compaction snapshot.
+
+        Terminal streams drop their ``bytes_ingested`` entries — only the
+        terminal row matters for them, and shedding dead chunk offsets is
+        half the point of compacting.
+        """
+        return {
+            "bytes_ingested": {
+                s: n for s, n in sorted(self.resumable().items())
+            },
+            "completed": {s: r for s, r in sorted(self.completed.items())},
+            "quarantined": {s: r for s, r in sorted(self.quarantined.items())},
+            "rejected": list(self.rejected),
+        }
+
+    @staticmethod
+    def from_doc(doc: dict) -> "JournalState":
+        return JournalState(
+            bytes_ingested={
+                str(s): int(n)
+                for s, n in doc.get("bytes_ingested", {}).items()
+            },
+            completed=dict(doc.get("completed", {})),
+            quarantined=dict(doc.get("quarantined", {})),
+            rejected=list(doc.get("rejected", [])),
+        )
+
 
 class RunJournal:
-    """Append-only fsynced JSONL journal (one per run directory)."""
+    """Append-only fsynced JSONL journal (one per run directory).
 
-    def __init__(self, path: str, *, fsync: bool = True) -> None:
+    ``max_bytes`` enables size-triggered compaction (see module docs);
+    ``None`` keeps the historical grow-forever behavior.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        fsync: bool = True,
+        max_bytes: Optional[int] = None,
+    ) -> None:
         self.path = path
         self._fsync = fsync
+        self._max_bytes = max_bytes
+        #: Rotations performed by this journal instance (observability).
+        self.rotations = 0
+        # The live mirror compaction snapshots; seeded from whatever the
+        # file already holds so a post-restart rotation loses nothing.
+        self._state = RunJournal.load_state(path)
         self._fh: Optional[TextIO] = open(path, "a", encoding="utf-8")
 
     # -- writing -------------------------------------------------------------
@@ -71,19 +126,59 @@ class RunJournal:
         self._fh.flush()
         if self._fsync:
             os.fsync(self._fh.fileno())
+        if self._max_bytes is not None and self._fh.tell() > self._max_bytes:
+            self._rotate()
+
+    def _rotate(self) -> None:
+        """Compact: snapshot the mirror into a fresh file, swap, continue.
+
+        The snapshot is fully durable (fsynced, then atomically replaced,
+        then the directory entry fsynced) *before* the old file goes
+        away, so a crash at any instant leaves either the old journal or
+        the complete snapshot — never neither.
+        """
+        assert self._fh is not None
+        tmp = self.path + ".compact"
+        with open(tmp, "w", encoding="utf-8") as out:
+            out.write(
+                json.dumps(
+                    {"op": "snapshot", "state": self._state.to_doc()},
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+            out.flush()
+            if self._fsync:
+                os.fsync(out.fileno())
+        self._fh.close()
+        os.replace(tmp, self.path)
+        if self._fsync:
+            dir_fd = os.open(os.path.dirname(self.path) or ".", os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self.rotations += 1
 
     def chunk(self, stream_id: str, bytes_ingested: int) -> None:
+        self._state.bytes_ingested[stream_id] = bytes_ingested
         self._append(
             {"op": "chunk", "stream": stream_id, "bytes": bytes_ingested}
         )
 
     def complete(self, stream_id: str, row: dict) -> None:
+        self._state.completed[stream_id] = row
         self._append({"op": "complete", "stream": stream_id, "row": row})
 
     def quarantine(self, stream_id: str, row: dict) -> None:
+        self._state.quarantined[stream_id] = row
         self._append({"op": "quarantine", "stream": stream_id, "row": row})
 
     def reject(self, stream_id: str, code: str, detail: str) -> None:
+        self._state.rejected.append(
+            {"stream": stream_id, "code": code, "detail": detail}
+        )
         self._append(
             {"op": "reject", "stream": stream_id, "code": code, "detail": detail}
         )
@@ -114,7 +209,11 @@ class RunJournal:
                     break
                 op = doc.get("op")
                 stream = doc.get("stream", "")
-                if op == "chunk":
+                if op == "snapshot":
+                    # A compaction point: the snapshot *is* the state at
+                    # that instant; later lines replay on top of it.
+                    state = JournalState.from_doc(doc.get("state", {}))
+                elif op == "chunk":
                     state.bytes_ingested[stream] = int(doc["bytes"])
                 elif op == "complete":
                     state.completed[stream] = doc["row"]

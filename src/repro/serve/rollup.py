@@ -1,0 +1,128 @@
+"""Deterministic fleet-wide defect rollups.
+
+A rollup merges per-stream ``wolf-defect-report/2`` documents — from one
+run directory, from every worker of a fleet, or from a heap of past runs
+— into one ``wolf-fleet-rollup/1`` document: defect-key counts, verdict
+totals, and per-program hit rates.
+
+The determinism contract (same discipline as the PR 1 parallel merge):
+the rollup is a pure function of the *set* of report documents.  Worker
+count, arrival order, directory layout, crash/restart history — none of
+it can change a byte of the output.  That holds because every aggregate
+here is computed from unordered counts and rendered with sorted keys,
+and stream ids (unique fleet-wide) are the only join key.  The
+N-worker-vs-1-worker byte-identity test pins this.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.serve.report import render_report
+
+ROLLUP_SCHEMA = "wolf-fleet-rollup/1"
+
+
+def collect_report_docs(run_dir: str) -> List[Tuple[str, dict]]:
+    """Every per-stream report under ``run_dir``, as (stream_id, doc).
+
+    Understands both layouts: a single daemon run directory
+    (``reports/*.json``) and a fleet directory (``workers/w*/reports/``).
+    """
+    patterns = [
+        os.path.join(run_dir, "reports", "*.json"),
+        os.path.join(run_dir, "workers", "w*", "reports", "*.json"),
+    ]
+    out: List[Tuple[str, dict]] = []
+    for pattern in patterns:
+        for path in glob.glob(pattern):
+            stream_id = os.path.splitext(os.path.basename(path))[0]
+            with open(path, encoding="utf-8") as fh:
+                out.append((stream_id, json.load(fh)))
+    return out
+
+
+def rollup_reports(named_docs: Iterable[Tuple[str, dict]]) -> dict:
+    """Merge (stream_id, report_doc) pairs into one rollup document.
+
+    Duplicate stream ids keep the first occurrence after sorting — the
+    same report can legitimately appear via overlapping run-dir globs,
+    and a deterministic tie-break keeps the output stable.
+    """
+    docs: Dict[str, dict] = {}
+    for stream_id, doc in sorted(named_docs, key=lambda p: p[0]):
+        docs.setdefault(stream_id, doc)
+
+    key_counts: Dict[str, int] = {}
+    verdicts: Dict[str, int] = {}
+    prediction = {"certified": 0, "refuted": 0, "undecided": 0}
+    programs: Dict[str, dict] = {}
+    events = 0
+    cycles = 0
+    truncated = 0
+    for doc in docs.values():
+        events += int(doc.get("events", 0))
+        cycles += int(doc.get("cycles", 0))
+        truncated += bool(doc.get("truncated", False))
+        keys = ["|".join(k) for k in doc.get("defect_keys", [])]
+        for key in keys:
+            key_counts[key] = key_counts.get(key, 0) + 1
+        for dec in doc.get("decisions", []):
+            v = dec.get("verdict", "unknown")
+            verdicts[v] = verdicts.get(v, 0) + 1
+            pv = dec.get("prediction")
+            if pv in prediction:
+                prediction[pv] += 1
+        prog = str(doc.get("program", ""))
+        row = programs.setdefault(
+            prog,
+            {"streams": 0, "with_defects": 0, "events": 0, "keys": set()},
+        )
+        row["streams"] += 1
+        row["with_defects"] += bool(keys)
+        row["events"] += int(doc.get("events", 0))
+        row["keys"].update(keys)
+
+    program_rows = {}
+    for prog, row in sorted(programs.items()):
+        program_rows[prog] = {
+            "streams": row["streams"],
+            "with_defects": row["with_defects"],
+            "hit_rate": round(row["with_defects"] / row["streams"], 6),
+            "events": row["events"],
+            "distinct_defect_keys": len(row["keys"]),
+        }
+
+    return {
+        "schema": ROLLUP_SCHEMA,
+        "streams": {
+            "analyzed": len(docs),
+            "events": events,
+            "cycles": cycles,
+            "truncated": truncated,
+        },
+        "defect_keys": dict(sorted(key_counts.items())),
+        "verdicts": dict(sorted(verdicts.items())),
+        "prediction": prediction,
+        "programs": program_rows,
+        "totals": {
+            "defect_hits": sum(key_counts.values()),
+            "distinct_defect_keys": len(key_counts),
+        },
+    }
+
+
+def rollup_run_dirs(run_dirs: Sequence[str]) -> dict:
+    """Rollup across several run directories (fleet or standalone)."""
+    named: List[Tuple[str, dict]] = []
+    for d in run_dirs:
+        named.extend(collect_report_docs(d))
+    return rollup_reports(named)
+
+
+def render_rollup(doc: dict) -> bytes:
+    """Canonical bytes — same rendering contract as defect reports."""
+    return render_report(doc)

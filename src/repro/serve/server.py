@@ -51,6 +51,8 @@ from repro.serve.protocol import (
     encode_json_frame,
     read_frame,
     recv_frame_sync,
+    redirect_doc,
+    shard_of,
 )
 from repro.serve.report import render_report
 from repro.serve.session import (
@@ -65,8 +67,33 @@ from repro.serve.session import (
 
 RUN_SCHEMA = "wolf-serve-run/1"
 RUN_MANIFEST_NAME = "run_manifest.json"
+#: Per-worker endpoint advertisement (direct addresses for redirects).
+ENDPOINT_NAME = "endpoint.json"
 
 _STREAM_ID_RE = re.compile(r"^[A-Za-z0-9_.-]{1,64}$")
+
+
+def reuseport_available() -> bool:
+    """Can this platform share one TCP port across worker processes?"""
+    import socket as socketlib
+
+    return hasattr(socketlib, "SO_REUSEPORT")
+
+
+def _reuseport_socket(host: str, port: int):
+    """A bound listening socket with SO_REUSEPORT set (kernel balances
+    accepts across every worker bound to the same port)."""
+    import socket as socketlib
+
+    sock = socketlib.socket(socketlib.AF_INET, socketlib.SOCK_STREAM)
+    try:
+        sock.setsockopt(socketlib.SOL_SOCKET, socketlib.SO_REUSEPORT, 1)
+        sock.bind((host, port))
+        sock.listen(128)
+    except BaseException:
+        sock.close()
+        raise
+    return sock
 
 
 @dataclass
@@ -92,9 +119,29 @@ class ServeConfig:
     max_stream_bytes: Optional[int] = 64 * 1024 * 1024
     #: Worker processes for sharded cycle enumeration at stream finish
     #: (1 = enumerate in the event-loop process).
-    workers: int = 1
+    shard_workers: int = 1
     #: fsync the journal on every append (tests may disable for speed).
     journal_fsync: bool = True
+    #: Rotate (compact) the journal once an append pushes it past this
+    #: size; ``None`` disables rotation.  The default bounds journal
+    #: growth across long runs and daemon restarts without ever rotating
+    #: in short test runs.
+    journal_max_bytes: Optional[int] = 32 * 1024 * 1024
+    #: This process's shard index in a multi-worker fleet (0-based); with
+    #: ``num_workers == 1`` the daemon owns every stream (the historical
+    #: single-process mode).
+    worker_index: int = 0
+    #: Total ingestion worker processes in the fleet this daemon belongs
+    #: to.  A HELLO for a stream id hashing to a different worker is
+    #: answered with a ``wrong-worker`` redirect instead of a session.
+    num_workers: int = 1
+    #: The fleet's top-level run directory (where ``fleet.json`` and the
+    #: sibling workers' run dirs live); required when ``num_workers > 1``
+    #: so redirects can name the owner's direct addresses.
+    fleet_dir: Optional[str] = None
+    #: Bind the TCP listener with SO_REUSEPORT so every worker in the
+    #: fleet can share one public port (the kernel balances accepts).
+    tcp_reuseport: bool = False
     #: Analysis backend for per-stream sessions: ``"python"``,
     #: ``"native"`` (compiled kernel; startup fails if it cannot load) or
     #: ``"auto"`` — resolved once at :meth:`WolfServer.start`, so every
@@ -109,12 +156,23 @@ class ServeConfig:
             raise ValueError(f"idle_timeout must be > 0, got {self.idle_timeout}")
         if self.window < 1:
             raise ValueError(f"window must be >= 1, got {self.window}")
-        if self.workers < 1:
-            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.shard_workers < 1:
+            raise ValueError(
+                f"shard_workers must be >= 1, got {self.shard_workers}"
+            )
         if self.backend not in ("python", "native", "auto"):
             raise ValueError(
                 f"backend must be 'python', 'native' or 'auto', got {self.backend!r}"
             )
+        if self.num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {self.num_workers}")
+        if not 0 <= self.worker_index < self.num_workers:
+            raise ValueError(
+                f"worker_index {self.worker_index} outside fleet of "
+                f"{self.num_workers}"
+            )
+        if self.num_workers > 1 and self.fleet_dir is None:
+            raise ValueError("a multi-worker ServeConfig needs fleet_dir")
 
 
 class WolfServer:
@@ -122,7 +180,9 @@ class WolfServer:
 
     def __init__(self, config: ServeConfig) -> None:
         self.config = config
-        self.stats = ServeStats()
+        self.stats = ServeStats(
+            worker_index=config.worker_index, num_workers=config.num_workers
+        )
         #: stream id -> session, for every stream this incarnation saw.
         self.sessions: Dict[str, StreamSession] = {}
         self._conn_tasks: Set[asyncio.Task] = set()
@@ -158,7 +218,11 @@ class WolfServer:
         # re-analysis); journaled partial streams await reconnection.
         self._recovered = RunJournal.load_state(journal_path)
         self._rejected = list(self._recovered.rejected)
-        self._journal = RunJournal(journal_path, fsync=cfg.journal_fsync)
+        self._journal = RunJournal(
+            journal_path,
+            fsync=cfg.journal_fsync,
+            max_bytes=cfg.journal_max_bytes,
+        )
         self._drain_requested = asyncio.Event()
         self._drain_done = asyncio.Event()
         if cfg.socket_path is not None:
@@ -169,11 +233,71 @@ class WolfServer:
             )
         if cfg.tcp is not None:
             host, port = cfg.tcp
-            srv = await asyncio.start_server(self._on_connection, host, port)
+            if cfg.tcp_reuseport:
+                srv = await asyncio.start_server(
+                    self._on_connection, sock=_reuseport_socket(host, port)
+                )
+            else:
+                srv = await asyncio.start_server(self._on_connection, host, port)
             self._servers.append(srv)
             if srv.sockets:
                 addr = srv.sockets[0].getsockname()
                 self.tcp_address = (addr[0], addr[1])
+        if cfg.fleet_dir is not None:
+            # Advertise this worker's direct addresses for redirects and
+            # supervisor probes (readiness is "endpoint.json names my
+            # pid", so even a one-worker fleet writes it).  Written after
+            # the listeners are bound so the file always names live
+            # endpoints.
+            self._write_endpoint()
+
+    def _write_endpoint(self) -> None:
+        cfg = self.config
+        # A reuseport-shared TCP port is NOT a direct address — a
+        # redirected client reconnecting there would land on an arbitrary
+        # worker again — so only a private TCP listener is advertised.
+        direct_tcp = (
+            self.tcp_address
+            if self.tcp_address and not cfg.tcp_reuseport
+            else None
+        )
+        doc = {
+            "worker": cfg.worker_index,
+            "pid": os.getpid(),
+            "socket": os.path.abspath(cfg.socket_path)
+            if cfg.socket_path
+            else None,
+            "tcp": list(direct_tcp) if direct_tcp else None,
+        }
+        path = os.path.join(cfg.out_dir, ENDPOINT_NAME)
+        tmp = path + ".tmp"
+        with open(tmp, "w") as fh:
+            json.dump(doc, fh, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+
+    def _owner_endpoint(self, owner: int) -> dict:
+        """Best-effort direct addresses of the sibling worker ``owner``.
+
+        Reads the owner's ``endpoint.json`` fresh on every redirect — a
+        restarted worker rewrites it with new addresses, and redirects
+        are once-per-misrouted-stream, not per-frame.  Falls back to the
+        owner's well-known unix socket path when the file is not there
+        yet (the owner may still be starting up)."""
+        assert self.config.fleet_dir is not None
+        wdir = os.path.join(self.config.fleet_dir, "workers", f"w{owner}")
+        try:
+            with open(os.path.join(wdir, ENDPOINT_NAME)) as fh:
+                doc = json.load(fh)
+            return {
+                "socket": doc.get("socket"),
+                "tcp": tuple(doc["tcp"]) if doc.get("tcp") else None,
+            }
+        except (OSError, ValueError, KeyError):
+            return {
+                "socket": os.path.join(wdir, "worker.sock"),
+                "tcp": None,
+            }
 
     @property
     def accepting(self) -> bool:
@@ -337,7 +461,7 @@ class WolfServer:
             max_cycles=self.config.max_cycles,
             max_chunk_bytes=self.config.max_chunk_bytes,
             max_stream_bytes=self.config.max_stream_bytes,
-            shard=self.config.workers > 1,
+            shard=self.config.shard_workers > 1,
             backend=self.backend,
         )
 
@@ -466,6 +590,24 @@ class WolfServer:
                 f"unsupported protocol version {hello.get('v')!r}",
             )
             return
+        if cfg.num_workers > 1:
+            owner = shard_of(stream_id, cfg.num_workers)
+            if owner != cfg.worker_index:
+                # Not ours: the stream's journal segment lives with the
+                # owning worker, so answer with the owner's direct
+                # addresses and close.  Deliberately NOT journaled — a
+                # redirect carries no durable state, and journaling it
+                # would make crash-run manifests diverge from clean runs.
+                self.stats.redirects += 1
+                ep = self._owner_endpoint(owner)
+                await self._send(
+                    writer,
+                    FrameKind.ERR,
+                    redirect_doc(
+                        owner, socket_path=ep["socket"], tcp=ep["tcp"]
+                    ),
+                )
+                return
         if self._draining:
             await self._send(
                 writer,
@@ -532,6 +674,7 @@ class WolfServer:
                     "resume_offset": resume_offset,
                     "credit": cfg.window,
                     "v": PROTOCOL_VERSION,
+                    "worker": cfg.worker_index,
                 },
             )
         except (ConnectionError, RuntimeError):
@@ -668,12 +811,12 @@ class WolfServer:
         return row
 
     def _ensure_shard_engine(self):
-        if self.config.workers <= 1:
+        if self.config.shard_workers <= 1:
             return None
         if self._shard_engine is None:
             from repro.core.parallel import ProcessEngine
 
-            self._shard_engine = ProcessEngine(self.config.workers)
+            self._shard_engine = ProcessEngine(self.config.shard_workers)
         return self._shard_engine
 
     # -- control channel -----------------------------------------------------
